@@ -1,0 +1,50 @@
+//! A1 / A2 — design ablations: the Trapdoor epoch-length constant and the
+//! `F′ = min(F, 2t)` frequency restriction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_core::runner::{run_trapdoor_with, AdversaryKind, Scenario};
+use wsync_core::trapdoor::TrapdoorConfig;
+
+fn bench_epoch_constant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_epoch_constant");
+    group.sample_size(10);
+    let scenario = Scenario::new(24, 16, 6).with_adversary(AdversaryKind::Random);
+    for constant in [1.0f64, 2.0, 4.0] {
+        let config = TrapdoorConfig::new(scenario.upper_bound(), 16, 6)
+            .with_epoch_constant(constant)
+            .with_final_epoch_constant(constant);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(constant),
+            &config,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_trapdoor_with(&scenario, *cfg, seed).result.rounds_executed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frequency_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_frequency_limit");
+    group.sample_size(10);
+    let scenario = Scenario::new(24, 32, 4).with_adversary(AdversaryKind::Random);
+    let paper = TrapdoorConfig::new(scenario.upper_bound(), 32, 4);
+    let full_band = paper.with_frequency_limit(32);
+    for (name, config) in [("paper_f_prime", paper), ("full_band", full_band)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trapdoor_with(&scenario, *cfg, seed).result.rounds_executed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_constant, bench_frequency_limit);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! X2 — baseline protocols vs the Trapdoor Protocol under jamming.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_core::runner::{
+    run_round_robin, run_trapdoor, run_wakeup, AdversaryKind, Scenario,
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x2_baselines");
+    group.sample_size(10);
+    let scenario = Scenario::new(16, 16, 8)
+        .with_adversary(AdversaryKind::Random)
+        .with_max_rounds(60_000);
+    group.bench_with_input(BenchmarkId::new("trapdoor", 8), &scenario, |b, s| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_trapdoor(s, seed).result.rounds_executed
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("wakeup", 8), &scenario, |b, s| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_wakeup(s, seed).result.rounds_executed
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("round_robin", 8), &scenario, |b, s| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_round_robin(s, seed).result.rounds_executed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

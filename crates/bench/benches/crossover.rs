@@ -1,0 +1,41 @@
+//! X1 — Good Samaritan vs Trapdoor on identical low-interference scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_core::good_samaritan::GoodSamaritanConfig;
+use wsync_core::runner::{run_good_samaritan_with, run_trapdoor, AdversaryKind, Scenario};
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x1_crossover");
+    group.sample_size(10);
+    for t_actual in [1u32, 8] {
+        let scenario = Scenario::new(8, 16, 8)
+            .with_adversary(AdversaryKind::ObliviousRandom { t_actual });
+        let config = GoodSamaritanConfig::new(scenario.upper_bound(), 16, 8);
+        group.bench_with_input(
+            BenchmarkId::new("good_samaritan", t_actual),
+            &scenario,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_good_samaritan_with(s, config, seed).result.rounds_executed
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trapdoor", t_actual),
+            &scenario,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_trapdoor(s, seed).result.rounds_executed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

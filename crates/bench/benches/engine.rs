@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the simulation substrate itself: raw rounds per
+//! second of the engine under different node counts and adversaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
+use wsync_radio::engine::Engine;
+use wsync_radio::trace::NullObserver;
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds_per_second");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    for n in [16usize, 64, 256] {
+        let scenario = Scenario::new(n, 16, 6).with_adversary(AdversaryKind::Random);
+        let config = TrapdoorConfig::new(scenario.upper_bound(), 16, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = s.adversary.build(s, seed);
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| TrapdoorProtocol::new(config),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                let mut obs = NullObserver;
+                for _ in 0..ROUNDS {
+                    engine.step(&mut obs);
+                }
+                engine.metrics().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds);
+criterion_main!(benches);

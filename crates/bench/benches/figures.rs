@@ -1,0 +1,37 @@
+//! FIG1 / FIG2 / L9 / FT1 — benchmark wrappers around the remaining
+//! experiment generators so that `cargo bench` exercises every experiment
+//! id in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsync_experiments::output::Effort;
+use wsync_experiments::{fault_tolerance, figures, weight_bound};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig1_trapdoor_schedule", |b| {
+        b.iter(|| figures::figure1(Effort::Quick))
+    });
+    c.bench_function("fig2_samaritan_schedule", |b| {
+        b.iter(|| figures::figure2(Effort::Quick))
+    });
+}
+
+fn bench_weight_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l9_weight_bound");
+    group.sample_size(10);
+    group.bench_function("smoke", |b| {
+        b.iter(|| weight_bound::l9_weight_bound(Effort::Smoke))
+    });
+    group.finish();
+}
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ft1_leader_crash");
+    group.sample_size(10);
+    group.bench_function("smoke", |b| {
+        b.iter(|| fault_tolerance::ft1_leader_crash(Effort::Smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_weight_bound, bench_fault_tolerance);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! T18a / T18b — Theorem 18: Good Samaritan Protocol adaptive and fallback
+//! running time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_core::good_samaritan::GoodSamaritanConfig;
+use wsync_core::runner::{run_good_samaritan_with, AdversaryKind, Scenario};
+use wsync_radio::activation::ActivationSchedule;
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t18a_samaritan_adaptive");
+    group.sample_size(10);
+    for t_actual in [1u32, 4, 8] {
+        let scenario = Scenario::new(8, 16, 8)
+            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+            .with_activation(ActivationSchedule::Simultaneous);
+        let config = GoodSamaritanConfig::new(scenario.upper_bound(), 16, 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(t_actual),
+            &(scenario, config),
+            |b, (s, cfg)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let outcome = run_good_samaritan_with(s, *cfg, seed);
+                    assert!(outcome.result.all_synchronized);
+                    outcome.result.rounds_executed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fallback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t18b_samaritan_fallback");
+    group.sample_size(10);
+    let scenario = Scenario::new(6, 8, 3)
+        .with_adversary(AdversaryKind::Random)
+        .with_activation(ActivationSchedule::Staggered { gap: 37 })
+        .with_max_rounds(4_000_000);
+    let config = GoodSamaritanConfig::new(scenario.upper_bound(), 8, 3);
+    group.bench_function("staggered_f8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_good_samaritan_with(&scenario, config, seed)
+                .result
+                .rounds_executed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive, bench_fallback);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! LB1 / LB2 — the lower-bound machinery: the Lemma 2 balls-in-bins solver
+//! and the Theorem 4 two-node rendezvous game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_analysis::balls_in_bins::{no_singleton_probability_exact, BallsInBins};
+use wsync_analysis::two_node::{RendezvousGame, RendezvousStrategy};
+
+fn bench_balls_in_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb1_balls_in_bins_exact");
+    for (s, m) in [(4usize, 256usize), (8, 1024)] {
+        let instance = BallsInBins::uniform_good_bins(m, s, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{s}_m{m}")),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let p = no_singleton_probability_exact(inst);
+                    assert!(p >= inst.lemma2_lower_bound() * 0.999);
+                    p
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_two_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb2_two_node_rendezvous");
+    for (f, t) in [(16u32, 8u32), (32, 28)] {
+        let game = RendezvousGame::symmetric(f, t, RendezvousStrategy::UniformAll);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("F{f}_t{t}")),
+            &game,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    g.simulate(10_000_000, seed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balls_in_bins, bench_two_node);
+criterion_main!(benches);

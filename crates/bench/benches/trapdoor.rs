@@ -1,0 +1,68 @@
+//! T10a–T10c — Theorem 10: Trapdoor Protocol running time.
+//!
+//! Each benchmark measures the wall-clock cost of simulating a full Trapdoor
+//! execution for one sweep point; the *reported quantity of interest* (the
+//! number of simulated rounds to synchronization, i.e. the paper's metric)
+//! is produced by `cargo run -p wsync-experiments --bin run_experiments -- T10a`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsync_core::runner::{run_trapdoor, AdversaryKind, Scenario};
+
+fn bench_sweep_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t10a_trapdoor_sweep_n");
+    group.sample_size(10);
+    for n in [64u64, 256, 1024] {
+        let scenario = Scenario::new((n / 2) as usize, 16, 8)
+            .with_upper_bound(n)
+            .with_adversary(AdversaryKind::Random);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let outcome = run_trapdoor(s, seed);
+                assert!(outcome.result.all_synchronized);
+                outcome.result.rounds_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t10b_trapdoor_sweep_t");
+    group.sample_size(10);
+    for t in [2u32, 8, 14] {
+        let scenario = Scenario::new(32, 16, t)
+            .with_upper_bound(128)
+            .with_adversary(AdversaryKind::Random);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trapdoor(s, seed).result.rounds_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_f(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t10c_trapdoor_sweep_f");
+    group.sample_size(10);
+    for f in [8u32, 16, 64] {
+        let scenario = Scenario::new(32, f, 4)
+            .with_upper_bound(128)
+            .with_adversary(AdversaryKind::Random);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trapdoor(s, seed).result.rounds_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_n, bench_sweep_t, bench_sweep_f);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers for the Criterion benchmark suite.
+#![forbid(unsafe_code)]

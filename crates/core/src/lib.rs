@@ -1,0 +1,72 @@
+//! The wireless synchronization problem and its protocols.
+//!
+//! This crate contains the primary contribution of
+//! Dolev, Gilbert, Guerraoui, Kuhn, Newport,
+//! "The Wireless Synchronization Problem" (PODC 2009):
+//!
+//! * [`problem`] — the problem definition: every activated node outputs a
+//!   value in `ℕ ∪ {⊥}` subject to *validity*, *synch commit*,
+//!   *correctness*, *agreement* and *liveness* (Section 3).
+//! * [`checker`] — an online checker verifying those five requirements over
+//!   a simulated execution.
+//! * [`trapdoor`] — the Trapdoor Protocol (Section 6): a leader-based
+//!   solution running in `O(F/(F−t)·log²N + F·t/(F−t)·log N)` rounds w.h.p.
+//! * [`good_samaritan`] — the Good Samaritan Protocol (Section 7): an
+//!   optimistic/adaptive variant terminating in `O(t′·log³N)` rounds in
+//!   good executions and `O(F·log³N)` rounds in all executions.
+//! * [`baselines`] — simpler protocols used as experimental comparison
+//!   points (a multi-frequency wake-up-style protocol, a deterministic
+//!   round-robin hopper, and a single-frequency variant of the Trapdoor
+//!   Protocol).
+//! * [`runner`] / [`report`] — convenience helpers that wire a protocol,
+//!   an adversary and an activation schedule into the `wsync-radio` engine
+//!   and summarize the outcome (rounds to synchronization, leader count,
+//!   property violations).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wsync_core::prelude::*;
+//! use wsync_radio::prelude::*;
+//!
+//! // 16 devices, 8 frequencies, an adversary that may jam up to 3 of them.
+//! let scenario = Scenario::new(16, 8, 3)
+//!     .with_adversary(AdversaryKind::Random)
+//!     .with_activation(ActivationSchedule::Simultaneous);
+//! let outcome = run_trapdoor(&scenario, 7);
+//! assert!(outcome.result.all_synchronized);
+//! assert!(outcome.properties.all_hold());
+//! assert_eq!(outcome.leaders, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod checker;
+pub mod good_samaritan;
+pub mod params;
+pub mod problem;
+pub mod report;
+pub mod runner;
+pub mod timestamp;
+pub mod trapdoor;
+
+/// Convenient glob import of the most commonly used types.
+pub mod prelude {
+    pub use crate::baselines::{
+        RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol,
+    };
+    pub use crate::checker::{PropertyChecker, PropertyReport, Violation};
+    pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
+    pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};
+    pub use crate::problem::{ProblemInstance, SyncOutput};
+    pub use crate::report::SyncOutcome;
+    pub use crate::runner::{
+        run_good_samaritan, run_protocol, run_trapdoor, AdversaryKind, Scenario, SyncProtocol,
+    };
+    pub use crate::timestamp::Timestamp;
+    pub use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol, TrapdoorRole};
+}
+
+pub use prelude::*;

@@ -1,0 +1,441 @@
+//! Convenience wiring between the protocols and the radio engine.
+//!
+//! A [`Scenario`] describes one synchronization setting — how many devices,
+//! how many frequencies, the disruption bound, which adversary, and the
+//! activation schedule. [`run_protocol`] (or the per-protocol shorthands
+//! [`run_trapdoor`], [`run_good_samaritan`], …) executes it with the
+//! property checker attached and returns a [`SyncOutcome`].
+
+use wsync_radio::activation::ActivationSchedule;
+use wsync_radio::adversary::{
+    AdaptiveGreedyAdversary, Adversary, BurstyAdversary, DisruptionSet, FixedBandAdversary,
+    NoAdversary, ObliviousScheduleAdversary, RandomAdversary, SweepAdversary,
+};
+use wsync_radio::engine::{Engine, SimConfig};
+use wsync_radio::frequency::FrequencyBand;
+use wsync_radio::history::History;
+use wsync_radio::node::NodeId;
+use wsync_radio::protocol::Protocol;
+use wsync_radio::rng::SimRng;
+
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{
+    single_frequency_trapdoor, RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol,
+};
+use crate::checker::PropertyChecker;
+use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol};
+use crate::params::next_power_of_two;
+use crate::report::SyncOutcome;
+use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
+
+/// Protocols that elect a leader while solving wireless synchronization.
+///
+/// Implemented by every protocol in this crate; used by the runner to count
+/// leaders at the end of an execution (the paper's agreement argument rests
+/// on there being at most one).
+pub trait SyncProtocol: Protocol {
+    /// Whether this node currently considers itself the leader.
+    fn is_leader(&self) -> bool;
+    /// A short name for the protocol (used in experiment tables).
+    fn protocol_name(&self) -> &'static str;
+}
+
+impl SyncProtocol for TrapdoorProtocol {
+    fn is_leader(&self) -> bool {
+        TrapdoorProtocol::is_leader(self)
+    }
+    fn protocol_name(&self) -> &'static str {
+        "trapdoor"
+    }
+}
+
+impl SyncProtocol for GoodSamaritanProtocol {
+    fn is_leader(&self) -> bool {
+        GoodSamaritanProtocol::is_leader(self)
+    }
+    fn protocol_name(&self) -> &'static str {
+        "good-samaritan"
+    }
+}
+
+impl SyncProtocol for WakeupProtocol {
+    fn is_leader(&self) -> bool {
+        WakeupProtocol::is_leader(self)
+    }
+    fn protocol_name(&self) -> &'static str {
+        "wakeup"
+    }
+}
+
+impl SyncProtocol for RoundRobinProtocol {
+    fn is_leader(&self) -> bool {
+        RoundRobinProtocol::is_leader(self)
+    }
+    fn protocol_name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Which adversary a scenario runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// No disruption at all.
+    None,
+    /// Always disrupt frequencies `1..=t` (the Theorem 1 weak adversary).
+    FixedBand,
+    /// Disrupt `t` fresh uniformly random frequencies each round.
+    Random,
+    /// A sweeping window of `t` frequencies.
+    Sweep,
+    /// Bursty interference: jam `t` random frequencies during the first
+    /// `burst_len` rounds of every `period`-round cycle.
+    Bursty {
+        /// Cycle length in rounds.
+        period: u64,
+        /// Jamming rounds at the start of each cycle.
+        burst_len: u64,
+    },
+    /// Adaptive: jam the `t` frequencies with the most recent listeners.
+    AdaptiveGreedy,
+    /// Oblivious adversary jamming exactly `t_actual ≤ t` random frequencies
+    /// per round, pre-sampled before the execution (the Good Samaritan
+    /// good-execution adversary).
+    ObliviousRandom {
+        /// Actual number of frequencies disrupted per round (`t′`).
+        t_actual: u32,
+    },
+}
+
+impl AdversaryKind {
+    /// A short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryKind::None => "none",
+            AdversaryKind::FixedBand => "fixed-band",
+            AdversaryKind::Random => "random",
+            AdversaryKind::Sweep => "sweep",
+            AdversaryKind::Bursty { .. } => "bursty",
+            AdversaryKind::AdaptiveGreedy => "adaptive-greedy",
+            AdversaryKind::ObliviousRandom { .. } => "oblivious-random",
+        }
+    }
+
+    /// Instantiates the adversary for a given scenario and seed.
+    pub fn build(&self, scenario: &Scenario, seed: u64) -> BoxedAdversary {
+        let t = scenario.disruption_bound;
+        let inner: Box<dyn Adversary> = match self {
+            AdversaryKind::None => Box::new(NoAdversary::new()),
+            AdversaryKind::FixedBand => Box::new(FixedBandAdversary::new(t)),
+            AdversaryKind::Random => Box::new(RandomAdversary::new(t)),
+            AdversaryKind::Sweep => Box::new(SweepAdversary::new(t)),
+            AdversaryKind::Bursty { period, burst_len } => {
+                Box::new(BurstyAdversary::new(t, *period, *burst_len))
+            }
+            AdversaryKind::AdaptiveGreedy => Box::new(AdaptiveGreedyAdversary::new(t)),
+            AdversaryKind::ObliviousRandom { t_actual } => {
+                // Pre-sample a schedule long enough to cover the run without
+                // repeating too quickly.
+                let len = 8192usize;
+                Box::new(ObliviousScheduleAdversary::random(
+                    seed ^ 0x0b11_0005,
+                    len,
+                    scenario.num_frequencies,
+                    (*t_actual).min(t),
+                ))
+            }
+        };
+        BoxedAdversary { inner }
+    }
+}
+
+/// A boxed adversary so the runner can pick one at run time while the engine
+/// stays statically typed.
+pub struct BoxedAdversary {
+    inner: Box<dyn Adversary>,
+}
+
+impl Adversary for BoxedAdversary {
+    fn budget(&self) -> u32 {
+        self.inner.budget()
+    }
+
+    fn disrupt(
+        &mut self,
+        round: u64,
+        band: FrequencyBand,
+        history: &History,
+        rng: &mut SimRng,
+    ) -> DisruptionSet {
+        self.inner.disrupt(round, band, history, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// A complete description of one synchronization experiment setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Actual number of participating devices `n`.
+    pub num_nodes: usize,
+    /// Number of frequencies `F`.
+    pub num_frequencies: u32,
+    /// Disruption bound `t < F` (announced to the protocols and enforced on
+    /// the adversary).
+    pub disruption_bound: u32,
+    /// Bound `N ≥ n` announced to the protocols; defaults to
+    /// `n.next_power_of_two()`.
+    pub upper_bound_n: Option<u64>,
+    /// The adversary to run against.
+    pub adversary: AdversaryKind,
+    /// When devices are activated.
+    pub activation: ActivationSchedule,
+    /// Round cap.
+    pub max_rounds: u64,
+    /// Extra rounds to simulate after everyone synchronized (lets the
+    /// checker observe that outputs keep incrementing).
+    pub extra_rounds_after_sync: u64,
+}
+
+impl Scenario {
+    /// Creates a scenario with no adversary, simultaneous activation, and a
+    /// generous round cap.
+    pub fn new(num_nodes: usize, num_frequencies: u32, disruption_bound: u32) -> Self {
+        Scenario {
+            num_nodes,
+            num_frequencies,
+            disruption_bound,
+            upper_bound_n: None,
+            adversary: AdversaryKind::None,
+            activation: ActivationSchedule::Simultaneous,
+            max_rounds: 2_000_000,
+            extra_rounds_after_sync: 8,
+        }
+    }
+
+    /// Sets the adversary.
+    pub fn with_adversary(mut self, adversary: AdversaryKind) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the activation schedule.
+    pub fn with_activation(mut self, activation: ActivationSchedule) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Sets the bound `N` announced to the protocols.
+    pub fn with_upper_bound(mut self, upper_bound_n: u64) -> Self {
+        self.upper_bound_n = Some(upper_bound_n);
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The effective bound `N` announced to protocols.
+    pub fn upper_bound(&self) -> u64 {
+        self.upper_bound_n
+            .unwrap_or_else(|| next_power_of_two(self.num_nodes as u64))
+    }
+
+    /// The engine configuration for this scenario.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::new(self.num_nodes, self.num_frequencies, self.disruption_bound)
+            .with_upper_bound(self.upper_bound())
+            .with_max_rounds(self.max_rounds)
+            .with_extra_rounds_after_sync(self.extra_rounds_after_sync)
+    }
+
+    /// The problem instance `(N, F, t)` of this scenario.
+    pub fn instance(&self) -> crate::problem::ProblemInstance {
+        crate::problem::ProblemInstance::new(
+            self.upper_bound(),
+            self.num_frequencies,
+            self.disruption_bound,
+        )
+    }
+}
+
+/// Runs `scenario` with protocol instances produced by `factory`, checking
+/// the synchronization properties online.
+pub fn run_protocol<P, F>(scenario: &Scenario, factory: F, seed: u64) -> SyncOutcome
+where
+    P: SyncProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    let adversary = scenario.adversary.build(scenario, seed);
+    let mut engine = Engine::new(
+        scenario.sim_config(),
+        factory,
+        adversary,
+        scenario.activation.clone(),
+        seed,
+    )
+    .expect("scenario produced an invalid simulation configuration");
+    let mut checker = PropertyChecker::new();
+    let result = engine.run_with_observer(&mut checker);
+    let leaders = engine.protocols().iter().filter(|p| p.is_leader()).count();
+    SyncOutcome {
+        properties: checker.finish(&result),
+        result,
+        leaders,
+        adversary: scenario.adversary.name().to_string(),
+        seed,
+    }
+}
+
+/// Runs the Trapdoor Protocol (default constants) on `scenario`.
+pub fn run_trapdoor(scenario: &Scenario, seed: u64) -> SyncOutcome {
+    let config = TrapdoorConfig::new(
+        scenario.upper_bound(),
+        scenario.num_frequencies,
+        scenario.disruption_bound,
+    );
+    run_protocol(scenario, |_| TrapdoorProtocol::new(config), seed)
+}
+
+/// Runs the Trapdoor Protocol with an explicit configuration on `scenario`.
+pub fn run_trapdoor_with(scenario: &Scenario, config: TrapdoorConfig, seed: u64) -> SyncOutcome {
+    run_protocol(scenario, |_| TrapdoorProtocol::new(config), seed)
+}
+
+/// Runs the Good Samaritan Protocol (default constants) on `scenario`.
+pub fn run_good_samaritan(scenario: &Scenario, seed: u64) -> SyncOutcome {
+    let config = GoodSamaritanConfig::new(
+        scenario.upper_bound(),
+        scenario.num_frequencies,
+        scenario.disruption_bound,
+    );
+    run_protocol(scenario, |_| GoodSamaritanProtocol::new(config), seed)
+}
+
+/// Runs the Good Samaritan Protocol with an explicit configuration.
+pub fn run_good_samaritan_with(
+    scenario: &Scenario,
+    config: GoodSamaritanConfig,
+    seed: u64,
+) -> SyncOutcome {
+    run_protocol(scenario, |_| GoodSamaritanProtocol::new(config), seed)
+}
+
+/// Runs the wake-up-style baseline on `scenario`.
+pub fn run_wakeup(scenario: &Scenario, seed: u64) -> SyncOutcome {
+    let config = WakeupConfig::new(
+        scenario.upper_bound(),
+        scenario.num_frequencies,
+        scenario.disruption_bound,
+    );
+    run_protocol(scenario, |_| WakeupProtocol::new(config), seed)
+}
+
+/// Runs the deterministic round-robin hopping baseline on `scenario`.
+pub fn run_round_robin(scenario: &Scenario, seed: u64) -> SyncOutcome {
+    let config = RoundRobinConfig::new(
+        scenario.upper_bound(),
+        scenario.num_frequencies,
+        scenario.disruption_bound,
+    );
+    run_protocol(scenario, |_| RoundRobinProtocol::new(config), seed)
+}
+
+/// Runs the single-frequency Trapdoor baseline on `scenario`.
+pub fn run_single_frequency(scenario: &Scenario, seed: u64) -> SyncOutcome {
+    let n = scenario.upper_bound();
+    let f = scenario.num_frequencies;
+    let t = scenario.disruption_bound;
+    run_protocol(scenario, |_| single_frequency_trapdoor(n, f, t), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_defaults() {
+        let s = Scenario::new(10, 8, 2);
+        assert_eq!(s.upper_bound(), 16);
+        assert_eq!(s.adversary, AdversaryKind::None);
+        let cfg = s.sim_config();
+        assert_eq!(cfg.num_nodes, 10);
+        assert_eq!(cfg.upper_bound_n, 16);
+        assert!(s.instance().is_valid());
+    }
+
+    #[test]
+    fn adversary_kind_builds_all_variants() {
+        let s = Scenario::new(4, 8, 3);
+        for kind in [
+            AdversaryKind::None,
+            AdversaryKind::FixedBand,
+            AdversaryKind::Random,
+            AdversaryKind::Sweep,
+            AdversaryKind::Bursty {
+                period: 10,
+                burst_len: 2,
+            },
+            AdversaryKind::AdaptiveGreedy,
+            AdversaryKind::ObliviousRandom { t_actual: 2 },
+        ] {
+            let mut adv = kind.build(&s, 1);
+            let band = FrequencyBand::new(8);
+            let set = adv.disrupt(0, band, &History::new(), &mut SimRng::from_seed(0));
+            assert!(set.len() <= 8);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn trapdoor_small_scenario_synchronizes_cleanly() {
+        let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+        let outcome = run_trapdoor(&scenario, 11);
+        assert!(outcome.result.all_synchronized);
+        assert_eq!(outcome.leaders, 1);
+        assert!(outcome.properties.all_hold());
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn wakeup_and_round_robin_baselines_run() {
+        let scenario = Scenario::new(6, 8, 1);
+        let w = run_wakeup(&scenario, 3);
+        assert!(w.result.all_synchronized);
+        assert!(w.leaders >= 1);
+        let r = run_round_robin(&scenario, 3);
+        assert!(r.result.all_synchronized);
+        assert!(r.leaders >= 1);
+    }
+
+    #[test]
+    fn single_frequency_degenerates_under_fixed_band_jamming() {
+        // With frequency 1 permanently jammed, single-frequency contenders
+        // never hear each other: every node wins its own competition and
+        // declares itself leader, and late joiners adopt numbering schemes
+        // that disagree with the early ones.
+        let scenario = Scenario::new(4, 4, 1)
+            .with_adversary(AdversaryKind::FixedBand)
+            .with_activation(ActivationSchedule::LateJoiner { late: 3 })
+            .with_max_rounds(2_000);
+        let outcome = run_single_frequency(&scenario, 5);
+        assert_eq!(outcome.leaders, 4, "every isolated node elects itself");
+        assert!(!outcome.is_clean());
+        assert!(
+            outcome.properties.total_violations > 0,
+            "disagreeing round numbers must be flagged"
+        );
+    }
+
+    #[test]
+    fn identical_seed_identical_outcome() {
+        let scenario = Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Random);
+        let a = run_trapdoor(&scenario, 21);
+        let b = run_trapdoor(&scenario, 21);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Command-line generator for every experiment in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p wsync-experiments --bin run_experiments -- <ID|all> [smoke|quick|full] [--markdown]
+//! ```
+//!
+//! `<ID>` is an experiment identifier (`FIG1`, `FIG2`, `LB1`, `LB2`, `LB3`,
+//! `T10a`–`T10d`, `L9`, `T18a`, `T18b`, `X1`, `X2`, `A1`, `A2`, `FT1`) or
+//! `all`. The default effort is `quick`; `full` reproduces the settings
+//! recorded in EXPERIMENTS.md. With `--markdown` the tables are emitted as
+//! GitHub-flavoured Markdown instead of aligned plain text.
+
+use std::env;
+use std::process::ExitCode;
+
+use wsync_experiments::output::{Effort, ExperimentReport};
+use wsync_experiments::{
+    ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds, run_all,
+    samaritan_adaptive, trapdoor_scaling, weight_bound,
+};
+
+fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
+    let report = match id.to_ascii_uppercase().as_str() {
+        "FIG1" => figures::figure1(effort),
+        "FIG2" => figures::figure2(effort),
+        "LB1" => lower_bounds::lb1_balls_in_bins(effort),
+        "LB2" => lower_bounds::lb2_two_node(effort),
+        "LB3" => lower_bounds::lb3_gap(effort),
+        "T10A" => trapdoor_scaling::t10a_sweep_n(effort),
+        "T10B" => trapdoor_scaling::t10b_sweep_t(effort),
+        "T10C" => trapdoor_scaling::t10c_sweep_f(effort),
+        "T10D" => trapdoor_scaling::t10d_properties(effort),
+        "L9" => weight_bound::l9_weight_bound(effort),
+        "T18A" => samaritan_adaptive::t18a_adaptive(effort),
+        "T18B" => samaritan_adaptive::t18b_fallback(effort),
+        "X1" => crossover::x1_crossover(effort),
+        "X2" => baseline_comparison::x2_baselines(effort),
+        "A1" => ablation::a1_epoch_constant(effort),
+        "A2" => ablation::a2_frequency_limit(effort),
+        "FT1" => fault_tolerance::ft1_leader_crash(effort),
+        _ => return None,
+    };
+    Some(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let id = positional.first().map(|s| s.as_str()).unwrap_or("all");
+    let effort = Effort::from_arg(positional.get(1).map(|s| s.as_str()));
+
+    let reports: Vec<ExperimentReport> = if id.eq_ignore_ascii_case("all") {
+        run_all(effort)
+    } else {
+        match run_one(id, effort) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!(
+                    "unknown experiment id '{id}'; expected FIG1, FIG2, LB1-LB3, T10a-T10d, L9, T18a, T18b, X1, X2, A1, A2, FT1, or 'all'"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for report in &reports {
+        if markdown {
+            println!("{}", report.to_markdown());
+        } else {
+            println!("{}", report.to_plain_text());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! FIG1 / FIG2 — regenerate the paper's two protocol-schedule figures from
+//! the implementation's configuration types.
+
+use wsync_core::good_samaritan::GoodSamaritanConfig;
+use wsync_core::trapdoor::TrapdoorConfig;
+use wsync_stats::{Align, Table};
+
+use crate::output::{fmt, Effort, ExperimentReport};
+
+/// Reference parameters used when regenerating the figures.
+fn reference_params(effort: Effort) -> (u64, u32, u32) {
+    match effort {
+        Effort::Smoke => (64, 8, 3),
+        Effort::Quick => (1024, 16, 6),
+        Effort::Full => (4096, 32, 12),
+    }
+}
+
+/// FIG1 — Figure 1: epoch lengths and contender broadcast probabilities of
+/// the Trapdoor Protocol.
+pub fn figure1(effort: Effort) -> ExperimentReport {
+    let (n, f, t) = reference_params(effort);
+    let config = TrapdoorConfig::new(n, f, t);
+    let mut report = ExperimentReport::new(
+        "FIG1",
+        "Figure 1: Trapdoor Protocol epoch lengths and broadcast probabilities",
+    );
+    let mut table = Table::new(
+        format!(
+            "Trapdoor schedule for N={}, F={}, t={} (F'={})",
+            config.upper_bound_n,
+            f,
+            t,
+            config.f_prime()
+        ),
+        &["epoch", "length (rounds)", "broadcast prob.", "paper prob. (2^e/2N)"],
+    );
+    for spec in config.schedule() {
+        let paper_prob = 2f64.powi(spec.epoch as i32) / (2.0 * config.upper_bound_n as f64);
+        table.push_row(vec![
+            spec.epoch.to_string(),
+            spec.length.to_string(),
+            fmt(spec.broadcast_probability),
+            fmt(paper_prob),
+        ]);
+    }
+    report.push_table(table);
+    report.note(format!(
+        "regular epoch length Θ(F'/(F'-t)·lgN) = {}, final epoch length Θ(F'²/(F'-t)·lgN) = {}",
+        config.epoch_length(1),
+        config.epoch_length(config.num_epochs())
+    ));
+    report.note(format!(
+        "total contention rounds if never knocked out: {}",
+        config.total_contention_rounds()
+    ));
+    report
+}
+
+/// FIG2 — Figure 2: super-epoch structure, broadcast probabilities and
+/// frequency distributions of the Good Samaritan Protocol.
+pub fn figure2(effort: Effort) -> ExperimentReport {
+    let (n, f, t) = reference_params(effort);
+    let config = GoodSamaritanConfig::new(n, f, t);
+    let mut report = ExperimentReport::new(
+        "FIG2",
+        "Figure 2: Good Samaritan super-epoch structure, probabilities and frequency distributions",
+    );
+
+    let mut schedule = Table::new(
+        format!(
+            "Good Samaritan schedule for N={}, F={}, t={} (lgF={} super-epochs, lgN+2={} epochs each)",
+            config.upper_bound_n,
+            f,
+            t,
+            config.lg_f(),
+            config.epochs_per_super_epoch()
+        ),
+        &[
+            "super-epoch k",
+            "epoch length s(k)",
+            "super-epoch length",
+            "leader threshold s(k)/2^{k+6}",
+        ],
+    );
+    for k in 1..=config.lg_f() {
+        schedule.push_row(vec![
+            k.to_string(),
+            config.epoch_length(k).to_string(),
+            config.super_epoch_length(k).to_string(),
+            config.success_threshold(k).to_string(),
+        ]);
+    }
+    report.push_table(schedule);
+
+    let mut probs = Table::new(
+        "Per-epoch broadcast probabilities (any super-epoch)",
+        &["epoch e", "broadcast prob."],
+    );
+    for e in 1..=config.epochs_per_super_epoch() {
+        probs.push_row(vec![e.to_string(), fmt(config.broadcast_probability(e))]);
+    }
+    report.push_table(probs);
+
+    // Frequency distributions for a representative super-epoch.
+    let k = (config.lg_f() / 2).max(1);
+    let regular = config.regular_frequency_distribution(k);
+    let last = config.last_epochs_frequency_distribution(k);
+    let special = config.special_frequency_distribution();
+    let mut dist = Table::new(
+        format!("Frequency selection distributions (super-epoch k={k})"),
+        &[
+            "frequency f",
+            "regular epochs P[f]",
+            "last two epochs P[f]",
+            "special round P[f]",
+        ],
+    );
+    dist.set_align(0, Align::Right);
+    let shown = (f as usize).min(16);
+    for i in 0..shown {
+        dist.push_row(vec![
+            (i + 1).to_string(),
+            fmt(regular[i]),
+            fmt(last[i]),
+            fmt(special[i]),
+        ]);
+    }
+    report.push_table(dist);
+    report.note(format!(
+        "fallback: {} modified-Trapdoor epochs of {} rounds each (≥ 4× the longest optimistic epoch of {})",
+        config.fallback_epochs(),
+        config.fallback_epoch_length(),
+        config.epoch_length(config.lg_f())
+    ));
+    report.note(
+        "regular-epoch distribution P[f] = 1/2^{k+1} + 1/2F for f ≤ 2^k and 1/2F otherwise, as in Figure 2",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_rows_match_epoch_count() {
+        let report = figure1(Effort::Smoke);
+        let config = TrapdoorConfig::new(64, 8, 3);
+        assert_eq!(report.tables[0].len() as u32, config.num_epochs());
+        assert_eq!(report.id, "FIG1");
+        assert!(report.to_markdown().contains("Trapdoor schedule"));
+    }
+
+    #[test]
+    fn figure2_contains_all_super_epochs_and_distributions() {
+        let report = figure2(Effort::Smoke);
+        let config = GoodSamaritanConfig::new(64, 8, 3);
+        assert_eq!(report.tables[0].len() as u32, config.lg_f());
+        assert_eq!(report.tables[1].len() as u32, config.epochs_per_super_epoch());
+        assert!(report.tables[2].len() <= 16);
+        assert!(!report.notes.is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment harness for the PODC 2009 wireless-synchronization
+//! reproduction.
+//!
+//! Each submodule regenerates one artefact of the paper (a figure, a
+//! theorem's claimed bound, or a design ablation); `EXPERIMENTS.md` at the
+//! workspace root records the mapping and the measured outcomes. Every
+//! experiment exposes a function taking an [`Effort`] level and returning
+//! one or more [`wsync_stats::Table`]s so that the same code backs the
+//! `src/bin/*` command-line generators, the Criterion benches, and the
+//! integration tests.
+//!
+//! | Module | Experiment ids | Paper artefact |
+//! |---|---|---|
+//! | [`figures`] | FIG1, FIG2 | Figure 1 and Figure 2 (protocol schedules) |
+//! | [`trapdoor_scaling`] | T10a–T10d | Theorem 10 (Trapdoor running time, agreement) |
+//! | [`samaritan_adaptive`] | T18a, T18b | Theorem 18 (Good Samaritan adaptivity and fallback) |
+//! | [`lower_bounds`] | LB1, LB2, LB3 | Lemma 2 / Claim 3, Theorem 4, Theorem 5 gap |
+//! | [`weight_bound`] | L9 | Lemma 9 (broadcast-weight self-regulation) |
+//! | [`crossover`] | X1 | Good Samaritan vs Trapdoor crossover |
+//! | [`baseline_comparison`] | X2 | baselines under jamming |
+//! | [`ablation`] | A1, A2 | epoch-constant and `F′` ablations |
+//! | [`fault_tolerance`] | FT1 | Section 8 leader-crash discussion |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baseline_comparison;
+pub mod crossover;
+pub mod fault_tolerance;
+pub mod figures;
+pub mod lower_bounds;
+pub mod output;
+pub mod samaritan_adaptive;
+pub mod trapdoor_scaling;
+pub mod weight_bound;
+
+pub use output::{Effort, ExperimentReport};
+
+/// Runs every experiment at the given effort level and returns the reports
+/// in EXPERIMENTS.md order.
+pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
+    let mut reports = vec![
+        figures::figure1(effort),
+        figures::figure2(effort),
+        lower_bounds::lb1_balls_in_bins(effort),
+        lower_bounds::lb2_two_node(effort),
+        lower_bounds::lb3_gap(effort),
+    ];
+    reports.push(trapdoor_scaling::t10a_sweep_n(effort));
+    reports.push(trapdoor_scaling::t10b_sweep_t(effort));
+    reports.push(trapdoor_scaling::t10c_sweep_f(effort));
+    reports.push(trapdoor_scaling::t10d_properties(effort));
+    reports.push(weight_bound::l9_weight_bound(effort));
+    reports.push(samaritan_adaptive::t18a_adaptive(effort));
+    reports.push(samaritan_adaptive::t18b_fallback(effort));
+    reports.push(crossover::x1_crossover(effort));
+    reports.push(baseline_comparison::x2_baselines(effort));
+    reports.push(ablation::a1_epoch_constant(effort));
+    reports.push(ablation::a2_frequency_limit(effort));
+    reports.push(fault_tolerance::ft1_leader_crash(effort));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_all_smoke_produces_every_report() {
+        let reports = run_all(Effort::Smoke);
+        assert_eq!(reports.len(), 17);
+        for r in &reports {
+            assert!(!r.id.is_empty());
+            assert!(!r.tables.is_empty(), "{} has no tables", r.id);
+            for t in &r.tables {
+                assert!(!t.is_empty(), "{}: empty table {}", r.id, t.title());
+            }
+        }
+    }
+}

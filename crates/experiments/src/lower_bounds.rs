@@ -1,0 +1,234 @@
+//! LB1 / LB2 / LB3 — the lower bounds of Section 5.
+//!
+//! * LB1 validates Lemma 2 (balls-in-bins no-singleton probability ≥ `2^{-s}`)
+//!   and the Claim 3 good-probability structure numerically.
+//! * LB2 plays the Theorem 4 two-node rendezvous game against the
+//!   pq-product adversary and compares the measured meeting times with the
+//!   `F·t/(F−t)·log(1/ε)` expression.
+//! * LB3 tabulates the gap between the combined lower bound (Theorem 5) and
+//!   the Trapdoor upper bound (Theorem 10).
+
+use wsync_analysis::balls_in_bins::{no_singleton_probability_exact, BallsInBins};
+use wsync_analysis::formulas::Bounds;
+use wsync_analysis::good_probability::Claim3Ladder;
+use wsync_analysis::two_node::{RendezvousGame, RendezvousStrategy};
+use wsync_stats::{fit_through_origin, Table};
+
+use crate::output::{fmt, Effort, ExperimentReport};
+
+/// LB1 — Lemma 2 and Claim 3.
+pub fn lb1_balls_in_bins(effort: Effort) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "LB1",
+        "Lemma 2: P[no good frequency gets exactly one broadcaster] ≥ 2^{-s}; Claim 3: no probability is good for two ladder populations",
+    );
+    let mut table = Table::new(
+        "Lemma 2: exact no-singleton probability vs the 2^{-s} bound",
+        &["s (good bins)", "balls m", "good mass", "exact P", "2^{-s}", "P / bound"],
+    );
+    let ss: Vec<usize> = match effort {
+        Effort::Smoke => vec![1, 3],
+        Effort::Quick => vec![1, 2, 3, 4, 6],
+        Effort::Full => vec![1, 2, 3, 4, 6, 8, 10],
+    };
+    let ms: Vec<usize> = match effort {
+        Effort::Smoke => vec![4, 64],
+        _ => vec![4, 16, 64, 256, 1024],
+    };
+    let mut min_ratio = f64::INFINITY;
+    for &s in &ss {
+        for &m in &ms {
+            for &mass in &[0.25, 0.5] {
+                let instance = BallsInBins::uniform_good_bins(m, s, mass);
+                let p = no_singleton_probability_exact(&instance);
+                let bound = instance.lemma2_lower_bound();
+                let ratio = p / bound;
+                min_ratio = min_ratio.min(ratio);
+                table.push_row(vec![
+                    s.to_string(),
+                    m.to_string(),
+                    fmt(mass),
+                    fmt(p),
+                    fmt(bound),
+                    fmt(ratio),
+                ]);
+            }
+        }
+    }
+    report.push_table(table);
+    report.note(format!(
+        "minimum P/bound ratio over the sweep: {:.3} (Lemma 2 requires ≥ 1)",
+        min_ratio
+    ));
+
+    // Claim 3: sweep probabilities and count good populations.
+    let n_bound = 1u64 << 40;
+    let ladder = Claim3Ladder::for_upper_bound(n_bound);
+    let mut claim3 = Table::new(
+        format!(
+            "Claim 3 check (N = 2^40, ladder populations: {:?})",
+            ladder.exponents
+        ),
+        &["broadcast prob. p", "# ladder populations where p is good"],
+    );
+    let mut worst = 0usize;
+    let mut p = 0.5f64;
+    let steps = match effort {
+        Effort::Smoke => 12,
+        Effort::Quick => 40,
+        Effort::Full => 120,
+    };
+    for _ in 0..steps {
+        let good = ladder.count_good_populations(p, n_bound);
+        worst = worst.max(good);
+        claim3.push_row(vec![fmt(p), good.to_string()]);
+        p *= 0.55;
+    }
+    report.push_table(claim3);
+    report.note(format!(
+        "maximum number of ladder populations any probability is good for: {worst} (Claim 3 requires ≤ 1)"
+    ));
+    report
+}
+
+/// LB2 — the Theorem 4 two-node rendezvous game.
+pub fn lb2_two_node(effort: Effort) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "LB2",
+        "Theorem 4: two nodes need Ω(F·t/(F−t)·log(1/ε)) rounds against the pq-product adversary",
+    );
+    let trials = match effort {
+        Effort::Smoke => 200,
+        Effort::Quick => 2_000,
+        Effort::Full => 20_000,
+    };
+    let eps = 0.01;
+    let settings: Vec<(u32, u32)> = match effort {
+        Effort::Smoke => vec![(8, 2), (16, 12)],
+        Effort::Quick => vec![(8, 2), (8, 6), (16, 4), (16, 8), (16, 12), (32, 16), (32, 28)],
+        Effort::Full => vec![
+            (8, 2),
+            (8, 4),
+            (8, 6),
+            (16, 4),
+            (16, 8),
+            (16, 12),
+            (16, 15),
+            (32, 8),
+            (32, 16),
+            (32, 28),
+            (64, 32),
+            (64, 56),
+        ],
+    };
+    let mut table = Table::new(
+        "Two-node rendezvous under the product adversary (uniform strategy, broadcast prob. 1/2)",
+        &[
+            "F",
+            "t",
+            "mean rounds (simulated)",
+            "expected rounds (closed form)",
+            "Ft/(F−t)·log(1/ε)",
+            "measured / bound",
+        ],
+    );
+    let mut measured = Vec::new();
+    let mut bound_vals = Vec::new();
+    for &(f, t) in &settings {
+        let game = RendezvousGame::symmetric(f, t, RendezvousStrategy::UniformAll);
+        let mean = game.mean_rounds(trials, 10_000_000, 42);
+        let expected = game.expected_rounds();
+        let bound = game.theorem4_bound(eps);
+        measured.push(mean);
+        bound_vals.push(bound.max(1.0));
+        table.push_row(vec![
+            f.to_string(),
+            t.to_string(),
+            fmt(mean),
+            fmt(expected),
+            fmt(bound),
+            fmt(mean / bound.max(1.0)),
+        ]);
+    }
+    report.push_table(table);
+    let fit = fit_through_origin(&bound_vals, &measured);
+    report.note(format!(
+        "origin fit: measured meeting time ≈ {:.3} × Theorem-4 expression (rms relative deviation {:.0}%)",
+        fit.ratio,
+        fit.rms_relative_deviation * 100.0
+    ));
+    report.note(
+        "the measured time must stay at or above a constant multiple of the Theorem-4 expression — it is a lower bound",
+    );
+    report
+}
+
+/// LB3 — the gap between the Theorem 5 lower bound and the Theorem 10
+/// upper bound.
+pub fn lb3_gap(effort: Effort) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "LB3",
+        "Theorem 5 vs Theorem 10: the Trapdoor Protocol is within a polylogarithmic factor of the lower bound",
+    );
+    let ns: Vec<u64> = match effort {
+        Effort::Smoke => vec![64, 4096],
+        _ => vec![64, 256, 1024, 4096, 1 << 14, 1 << 16, 1 << 20],
+    };
+    let mut table = Table::new(
+        "Lower bound vs upper bound (F=32, t=16)",
+        &["N", "Theorem 5 (lower)", "Theorem 10 (upper)", "gap (upper/lower)"],
+    );
+    for &n in &ns {
+        let b = Bounds::new(n, 32, 16);
+        table.push_row(vec![
+            n.to_string(),
+            fmt(b.theorem5()),
+            fmt(b.theorem10()),
+            fmt(b.upper_to_lower_gap()),
+        ]);
+    }
+    report.push_table(table);
+    report.note("the gap grows only polylogarithmically in N, consistent with the paper's conjecture that the Trapdoor Protocol is near-optimal");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb1_lemma2_holds_in_smoke_run() {
+        let report = lb1_balls_in_bins(Effort::Smoke);
+        // the note records the minimum ratio; the bound requires ≥ 1
+        let note = &report.notes[0];
+        assert!(note.contains("minimum P/bound ratio"));
+        for row in report.tables[0].rows() {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio >= 0.999, "Lemma 2 violated in row {row:?}");
+        }
+        for row in report.tables[1].rows() {
+            let good: usize = row[1].parse().unwrap();
+            assert!(good <= 1, "Claim 3 violated in row {row:?}");
+        }
+    }
+
+    #[test]
+    fn lb2_measured_at_least_bound_shape() {
+        let report = lb2_two_node(Effort::Smoke);
+        for row in report.tables[0].rows() {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio > 0.1, "measured time collapsed below the bound shape: {row:?}");
+        }
+    }
+
+    #[test]
+    fn lb3_gap_is_polylog() {
+        let report = lb3_gap(Effort::Smoke);
+        let rows = report.tables[0].rows();
+        let first_gap: f64 = rows.first().unwrap()[3].parse().unwrap();
+        let last_gap: f64 = rows.last().unwrap()[3].parse().unwrap();
+        // gap grows, but far slower than N itself
+        assert!(last_gap >= first_gap * 0.5);
+        assert!(last_gap < 1000.0);
+    }
+}

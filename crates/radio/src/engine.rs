@@ -1,0 +1,830 @@
+//! The round-synchronous simulation engine.
+//!
+//! The engine owns one protocol instance per node, an adversary, and an
+//! activation schedule, and executes the model of Section 2 round by round:
+//!
+//! 1. activate the nodes the schedule designates for this round;
+//! 2. ask every active node for its action;
+//! 3. ask the adversary for its disruption set (based on the history through
+//!    the previous round) and clamp it to the configured bound `t`;
+//! 4. resolve every frequency: a message is delivered iff exactly one node
+//!    broadcast on it and it was not disrupted;
+//! 5. hand every active node its feedback and sample its output;
+//! 6. append the round to the adversary-visible history, update metrics, and
+//!    notify the observer.
+//!
+//! Executions are a pure function of `(SimConfig, protocol factory,
+//! adversary, activation schedule, seed)`.
+
+use crate::action::Action;
+use crate::activation::ActivationSchedule;
+use crate::adversary::Adversary;
+use crate::error::{ConfigError, Result};
+use crate::frequency::FrequencyBand;
+use crate::history::{FrequencyActivity, History, RoundRecord};
+use crate::message::{Feedback, Received};
+use crate::metrics::SimMetrics;
+use crate::node::{ActivationInfo, NodeId};
+use crate::protocol::Protocol;
+use crate::rng::{SimRng, StreamId};
+use crate::trace::{ActionView, Delivery, NodeView, NullObserver, Observer, RoundObservation};
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Actual number of participating nodes `n`.
+    pub num_nodes: usize,
+    /// Upper bound `N ≥ n` announced to the protocols. Defaults to `n`
+    /// rounded up to a power of two (see [`SimConfig::new`]).
+    pub upper_bound_n: u64,
+    /// Number of frequencies `F`.
+    pub num_frequencies: u32,
+    /// Disruption bound `t < F` announced to the protocols and enforced on
+    /// the adversary.
+    pub disruption_bound: u32,
+    /// Hard cap on the number of rounds simulated.
+    pub max_rounds: u64,
+    /// Number of additional rounds to keep simulating after every node has
+    /// synchronized (useful for observing that outputs keep incrementing).
+    pub extra_rounds_after_sync: u64,
+    /// If `true`, the adversary is shown the current round's actions
+    /// (stronger than the model allows; stress-testing only).
+    pub adversary_sees_current_round: bool,
+    /// If set, the adversary-visible history retains only this many recent
+    /// rounds (all adversaries in this crate need only a bounded lookback).
+    pub history_window: Option<usize>,
+}
+
+impl SimConfig {
+    /// Creates a configuration for `n` nodes, `F` frequencies and disruption
+    /// bound `t`, with `N` set to `n.next_power_of_two()`, a generous
+    /// default round cap, and no extras.
+    pub fn new(num_nodes: usize, num_frequencies: u32, disruption_bound: u32) -> Self {
+        SimConfig {
+            num_nodes,
+            upper_bound_n: (num_nodes.max(2) as u64).next_power_of_two(),
+            num_frequencies,
+            disruption_bound,
+            max_rounds: 1_000_000,
+            extra_rounds_after_sync: 0,
+            adversary_sees_current_round: false,
+            history_window: Some(64),
+        }
+    }
+
+    /// Sets the bound `N` announced to the protocols.
+    pub fn with_upper_bound(mut self, upper_bound_n: u64) -> Self {
+        self.upper_bound_n = upper_bound_n;
+        self
+    }
+
+    /// Sets the maximum number of simulated rounds.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Keeps simulating for `extra` rounds after all nodes synchronize.
+    pub fn with_extra_rounds_after_sync(mut self, extra: u64) -> Self {
+        self.extra_rounds_after_sync = extra;
+        self
+    }
+
+    /// Lets the adversary observe the current round's actions
+    /// (stress-testing mode, stronger than the paper's model).
+    pub fn with_omniscient_adversary(mut self, enabled: bool) -> Self {
+        self.adversary_sees_current_round = enabled;
+        self
+    }
+
+    /// Sets the adversary-visible history retention window (`None` retains
+    /// the full history).
+    pub fn with_history_window(mut self, window: Option<usize>) -> Self {
+        self.history_window = window;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.num_frequencies == 0 {
+            return Err(ConfigError::NoFrequencies);
+        }
+        if self.disruption_bound >= self.num_frequencies {
+            return Err(ConfigError::DisruptionBoundTooLarge {
+                t: self.disruption_bound,
+                f: self.num_frequencies,
+            });
+        }
+        if self.upper_bound_n < self.num_nodes as u64 {
+            return Err(ConfigError::UpperBoundTooSmall {
+                n: self.num_nodes as u64,
+                upper_bound: self.upper_bound_n,
+            });
+        }
+        if self.max_rounds == 0 {
+            return Err(ConfigError::ZeroMaxRounds);
+        }
+        Ok(())
+    }
+
+    /// The activation information announced to protocols.
+    pub fn activation_info(&self) -> ActivationInfo {
+        ActivationInfo::new(
+            self.upper_bound_n,
+            self.num_frequencies,
+            self.disruption_bound,
+        )
+    }
+
+    /// The frequency band of the configured network.
+    pub fn band(&self) -> FrequencyBand {
+        FrequencyBand::new(self.num_frequencies)
+    }
+}
+
+/// Per-node outcome of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// The node.
+    pub id: NodeId,
+    /// The global round in which the node was activated.
+    pub activation_round: u64,
+    /// The first global round in which the node produced a non-`⊥` output,
+    /// if it ever did.
+    pub sync_round: Option<u64>,
+    /// The node's output in the final simulated round.
+    pub final_output: Option<u64>,
+}
+
+impl NodeSummary {
+    /// Number of rounds between activation and synchronization, if the node
+    /// synchronized.
+    pub fn rounds_to_sync(&self) -> Option<u64> {
+        self.sync_round.map(|s| s.saturating_sub(self.activation_round))
+    }
+}
+
+/// The result of running an execution to completion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    /// Number of rounds simulated.
+    pub rounds_executed: u64,
+    /// Whether every node synchronized before the round cap.
+    pub all_synchronized: bool,
+    /// Per-node outcomes, indexed by node index.
+    pub nodes: Vec<NodeSummary>,
+    /// Aggregate counters.
+    pub metrics: SimMetrics,
+}
+
+impl ExecutionResult {
+    /// The global round by which every node had synchronized, if all did.
+    pub fn completion_round(&self) -> Option<u64> {
+        if !self.all_synchronized {
+            return None;
+        }
+        self.nodes.iter().map(|n| n.sync_round).max().flatten()
+    }
+
+    /// The largest per-node `rounds_to_sync`, if every node synchronized.
+    pub fn max_rounds_to_sync(&self) -> Option<u64> {
+        if !self.all_synchronized {
+            return None;
+        }
+        self.nodes.iter().map(|n| n.rounds_to_sync()).max().flatten()
+    }
+
+    /// Mean per-node `rounds_to_sync` over nodes that synchronized.
+    pub fn mean_rounds_to_sync(&self) -> f64 {
+        let synced: Vec<u64> = self.nodes.iter().filter_map(|n| n.rounds_to_sync()).collect();
+        if synced.is_empty() {
+            0.0
+        } else {
+            synced.iter().sum::<u64>() as f64 / synced.len() as f64
+        }
+    }
+}
+
+/// The round-synchronous simulation engine.
+///
+/// See the [module documentation](self) for the per-round pipeline.
+pub struct Engine<P: Protocol, A: Adversary> {
+    config: SimConfig,
+    adversary: A,
+    protocols: Vec<P>,
+    node_rngs: Vec<SimRng>,
+    adversary_rng: SimRng,
+    activation_rounds: Vec<u64>,
+    activated: Vec<bool>,
+    sync_round: Vec<Option<u64>>,
+    history: History,
+    metrics: SimMetrics,
+    round: u64,
+}
+
+impl<P: Protocol, A: Adversary> Engine<P, A> {
+    /// Builds an engine.
+    ///
+    /// `factory` is called once per node (in index order) to create the
+    /// protocol instances; `seed` determines every random choice of the
+    /// execution (node randomness, adversary randomness, and randomized
+    /// activation schedules each get independent derived streams).
+    pub fn new<F>(
+        config: SimConfig,
+        mut factory: F,
+        adversary: A,
+        schedule: ActivationSchedule,
+        seed: u64,
+    ) -> Result<Self>
+    where
+        F: FnMut(NodeId) -> P,
+    {
+        config.validate()?;
+        let protocols: Vec<P> = (0..config.num_nodes)
+            .map(|i| factory(NodeId::new(i as u32)))
+            .collect();
+        let node_rngs: Vec<SimRng> = (0..config.num_nodes)
+            .map(|i| SimRng::derive(seed, StreamId::Node(i as u32)))
+            .collect();
+        let mut activation_rng = SimRng::derive(seed, StreamId::Activation);
+        let activation_rounds = schedule.activation_rounds(config.num_nodes, &mut activation_rng);
+        let history = match config.history_window {
+            Some(w) => History::with_window(w),
+            None => History::new(),
+        };
+        Ok(Engine {
+            config,
+            adversary,
+            protocols,
+            node_rngs,
+            adversary_rng: SimRng::derive(seed, StreamId::Adversary),
+            activation_rounds,
+            activated: vec![false; config.num_nodes],
+            sync_round: vec![None; config.num_nodes],
+            history,
+            metrics: SimMetrics::default(),
+            round: 0,
+        })
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The per-node activation rounds chosen by the schedule.
+    pub fn activation_rounds(&self) -> &[u64] {
+        &self.activation_rounds
+    }
+
+    /// Read access to the protocol instances (e.g. to count leaders after a
+    /// run).
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Runs the execution to completion without an observer.
+    pub fn run(&mut self) -> ExecutionResult {
+        let mut null = NullObserver;
+        self.run_with_observer(&mut null)
+    }
+
+    /// Runs the execution to completion, reporting every round to
+    /// `observer`.
+    ///
+    /// The execution stops when every node has been activated and has
+    /// synchronized (plus the configured number of extra rounds), or when
+    /// `max_rounds` is reached.
+    pub fn run_with_observer(&mut self, observer: &mut dyn Observer) -> ExecutionResult {
+        let mut extra_remaining: Option<u64> = None;
+        while self.round < self.config.max_rounds {
+            self.step(observer);
+            match extra_remaining {
+                None => {
+                    if self.all_synchronized() {
+                        if self.config.extra_rounds_after_sync == 0 {
+                            break;
+                        }
+                        extra_remaining = Some(self.config.extra_rounds_after_sync);
+                    }
+                }
+                Some(k) if k <= 1 => break,
+                Some(ref mut k) => *k -= 1,
+            }
+        }
+        self.result()
+    }
+
+    /// Executes exactly one round, reporting it to `observer`.
+    pub fn step(&mut self, observer: &mut dyn Observer) {
+        let round = self.round;
+        let band = self.config.band();
+        let f_count = self.config.num_frequencies as usize;
+        let info = self.config.activation_info();
+
+        // 1. Activations.
+        let mut newly_activated = Vec::new();
+        for i in 0..self.config.num_nodes {
+            if !self.activated[i] && self.activation_rounds[i] == round {
+                self.activated[i] = true;
+                self.protocols[i].on_activate(info, &mut self.node_rngs[i]);
+                newly_activated.push(NodeId::new(i as u32));
+            }
+        }
+
+        // 2. Actions.
+        let mut actions: Vec<ActionView> = vec![ActionView::Inactive; self.config.num_nodes];
+        let mut broadcast_payload: Vec<Option<P::Msg>> = (0..self.config.num_nodes).map(|_| None).collect();
+        let mut broadcasters_per_freq: Vec<Vec<usize>> = vec![Vec::new(); f_count];
+        let mut listeners_per_freq: Vec<Vec<usize>> = vec![Vec::new(); f_count];
+        let mut active_count: u32 = 0;
+        for i in 0..self.config.num_nodes {
+            if !self.activated[i] {
+                continue;
+            }
+            active_count += 1;
+            let local_round = round - self.activation_rounds[i];
+            let action = self.protocols[i].choose_action(local_round, &mut self.node_rngs[i]);
+            match action {
+                Action::Broadcast { frequency, message } => {
+                    assert!(
+                        band.contains(frequency),
+                        "protocol chose frequency {frequency} outside the band of {f_count} frequencies"
+                    );
+                    actions[i] = ActionView::Broadcast(frequency);
+                    broadcast_payload[i] = Some(message);
+                    broadcasters_per_freq[frequency.as_zero_based()].push(i);
+                    self.metrics.broadcasts += 1;
+                }
+                Action::Listen { frequency } => {
+                    assert!(
+                        band.contains(frequency),
+                        "protocol chose frequency {frequency} outside the band of {f_count} frequencies"
+                    );
+                    actions[i] = ActionView::Listen(frequency);
+                    listeners_per_freq[frequency.as_zero_based()].push(i);
+                    self.metrics.listens += 1;
+                }
+                Action::Sleep => {
+                    actions[i] = ActionView::Sleep;
+                    self.metrics.sleeps += 1;
+                }
+            }
+        }
+        self.metrics.max_active_nodes = self.metrics.max_active_nodes.max(active_count);
+
+        // 3. Adversary.
+        let mut disrupted = if self.config.adversary_sees_current_round {
+            let cur_b: Vec<u32> = broadcasters_per_freq.iter().map(|v| v.len() as u32).collect();
+            let cur_l: Vec<u32> = listeners_per_freq.iter().map(|v| v.len() as u32).collect();
+            self.adversary.disrupt_with_current(
+                round,
+                band,
+                &self.history,
+                &cur_b,
+                &cur_l,
+                &mut self.adversary_rng,
+            )
+        } else {
+            self.adversary
+                .disrupt(round, band, &self.history, &mut self.adversary_rng)
+        };
+        let removed = disrupted.truncate_to_budget(self.config.disruption_bound as usize);
+        if removed > 0 {
+            self.metrics.adversary_budget_violations += 1;
+        }
+        self.metrics.disrupted_frequency_rounds += disrupted.len() as u64;
+
+        // 4. Resolution.
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut activity: Vec<FrequencyActivity> = Vec::with_capacity(f_count);
+        let mut delivered_sender_per_freq: Vec<Option<usize>> = vec![None; f_count];
+        for fi in 0..f_count {
+            let freq = crate::frequency::Frequency::from_zero_based(fi);
+            let b = broadcasters_per_freq[fi].len() as u32;
+            let l = listeners_per_freq[fi].len() as u32;
+            let is_disrupted = disrupted.contains(freq);
+            let delivered = b == 1 && !is_disrupted;
+            if b >= 2 {
+                self.metrics.collisions += 1;
+            }
+            if b == 1 && is_disrupted {
+                self.metrics.jammed_solo_broadcasts += 1;
+            }
+            if delivered {
+                let sender = broadcasters_per_freq[fi][0];
+                delivered_sender_per_freq[fi] = Some(sender);
+                self.metrics.deliveries += 1;
+                self.metrics.receptions += u64::from(l);
+                deliveries.push(Delivery {
+                    frequency: freq,
+                    sender: NodeId::new(sender as u32),
+                    receivers: l,
+                });
+            }
+            activity.push(FrequencyActivity {
+                broadcasters: b,
+                listeners: l,
+                disrupted: is_disrupted,
+                delivered,
+            });
+        }
+
+        // 5. Feedback and outputs.
+        let mut node_views: Vec<NodeView> = vec![NodeView::Inactive; self.config.num_nodes];
+        for i in 0..self.config.num_nodes {
+            if !self.activated[i] {
+                continue;
+            }
+            let local_round = round - self.activation_rounds[i];
+            let feedback: Feedback<P::Msg> = match actions[i] {
+                ActionView::Inactive => unreachable!("active node has an action"),
+                ActionView::Sleep => Feedback::Slept,
+                ActionView::Broadcast(freq) => Feedback::Broadcasted { frequency: freq },
+                ActionView::Listen(freq) => {
+                    match delivered_sender_per_freq[freq.as_zero_based()] {
+                        Some(sender) => Feedback::Received(Received {
+                            sender: NodeId::new(sender as u32),
+                            frequency: freq,
+                            payload: broadcast_payload[sender]
+                                .clone()
+                                .expect("delivering sender has a payload"),
+                        }),
+                        None => Feedback::Silence { frequency: freq },
+                    }
+                }
+            };
+            self.protocols[i].on_feedback(local_round, feedback, &mut self.node_rngs[i]);
+            let output = self.protocols[i].output();
+            if output.is_some() && self.sync_round[i].is_none() {
+                self.sync_round[i] = Some(round);
+            }
+            node_views[i] = NodeView::Active { output };
+        }
+
+        // 6. History, metrics, observer.
+        self.history.push(RoundRecord {
+            round,
+            activity,
+            active_nodes: active_count,
+            newly_activated: newly_activated.len() as u32,
+        });
+        self.metrics.rounds = round + 1;
+        observer.on_round(&RoundObservation {
+            round,
+            newly_activated: &newly_activated,
+            actions: &actions,
+            nodes: &node_views,
+            disrupted: &disrupted,
+            deliveries: &deliveries,
+        });
+        self.round = round + 1;
+    }
+
+    /// Whether every node has been activated and reports itself
+    /// synchronized.
+    pub fn all_synchronized(&self) -> bool {
+        (0..self.config.num_nodes)
+            .all(|i| self.activated[i] && self.protocols[i].is_synchronized())
+    }
+
+    /// Builds the result summary for the rounds executed so far.
+    pub fn result(&self) -> ExecutionResult {
+        let nodes: Vec<NodeSummary> = (0..self.config.num_nodes)
+            .map(|i| NodeSummary {
+                id: NodeId::new(i as u32),
+                activation_round: self.activation_rounds[i],
+                sync_round: self.sync_round[i],
+                final_output: if self.activated[i] {
+                    self.protocols[i].output()
+                } else {
+                    None
+                },
+            })
+            .collect();
+        ExecutionResult {
+            rounds_executed: self.round,
+            all_synchronized: self.all_synchronized(),
+            nodes,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Consumes the engine and returns the protocol instances (e.g. to
+    /// inspect final protocol-specific state such as who became leader).
+    pub fn into_protocols(self) -> Vec<P> {
+        self.protocols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FixedBandAdversary, NoAdversary, RandomAdversary};
+    use crate::frequency::Frequency;
+    use crate::trace::FullTrace;
+    use rand::Rng;
+
+    /// Node 0 broadcasts a token on frequency 1 every round; all others
+    /// listen on frequency 1 and output `0` once they have heard it.
+    #[derive(Debug)]
+    struct Beacon {
+        is_beacon: bool,
+        heard: bool,
+    }
+
+    impl Protocol for Beacon {
+        type Msg = u64;
+
+        fn on_activate(&mut self, _info: ActivationInfo, _rng: &mut SimRng) {}
+
+        fn choose_action(&mut self, local_round: u64, _rng: &mut SimRng) -> Action<u64> {
+            if self.is_beacon {
+                Action::broadcast(Frequency::new(1), local_round)
+            } else {
+                Action::listen(Frequency::new(1))
+            }
+        }
+
+        fn on_feedback(&mut self, _local_round: u64, feedback: Feedback<u64>, _rng: &mut SimRng) {
+            if feedback.is_received() {
+                self.heard = true;
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            if self.is_beacon || self.heard {
+                Some(0)
+            } else {
+                None
+            }
+        }
+    }
+
+    fn beacon_factory(id: NodeId) -> Beacon {
+        Beacon {
+            is_beacon: id.index() == 0,
+            heard: false,
+        }
+    }
+
+    /// Every node broadcasts on a random frequency every round; never
+    /// synchronizes. Used to exercise collision accounting and round caps.
+    #[derive(Debug)]
+    struct Shouter {
+        f: u32,
+    }
+
+    impl Protocol for Shouter {
+        type Msg = ();
+
+        fn on_activate(&mut self, info: ActivationInfo, _rng: &mut SimRng) {
+            self.f = info.num_frequencies;
+        }
+
+        fn choose_action(&mut self, _local_round: u64, rng: &mut SimRng) -> Action<()> {
+            Action::broadcast(Frequency::new(rng.gen_range(1..=self.f)), ())
+        }
+
+        fn on_feedback(&mut self, _local_round: u64, _feedback: Feedback<()>, _rng: &mut SimRng) {}
+
+        fn output(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SimConfig::new(4, 4, 1).validate().is_ok());
+        assert_eq!(
+            SimConfig::new(0, 4, 1).validate(),
+            Err(ConfigError::NoNodes)
+        );
+        assert_eq!(
+            SimConfig::new(4, 0, 0).validate(),
+            Err(ConfigError::NoFrequencies)
+        );
+        assert!(matches!(
+            SimConfig::new(4, 4, 4).validate(),
+            Err(ConfigError::DisruptionBoundTooLarge { .. })
+        ));
+        assert!(matches!(
+            SimConfig::new(4, 4, 1).with_upper_bound(2).validate(),
+            Err(ConfigError::UpperBoundTooSmall { .. })
+        ));
+        assert_eq!(
+            SimConfig::new(4, 4, 1).with_max_rounds(0).validate(),
+            Err(ConfigError::ZeroMaxRounds)
+        );
+    }
+
+    #[test]
+    fn default_upper_bound_is_power_of_two() {
+        let c = SimConfig::new(5, 4, 0);
+        assert_eq!(c.upper_bound_n, 8);
+        assert!(c.upper_bound_n.is_power_of_two());
+    }
+
+    #[test]
+    fn beacon_network_synchronizes_without_adversary() {
+        let config = SimConfig::new(5, 4, 0).with_max_rounds(10);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            NoAdversary::new(),
+            ActivationSchedule::Simultaneous,
+            1,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(result.all_synchronized);
+        // Delivery happens in round 0, so everything synchronizes there.
+        assert_eq!(result.completion_round(), Some(0));
+        assert_eq!(result.nodes.len(), 5);
+        assert!(result.metrics.deliveries >= 1);
+        assert_eq!(result.metrics.collisions, 0);
+    }
+
+    #[test]
+    fn beacon_jammed_on_frequency_one_never_synchronizes() {
+        // The fixed-band adversary always jams frequency 1, which is the only
+        // frequency the beacon protocol uses.
+        let config = SimConfig::new(3, 4, 1).with_max_rounds(50);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            FixedBandAdversary::new(1),
+            ActivationSchedule::Simultaneous,
+            2,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(!result.all_synchronized);
+        assert_eq!(result.rounds_executed, 50);
+        assert_eq!(result.metrics.deliveries, 0);
+        assert_eq!(result.metrics.jammed_solo_broadcasts, 50);
+        assert!(result.completion_round().is_none());
+        assert!(result.max_rounds_to_sync().is_none());
+    }
+
+    #[test]
+    fn staggered_activation_rounds_respected() {
+        let config = SimConfig::new(3, 4, 0).with_max_rounds(20);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            NoAdversary::new(),
+            ActivationSchedule::Staggered { gap: 3 },
+            3,
+        )
+        .unwrap();
+        assert_eq!(engine.activation_rounds(), &[0, 3, 6]);
+        let result = engine.run();
+        assert!(result.all_synchronized);
+        // node 2 activates at round 6 and hears the beacon in that same round
+        assert_eq!(result.nodes[2].activation_round, 6);
+        assert_eq!(result.nodes[2].sync_round, Some(6));
+        assert_eq!(result.nodes[2].rounds_to_sync(), Some(0));
+    }
+
+    #[test]
+    fn collisions_are_counted_and_round_cap_respected() {
+        let config = SimConfig::new(8, 2, 0).with_max_rounds(30);
+        let mut engine = Engine::new(
+            config,
+            |_| Shouter { f: 2 },
+            NoAdversary::new(),
+            ActivationSchedule::Simultaneous,
+            4,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(!result.all_synchronized);
+        assert_eq!(result.rounds_executed, 30);
+        assert!(result.metrics.collisions > 0);
+        assert_eq!(result.metrics.broadcasts, 8 * 30);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_executions() {
+        let run = |seed: u64| {
+            let config = SimConfig::new(6, 8, 2).with_max_rounds(40);
+            let mut engine = Engine::new(
+                config,
+                beacon_factory,
+                RandomAdversary::new(2),
+                ActivationSchedule::UniformWindow { window: 10 },
+                seed,
+            )
+            .unwrap();
+            let mut trace = FullTrace::new();
+            let result = engine.run_with_observer(&mut trace);
+            (result, trace.events().to_vec())
+        };
+        let (r1, t1) = run(99);
+        let (r2, t2) = run(99);
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2);
+        let (r3, _) = run(100);
+        assert!(r1 != r3 || r1.rounds_executed == r3.rounds_executed);
+    }
+
+    #[test]
+    fn observer_sees_every_round_and_disruptions() {
+        let config = SimConfig::new(2, 4, 2).with_max_rounds(10);
+        let mut engine = Engine::new(
+            config,
+            |_| Shouter { f: 4 },
+            FixedBandAdversary::new(2),
+            ActivationSchedule::Simultaneous,
+            5,
+        )
+        .unwrap();
+        let mut trace = FullTrace::new();
+        let result = engine.run_with_observer(&mut trace);
+        assert_eq!(trace.len() as u64, result.rounds_executed);
+        for event in trace.events() {
+            assert_eq!(event.disrupted, vec![1, 2]);
+            assert_eq!(event.nodes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn extra_rounds_after_sync_extend_execution() {
+        let config = SimConfig::new(3, 4, 0)
+            .with_max_rounds(100)
+            .with_extra_rounds_after_sync(7);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            NoAdversary::new(),
+            ActivationSchedule::Simultaneous,
+            6,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(result.all_synchronized);
+        // Synchronization completes in round 0; 7 extra rounds follow.
+        assert_eq!(result.rounds_executed, 1 + 7);
+    }
+
+    #[test]
+    fn adversary_budget_is_enforced_by_engine() {
+        // Adversary claims to jam 3 frequencies but the configured bound is 1.
+        let config = SimConfig::new(2, 4, 1).with_max_rounds(5);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            FixedBandAdversary::new(3),
+            ActivationSchedule::Simultaneous,
+            7,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(result.metrics.adversary_budget_violations > 0);
+        // Only frequency 1 can actually be jammed each round.
+        assert!(result.metrics.disrupted_frequency_rounds <= result.rounds_executed);
+    }
+
+    #[test]
+    fn mean_rounds_to_sync_reports_zero_when_nobody_synced() {
+        let config = SimConfig::new(2, 2, 0).with_max_rounds(3);
+        let mut engine = Engine::new(
+            config,
+            |_| Shouter { f: 2 },
+            NoAdversary::new(),
+            ActivationSchedule::Simultaneous,
+            8,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert_eq!(result.mean_rounds_to_sync(), 0.0);
+    }
+
+    #[test]
+    fn into_protocols_returns_all_instances() {
+        let config = SimConfig::new(4, 2, 0).with_max_rounds(2);
+        let mut engine = Engine::new(
+            config,
+            beacon_factory,
+            NoAdversary::new(),
+            ActivationSchedule::Simultaneous,
+            9,
+        )
+        .unwrap();
+        engine.run();
+        let protocols = engine.into_protocols();
+        assert_eq!(protocols.len(), 4);
+        assert!(protocols[0].is_beacon);
+    }
+}

@@ -1,0 +1,80 @@
+//! Configuration validation errors.
+
+use std::fmt;
+
+/// Errors produced when validating a simulation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The simulation has no participating nodes.
+    NoNodes,
+    /// The network has no frequencies.
+    NoFrequencies,
+    /// The disruption bound `t` must satisfy `t < F`.
+    DisruptionBoundTooLarge {
+        /// Configured disruption bound `t`.
+        t: u32,
+        /// Configured number of frequencies `F`.
+        f: u32,
+    },
+    /// The bound `N` on the number of participants must be at least the
+    /// actual number of participants `n`.
+    UpperBoundTooSmall {
+        /// Actual number of participants `n`.
+        n: u64,
+        /// Configured bound `N`.
+        upper_bound: u64,
+    },
+    /// The configured maximum number of rounds is zero.
+    ZeroMaxRounds,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "simulation requires at least one node"),
+            ConfigError::NoFrequencies => {
+                write!(f, "simulation requires at least one frequency")
+            }
+            ConfigError::DisruptionBoundTooLarge { t, f: freqs } => write!(
+                f,
+                "disruption bound t = {t} must be strictly smaller than the number of frequencies F = {freqs}"
+            ),
+            ConfigError::UpperBoundTooSmall { n, upper_bound } => write!(
+                f,
+                "the bound N = {upper_bound} must be at least the number of participants n = {n}"
+            ),
+            ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Result alias for configuration validation.
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_parameters() {
+        let e = ConfigError::DisruptionBoundTooLarge { t: 8, f: 8 };
+        assert!(e.to_string().contains("t = 8"));
+        assert!(e.to_string().contains("F = 8"));
+        let e = ConfigError::UpperBoundTooSmall {
+            n: 10,
+            upper_bound: 4,
+        };
+        assert!(e.to_string().contains("N = 4"));
+        assert!(ConfigError::NoNodes.to_string().contains("node"));
+        assert!(ConfigError::NoFrequencies.to_string().contains("frequency"));
+        assert!(ConfigError::ZeroMaxRounds.to_string().contains("max_rounds"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::NoNodes);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Public execution history made available to adaptive adversaries.
+//!
+//! Per the model (Section 2), the adversary "chooses its behavior for round
+//! `r` based only on knowledge of the protocol being executed and the
+//! completed execution up to the end of round `r − 1`". [`History`] is the
+//! engine's record of completed rounds in a form adversaries can query.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frequency::{Frequency, FrequencyBand};
+
+/// Per-frequency activity observed in one completed round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyActivity {
+    /// Number of nodes that broadcast on the frequency.
+    pub broadcasters: u32,
+    /// Number of nodes that listened on the frequency.
+    pub listeners: u32,
+    /// Whether the adversary disrupted the frequency.
+    pub disrupted: bool,
+    /// Whether a message was delivered on the frequency (exactly one
+    /// broadcaster, not disrupted, at least zero listeners — delivery is
+    /// counted even if nobody was listening, since the lone broadcast was
+    /// receivable).
+    pub delivered: bool,
+}
+
+/// Everything the adversary may know about one completed round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// The global round number.
+    pub round: u64,
+    /// Per-frequency activity, indexed by 0-based frequency index.
+    pub activity: Vec<FrequencyActivity>,
+    /// Number of nodes that were active (activated and not crashed) during
+    /// the round.
+    pub active_nodes: u32,
+    /// Number of nodes newly activated at the beginning of the round.
+    pub newly_activated: u32,
+}
+
+impl RoundRecord {
+    /// Activity on frequency `f`.
+    pub fn activity_on(&self, f: Frequency) -> &FrequencyActivity {
+        &self.activity[f.as_zero_based()]
+    }
+
+    /// Total number of broadcasters across all frequencies.
+    pub fn total_broadcasters(&self) -> u32 {
+        self.activity.iter().map(|a| a.broadcasters).sum()
+    }
+
+    /// Total number of listeners across all frequencies.
+    pub fn total_listeners(&self) -> u32 {
+        self.activity.iter().map(|a| a.listeners).sum()
+    }
+
+    /// Number of frequencies on which a message was delivered.
+    pub fn deliveries(&self) -> u32 {
+        self.activity.iter().filter(|a| a.delivered).count() as u32
+    }
+
+    /// Number of frequencies with two or more broadcasters (collisions).
+    pub fn collisions(&self) -> u32 {
+        self.activity.iter().filter(|a| a.broadcasters >= 2).count() as u32
+    }
+}
+
+/// The completed-round history of an execution.
+///
+/// The engine appends one [`RoundRecord`] per completed round. To keep
+/// long executions cheap, the engine can be configured to retain only the
+/// most recent `w` rounds (see [`History::with_window`]); all adversaries in
+/// this crate only look a bounded number of rounds back.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<RoundRecord>,
+    window: Option<usize>,
+    dropped: u64,
+}
+
+impl History {
+    /// Creates an empty, unbounded history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Creates an empty history that retains only the last `window` rounds.
+    pub fn with_window(window: usize) -> Self {
+        History {
+            records: Vec::new(),
+            window: Some(window.max(1)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends the record of a completed round.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+        if let Some(w) = self.window {
+            while self.records.len() > w {
+                self.records.remove(0);
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Number of rounds recorded (and still retained).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no rounds are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of rounds that have been recorded, including any that
+    /// were dropped by the retention window.
+    pub fn total_rounds(&self) -> u64 {
+        self.dropped + self.records.len() as u64
+    }
+
+    /// The most recently completed round, if any.
+    pub fn last(&self) -> Option<&RoundRecord> {
+        self.records.last()
+    }
+
+    /// Iterates over the retained records from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.records.iter()
+    }
+
+    /// The retained records as a slice (oldest first).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Sums, per frequency, the number of listeners over the last
+    /// `lookback` retained rounds. Useful for adversaries that target the
+    /// historically busiest frequencies.
+    pub fn listener_counts(&self, band: FrequencyBand, lookback: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; band.count() as usize];
+        for rec in self.records.iter().rev().take(lookback) {
+            for (i, act) in rec.activity.iter().enumerate().take(counts.len()) {
+                counts[i] += u64::from(act.listeners);
+            }
+        }
+        counts
+    }
+
+    /// Sums, per frequency, the number of broadcasters over the last
+    /// `lookback` retained rounds.
+    pub fn broadcaster_counts(&self, band: FrequencyBand, lookback: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; band.count() as usize];
+        for rec in self.records.iter().rev().take(lookback) {
+            for (i, act) in rec.activity.iter().enumerate().take(counts.len()) {
+                counts[i] += u64::from(act.broadcasters);
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u64, per_freq: &[(u32, u32, bool, bool)]) -> RoundRecord {
+        RoundRecord {
+            round,
+            activity: per_freq
+                .iter()
+                .map(|&(b, l, d, del)| FrequencyActivity {
+                    broadcasters: b,
+                    listeners: l,
+                    disrupted: d,
+                    delivered: del,
+                })
+                .collect(),
+            active_nodes: per_freq.iter().map(|&(b, l, _, _)| b + l).sum(),
+            newly_activated: 0,
+        }
+    }
+
+    #[test]
+    fn record_aggregates() {
+        let r = record(3, &[(1, 2, false, true), (2, 0, true, false), (0, 1, false, false)]);
+        assert_eq!(r.total_broadcasters(), 3);
+        assert_eq!(r.total_listeners(), 3);
+        assert_eq!(r.deliveries(), 1);
+        assert_eq!(r.collisions(), 1);
+        assert_eq!(r.activity_on(Frequency::new(2)).broadcasters, 2);
+    }
+
+    #[test]
+    fn history_push_and_query() {
+        let mut h = History::new();
+        assert!(h.is_empty());
+        h.push(record(0, &[(1, 0, false, true)]));
+        h.push(record(1, &[(0, 2, false, false)]));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.total_rounds(), 2);
+        assert_eq!(h.last().unwrap().round, 1);
+        assert_eq!(h.iter().count(), 2);
+    }
+
+    #[test]
+    fn window_retention_drops_old_rounds() {
+        let mut h = History::with_window(2);
+        for r in 0..5 {
+            h.push(record(r, &[(0, 0, false, false)]));
+        }
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.total_rounds(), 5);
+        assert_eq!(h.records()[0].round, 3);
+        assert_eq!(h.last().unwrap().round, 4);
+    }
+
+    #[test]
+    fn listener_and_broadcaster_counts() {
+        let band = FrequencyBand::new(2);
+        let mut h = History::new();
+        h.push(record(0, &[(1, 3, false, false), (0, 1, false, false)]));
+        h.push(record(1, &[(2, 1, false, false), (1, 4, false, false)]));
+        assert_eq!(h.listener_counts(band, 10), vec![4, 5]);
+        assert_eq!(h.broadcaster_counts(band, 10), vec![3, 1]);
+        // lookback of 1 only sees the last round
+        assert_eq!(h.listener_counts(band, 1), vec![1, 4]);
+    }
+
+    #[test]
+    fn counts_with_empty_history_are_zero() {
+        let band = FrequencyBand::new(3);
+        let h = History::new();
+        assert_eq!(h.listener_counts(band, 5), vec![0, 0, 0]);
+        assert_eq!(h.broadcaster_counts(band, 5), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Execution observation: the [`Observer`] hook and an in-memory
+//! [`FullTrace`] recorder.
+//!
+//! The engine can report every round to an observer. The `wsync-core`
+//! property checker implements [`Observer`] to verify the five requirements
+//! of the wireless synchronization problem online with O(n) memory;
+//! [`FullTrace`] records everything and is intended for tests and debugging
+//! of small executions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::DisruptionSet;
+use crate::frequency::Frequency;
+use crate::node::NodeId;
+
+/// A node's externally visible state in one round, as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeView {
+    /// The node has not been activated yet.
+    Inactive,
+    /// The node is active; `output` is its synchronization output for this
+    /// round (`None` is the paper's `⊥`).
+    Active {
+        /// Output value after this round.
+        output: Option<u64>,
+    },
+}
+
+impl NodeView {
+    /// The output if the node is active.
+    pub fn output(&self) -> Option<Option<u64>> {
+        match self {
+            NodeView::Inactive => None,
+            NodeView::Active { output } => Some(*output),
+        }
+    }
+
+    /// Whether the node is active.
+    pub fn is_active(&self) -> bool {
+        matches!(self, NodeView::Active { .. })
+    }
+}
+
+/// A compact description of a node's action in one round, for observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionView {
+    /// Not activated yet.
+    Inactive,
+    /// The node slept.
+    Sleep,
+    /// The node listened on the given frequency.
+    Listen(Frequency),
+    /// The node broadcast on the given frequency.
+    Broadcast(Frequency),
+}
+
+/// A successful message delivery in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The frequency the message was delivered on.
+    pub frequency: Frequency,
+    /// The broadcasting node.
+    pub sender: NodeId,
+    /// How many nodes received the message.
+    pub receivers: u32,
+}
+
+/// Everything an observer sees about one completed round.
+#[derive(Debug)]
+pub struct RoundObservation<'a> {
+    /// The global round number (0-based).
+    pub round: u64,
+    /// Nodes newly activated at the beginning of this round.
+    pub newly_activated: &'a [NodeId],
+    /// Per-node action, indexed by node index.
+    pub actions: &'a [ActionView],
+    /// Per-node view after the round, indexed by node index.
+    pub nodes: &'a [NodeView],
+    /// The frequencies the adversary disrupted this round.
+    pub disrupted: &'a DisruptionSet,
+    /// Messages delivered this round.
+    pub deliveries: &'a [Delivery],
+}
+
+/// Receives a callback after every simulated round.
+pub trait Observer {
+    /// Called once per completed round.
+    fn on_round(&mut self, observation: &RoundObservation<'_>);
+}
+
+/// An observer that does nothing; used by [`Engine::run`](crate::engine::Engine::run).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_round(&mut self, _observation: &RoundObservation<'_>) {}
+}
+
+/// A single recorded round in a [`FullTrace`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global round number.
+    pub round: u64,
+    /// Nodes newly activated this round.
+    pub newly_activated: Vec<NodeId>,
+    /// Per-node action.
+    pub actions: Vec<ActionView>,
+    /// Per-node view after the round.
+    pub nodes: Vec<NodeView>,
+    /// Disrupted frequency indices (1-based).
+    pub disrupted: Vec<u32>,
+    /// Deliveries this round.
+    pub deliveries: Vec<Delivery>,
+}
+
+/// An observer that records every round in memory.
+///
+/// Memory grows with `rounds × nodes`; intended for tests, debugging, and
+/// small demonstration runs.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FullTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl FullTrace {
+    /// Creates an empty trace recorder.
+    pub fn new() -> Self {
+        FullTrace::default()
+    }
+
+    /// The recorded rounds, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The output series of node `node`: one entry per recorded round, with
+    /// `None` meaning the node was not yet active and `Some(out)` giving its
+    /// output (`out == None` is `⊥`).
+    pub fn output_series(&self, node: NodeId) -> Vec<Option<Option<u64>>> {
+        self.events
+            .iter()
+            .map(|e| e.nodes.get(node.index()).and_then(|v| v.output()))
+            .collect()
+    }
+
+    /// The first recorded round in which node `node` produced a non-`⊥`
+    /// output, if any.
+    pub fn sync_round(&self, node: NodeId) -> Option<u64> {
+        self.events.iter().find_map(|e| {
+            match e.nodes.get(node.index()) {
+                Some(NodeView::Active { output: Some(_) }) => Some(e.round),
+                _ => None,
+            }
+        })
+    }
+
+    /// Total number of deliveries recorded.
+    pub fn total_deliveries(&self) -> usize {
+        self.events.iter().map(|e| e.deliveries.len()).sum()
+    }
+}
+
+impl Observer for FullTrace {
+    fn on_round(&mut self, observation: &RoundObservation<'_>) {
+        self.events.push(TraceEvent {
+            round: observation.round,
+            newly_activated: observation.newly_activated.to_vec(),
+            actions: observation.actions.to_vec(),
+            nodes: observation.nodes.to_vec(),
+            disrupted: observation.disrupted.iter().map(Frequency::index).collect(),
+            deliveries: observation.deliveries.to_vec(),
+        });
+    }
+}
+
+/// Fans one observation out to several observers.
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Creates a multiplexer over the given observers.
+    pub fn new(observers: Vec<&'a mut dyn Observer>) -> Self {
+        MultiObserver { observers }
+    }
+}
+
+impl Observer for MultiObserver<'_> {
+    fn on_round(&mut self, observation: &RoundObservation<'_>) {
+        for obs in self.observers.iter_mut() {
+            obs.on_round(observation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_observation<'a>(
+        round: u64,
+        nodes: &'a [NodeView],
+        actions: &'a [ActionView],
+        disrupted: &'a DisruptionSet,
+        newly: &'a [NodeId],
+        deliveries: &'a [Delivery],
+    ) -> RoundObservation<'a> {
+        RoundObservation {
+            round,
+            newly_activated: newly,
+            actions,
+            nodes,
+            disrupted,
+            deliveries,
+        }
+    }
+
+    #[test]
+    fn node_view_accessors() {
+        assert!(!NodeView::Inactive.is_active());
+        assert_eq!(NodeView::Inactive.output(), None);
+        let v = NodeView::Active { output: Some(3) };
+        assert!(v.is_active());
+        assert_eq!(v.output(), Some(Some(3)));
+    }
+
+    #[test]
+    fn full_trace_records_and_queries() {
+        let mut trace = FullTrace::new();
+        let disrupted = DisruptionSet::from_frequencies(4, [Frequency::new(2)]);
+        let deliveries = [Delivery {
+            frequency: Frequency::new(1),
+            sender: NodeId::new(0),
+            receivers: 2,
+        }];
+        let newly = [NodeId::new(1)];
+
+        let nodes_r0 = [NodeView::Active { output: None }, NodeView::Inactive];
+        let actions_r0 = [ActionView::Broadcast(Frequency::new(1)), ActionView::Inactive];
+        trace.on_round(&sample_observation(0, &nodes_r0, &actions_r0, &disrupted, &newly, &deliveries));
+
+        let nodes_r1 = [
+            NodeView::Active { output: Some(7) },
+            NodeView::Active { output: None },
+        ];
+        let actions_r1 = [ActionView::Listen(Frequency::new(2)), ActionView::Sleep];
+        trace.on_round(&sample_observation(1, &nodes_r1, &actions_r1, &disrupted, &[], &[]));
+
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.total_deliveries(), 1);
+        assert_eq!(trace.sync_round(NodeId::new(0)), Some(1));
+        assert_eq!(trace.sync_round(NodeId::new(1)), None);
+        let series = trace.output_series(NodeId::new(1));
+        assert_eq!(series, vec![None, Some(None)]);
+        assert_eq!(trace.events()[0].disrupted, vec![2]);
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let mut a = FullTrace::new();
+        let mut b = FullTrace::new();
+        {
+            let mut multi = MultiObserver::new(vec![&mut a, &mut b]);
+            let disrupted = DisruptionSet::empty(2);
+            let nodes = [NodeView::Active { output: None }];
+            let actions = [ActionView::Sleep];
+            multi.on_round(&sample_observation(0, &nodes, &actions, &disrupted, &[], &[]));
+        }
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn null_observer_is_a_noop() {
+        let mut obs = NullObserver;
+        let disrupted = DisruptionSet::empty(1);
+        let nodes = [NodeView::Inactive];
+        let actions = [ActionView::Inactive];
+        obs.on_round(&sample_observation(0, &nodes, &actions, &disrupted, &[], &[]));
+    }
+}

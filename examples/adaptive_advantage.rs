@@ -1,0 +1,65 @@
+//! The Good Samaritan Protocol's adaptive advantage (Theorem 18): when the
+//! network is provisioned for heavy interference (`t` large) but the actual
+//! interference `t′` is small, the optimistic protocol finishes far sooner
+//! than the worst-case Trapdoor Protocol. This example sweeps `t′` and
+//! prints both protocols' completion times side by side.
+//!
+//! ```text
+//! cargo run --release --example adaptive_advantage
+//! ```
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::good_samaritan::GoodSamaritanConfig;
+use wireless_sync::sync::runner::run_good_samaritan_with;
+
+fn main() {
+    let num_devices = 8;
+    let num_frequencies = 16;
+    let worst_case_t = 8;
+    let seeds_per_point = 5u64;
+
+    println!("== Adaptive advantage of the Good Samaritan Protocol ==");
+    println!(
+        "{} devices, F = {}, provisioned for t = {} disrupted channels; sweeping the\n\
+         actual disruption t' with an oblivious jammer and simultaneous wake-up.\n",
+        num_devices, num_frequencies, worst_case_t
+    );
+    println!(
+        "{:>4}  {:>22}  {:>18}  {:>10}",
+        "t'", "good samaritan (mean)", "trapdoor (mean)", "GS wins?"
+    );
+
+    for t_actual in [1u32, 2, 4, 8] {
+        let scenario = Scenario::new(num_devices, num_frequencies, worst_case_t)
+            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+            .with_activation(ActivationSchedule::Simultaneous);
+        let config =
+            GoodSamaritanConfig::new(scenario.upper_bound(), num_frequencies, worst_case_t);
+
+        let mut gs_total = 0u64;
+        let mut td_total = 0u64;
+        for seed in 0..seeds_per_point {
+            gs_total += run_good_samaritan_with(&scenario, config, seed)
+                .completion_round()
+                .expect("good samaritan run must complete");
+            td_total += run_trapdoor(&scenario, seed)
+                .completion_round()
+                .expect("trapdoor run must complete");
+        }
+        let gs_mean = gs_total as f64 / seeds_per_point as f64;
+        let td_mean = td_total as f64 / seeds_per_point as f64;
+        println!(
+            "{:>4}  {:>22.1}  {:>18.1}  {:>10}",
+            t_actual,
+            gs_mean,
+            td_mean,
+            if gs_mean < td_mean { "yes" } else { "no" }
+        );
+    }
+
+    println!(
+        "\nThe Good Samaritan Protocol's completion time tracks the *actual* interference\n\
+         level (O(t'·log³N)), while the Trapdoor Protocol always pays for the worst case\n\
+         it was configured for (O(F/(F−t)·log²N + Ft/(F−t)·logN))."
+    );
+}

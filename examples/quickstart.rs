@@ -1,0 +1,61 @@
+//! Quickstart: synchronize a handful of devices with the Trapdoor Protocol
+//! under a random jammer and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wireless_sync::prelude::*;
+
+fn main() {
+    // 12 devices share a band of 8 frequencies; an unpredictable interferer
+    // may disrupt up to 3 of them per round; devices arrive within a short
+    // window rather than all at once.
+    let scenario = Scenario::new(12, 8, 3)
+        .with_adversary(AdversaryKind::Random)
+        .with_activation(ActivationSchedule::UniformWindow { window: 40 });
+
+    let outcome = run_trapdoor(&scenario, 2024);
+
+    println!("== wireless-sync quickstart ==");
+    println!(
+        "instance: n={} devices, F={} frequencies, t={} jammable per round",
+        scenario.num_nodes, scenario.num_frequencies, scenario.disruption_bound
+    );
+    println!("{}", outcome.summary_line());
+    println!(
+        "all devices synchronized: {} (by global round {:?})",
+        outcome.result.all_synchronized,
+        outcome.completion_round()
+    );
+    println!("leaders elected: {}", outcome.leaders);
+    println!(
+        "properties: safety={} liveness={} (violations: {})",
+        outcome.properties.safety_holds(),
+        outcome.properties.liveness,
+        outcome.properties.total_violations
+    );
+    println!();
+    println!("per-device view:");
+    for node in &outcome.result.nodes {
+        println!(
+            "  {:>7}: activated at round {:>3}, synchronized {}",
+            node.id.to_string(),
+            node.activation_round,
+            match node.rounds_to_sync() {
+                Some(r) => format!("after {r} rounds"),
+                None => "never".to_string(),
+            }
+        );
+    }
+    println!();
+    println!(
+        "radio statistics: {} broadcasts, {} deliveries, {} collisions, {} solo broadcasts jammed",
+        outcome.result.metrics.broadcasts,
+        outcome.result.metrics.deliveries,
+        outcome.result.metrics.collisions,
+        outcome.result.metrics.jammed_solo_broadcasts
+    );
+
+    assert!(outcome.is_clean(), "the quickstart scenario should always end cleanly");
+}

@@ -1,0 +1,94 @@
+//! End-to-end integration tests of the Good Samaritan Protocol
+//! (Theorem 18): optimistic termination in good executions, fallback
+//! termination otherwise, and the five problem properties throughout.
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::good_samaritan::GoodSamaritanConfig;
+use wireless_sync::sync::runner::run_good_samaritan_with;
+
+/// A "good execution": all nodes wake together and an oblivious adversary
+/// disrupts only `t' < t` frequencies. The protocol should terminate well
+/// before the fallback portion (which starts after the optimistic total).
+#[test]
+fn good_execution_terminates_in_optimistic_portion() {
+    let n = 8;
+    let f = 16;
+    let t = 8;
+    let t_actual = 2;
+    let scenario = Scenario::new(n, f, t)
+        .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+        .with_activation(ActivationSchedule::Simultaneous)
+        .with_max_rounds(400_000);
+    let config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
+
+    let mut optimistic_wins = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let outcome = run_good_samaritan_with(&scenario, config, seed);
+        assert!(
+            outcome.result.all_synchronized,
+            "seed {seed}: every node must synchronize"
+        );
+        assert!(
+            outcome.properties.safety_holds(),
+            "seed {seed}: safety violated: {:?}",
+            outcome.properties.violations
+        );
+        assert!(outcome.leaders >= 1, "seed {seed}: a leader must be elected");
+        let completion = outcome.completion_round().unwrap();
+        if completion < config.fallback_start() {
+            optimistic_wins += 1;
+        }
+    }
+    assert!(
+        optimistic_wins >= trials - 1,
+        "good executions should terminate during the optimistic portion \
+         ({optimistic_wins}/{trials} did)"
+    );
+}
+
+/// With staggered activation (not a good execution) the protocol must still
+/// terminate — via the fallback if necessary — within the round cap.
+#[test]
+fn staggered_activation_still_terminates() {
+    let scenario = Scenario::new(4, 8, 3)
+        .with_adversary(AdversaryKind::Random)
+        .with_activation(ActivationSchedule::Staggered { gap: 50 })
+        .with_max_rounds(400_000);
+    let config = GoodSamaritanConfig::new(scenario.upper_bound(), 8, 3);
+    let outcome = run_good_samaritan_with(&scenario, config, 3);
+    assert!(outcome.result.all_synchronized);
+    assert!(outcome.properties.safety_holds());
+    assert!(outcome.leaders >= 1);
+}
+
+/// Smaller actual disruption should not make the protocol slower: compare
+/// t' = 1 with t' = t on the same seeds (adaptivity, the heart of
+/// Theorem 18's optimistic claim).
+#[test]
+fn lower_actual_disruption_is_not_slower() {
+    let n = 8;
+    let f = 16;
+    let t = 8;
+    let scenario_quiet = Scenario::new(n, f, t)
+        .with_adversary(AdversaryKind::ObliviousRandom { t_actual: 1 })
+        .with_max_rounds(600_000);
+    let scenario_noisy = Scenario::new(n, f, t)
+        .with_adversary(AdversaryKind::ObliviousRandom { t_actual: t })
+        .with_max_rounds(600_000);
+    let config = GoodSamaritanConfig::new(scenario_quiet.upper_bound(), f, t);
+
+    let mut quiet_total = 0u64;
+    let mut noisy_total = 0u64;
+    for seed in 0..3 {
+        let q = run_good_samaritan_with(&scenario_quiet, config, seed);
+        let no = run_good_samaritan_with(&scenario_noisy, config, seed);
+        assert!(q.result.all_synchronized && no.result.all_synchronized);
+        quiet_total += q.completion_round().unwrap();
+        noisy_total += no.completion_round().unwrap();
+    }
+    assert!(
+        quiet_total <= noisy_total,
+        "quiet executions ({quiet_total}) should not be slower than noisy ones ({noisy_total})"
+    );
+}

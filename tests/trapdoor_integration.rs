@@ -1,0 +1,142 @@
+//! End-to-end integration tests of the Trapdoor Protocol (Theorem 10):
+//! termination within the claimed bound shape, exactly one leader, and all
+//! five problem properties under every adversary/activation combination.
+
+use wireless_sync::analysis::formulas::Bounds;
+use wireless_sync::prelude::*;
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let adversaries = [
+        ("none", AdversaryKind::None),
+        ("fixed-band", AdversaryKind::FixedBand),
+        ("random", AdversaryKind::Random),
+        ("sweep", AdversaryKind::Sweep),
+        ("adaptive", AdversaryKind::AdaptiveGreedy),
+        (
+            "bursty",
+            AdversaryKind::Bursty {
+                period: 20,
+                burst_len: 8,
+            },
+        ),
+    ];
+    let activations = [
+        ("simultaneous", ActivationSchedule::Simultaneous),
+        ("staggered", ActivationSchedule::Staggered { gap: 9 }),
+        ("window", ActivationSchedule::UniformWindow { window: 64 }),
+        ("late-joiner", ActivationSchedule::LateJoiner { late: 200 }),
+    ];
+    let mut out = Vec::new();
+    for (an, adv) in &adversaries {
+        for (actn, act) in &activations {
+            let name: &'static str = Box::leak(format!("{an}/{actn}").into_boxed_str());
+            out.push((
+                name,
+                Scenario::new(16, 12, 4)
+                    .with_adversary(adv.clone())
+                    .with_activation(act.clone()),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn all_adversary_activation_combinations_are_clean() {
+    for (name, scenario) in scenarios() {
+        for seed in 0..3u64 {
+            let outcome = run_trapdoor(&scenario, seed);
+            assert!(
+                outcome.result.all_synchronized,
+                "{name} seed {seed}: liveness failed"
+            );
+            assert_eq!(outcome.leaders, 1, "{name} seed {seed}: leader count");
+            assert!(
+                outcome.properties.all_hold(),
+                "{name} seed {seed}: property violations {:?}",
+                outcome.properties.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn termination_stays_within_a_constant_of_theorem_10() {
+    // Over a sweep of (N, F, t) the measured worst-case rounds-to-sync should
+    // stay within a fixed constant multiple of the Theorem 10 expression.
+    let mut max_ratio: f64 = 0.0;
+    for (n_nodes, f, t) in [(8usize, 8u32, 2u32), (16, 16, 8), (32, 16, 12), (16, 32, 4)] {
+        let scenario = Scenario::new(n_nodes, f, t).with_adversary(AdversaryKind::Random);
+        let bound = Bounds::new(scenario.upper_bound(), f, t).theorem10();
+        for seed in 0..3u64 {
+            let outcome = run_trapdoor(&scenario, seed);
+            let rounds = outcome.max_rounds_to_sync().expect("must synchronize") as f64;
+            max_ratio = max_ratio.max(rounds / bound);
+        }
+    }
+    assert!(
+        max_ratio < 30.0,
+        "rounds-to-sync exceeded 30× the Theorem 10 expression (ratio {max_ratio})"
+    );
+}
+
+#[test]
+fn earliest_activated_node_becomes_the_leader() {
+    // The proof of Theorem 10 starts from the observation that the node with
+    // the largest timestamp — the first one activated — cannot be knocked
+    // out and therefore becomes the leader.
+    let scenario = Scenario::new(10, 8, 3)
+        .with_adversary(AdversaryKind::Random)
+        .with_activation(ActivationSchedule::Staggered { gap: 17 });
+    for seed in 10..16u64 {
+        let config = wireless_sync::sync::trapdoor::TrapdoorConfig::new(
+            scenario.upper_bound(),
+            scenario.num_frequencies,
+            scenario.disruption_bound,
+        );
+        let adversary = scenario.adversary.build(&scenario, seed);
+        let mut engine = wireless_sync::radio::engine::Engine::new(
+            scenario.sim_config(),
+            |_| wireless_sync::sync::trapdoor::TrapdoorProtocol::new(config),
+            adversary,
+            scenario.activation.clone(),
+            seed,
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(result.all_synchronized);
+        let protocols = engine.into_protocols();
+        assert!(
+            protocols[0].is_leader(),
+            "seed {seed}: node 0 (earliest activated) should be the leader"
+        );
+        assert_eq!(
+            protocols.iter().filter(|p| p.is_leader()).count(),
+            1,
+            "seed {seed}: exactly one leader"
+        );
+    }
+}
+
+#[test]
+fn outputs_keep_incrementing_after_synchronization() {
+    // Run with extra rounds after synchronization and verify via the checker
+    // that correctness (output increments by one) holds throughout.
+    let mut scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+    scenario.extra_rounds_after_sync = 64;
+    let outcome = run_trapdoor(&scenario, 5);
+    assert!(outcome.result.all_synchronized);
+    assert!(outcome.properties.all_hold());
+    assert!(outcome.properties.rounds_observed > outcome.completion_round().unwrap());
+}
+
+#[test]
+fn reproducible_across_identical_seeds_and_divergent_across_different_ones() {
+    let scenario = Scenario::new(12, 8, 3).with_adversary(AdversaryKind::Random);
+    let a = run_trapdoor(&scenario, 77);
+    let b = run_trapdoor(&scenario, 77);
+    assert_eq!(a, b);
+    let c = run_trapdoor(&scenario, 78);
+    // different seeds virtually always differ in at least the metrics
+    assert!(a.result.metrics != c.result.metrics || a.completion_round() != c.completion_round());
+}
