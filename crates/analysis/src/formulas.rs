@@ -71,8 +71,7 @@ impl Bounds {
     /// `F/(F−t)·log²N + F·t/(F−t)·log N`.
     pub fn theorem10(&self) -> f64 {
         let log_n = self.log_n();
-        self.f() / self.f_minus_t() * log_n * log_n
-            + self.f() * self.t() / self.f_minus_t() * log_n
+        self.f() / self.f_minus_t() * log_n * log_n + self.f() * self.t() / self.f_minus_t() * log_n
     }
 
     /// The Good Samaritan optimistic bound (Theorem 18): `t′·log³N`.

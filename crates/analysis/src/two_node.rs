@@ -115,10 +115,7 @@ impl RendezvousGame {
             .distribution(self.num_frequencies, self.disruption_bound);
         let mut products: Vec<f64> = p.iter().zip(&q).map(|(a, b)| a * b).collect();
         products.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let undisrupted: f64 = products
-            .iter()
-            .skip(self.disruption_bound as usize)
-            .sum();
+        let undisrupted: f64 = products.iter().skip(self.disruption_bound as usize).sum();
         let b = self.broadcast_probability;
         2.0 * b * (1.0 - b) * undisrupted
     }

@@ -13,17 +13,15 @@ fn bench_epoch_constant(c: &mut Criterion) {
         let config = TrapdoorConfig::new(scenario.upper_bound(), 16, 6)
             .with_epoch_constant(constant)
             .with_final_epoch_constant(constant);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(constant),
-            &config,
-            |b, cfg| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    run_trapdoor_with(&scenario, *cfg, seed).result.rounds_executed
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(constant), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trapdoor_with(&scenario, *cfg, seed)
+                    .result
+                    .rounds_executed
+            })
+        });
     }
     group.finish();
 }
@@ -39,7 +37,9 @@ fn bench_frequency_limit(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_trapdoor_with(&scenario, *cfg, seed).result.rounds_executed
+                run_trapdoor_with(&scenario, *cfg, seed)
+                    .result
+                    .rounds_executed
             })
         });
     }

@@ -1,9 +1,7 @@
 //! X2 — baseline protocols vs the Trapdoor Protocol under jamming.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wsync_core::runner::{
-    run_round_robin, run_trapdoor, run_wakeup, AdversaryKind, Scenario,
-};
+use wsync_core::runner::{run_round_robin, run_trapdoor, run_wakeup, AdversaryKind, Scenario};
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("x2_baselines");

@@ -8,8 +8,8 @@ fn bench_crossover(c: &mut Criterion) {
     let mut group = c.benchmark_group("x1_crossover");
     group.sample_size(10);
     for t_actual in [1u32, 8] {
-        let scenario = Scenario::new(8, 16, 8)
-            .with_adversary(AdversaryKind::ObliviousRandom { t_actual });
+        let scenario =
+            Scenario::new(8, 16, 8).with_adversary(AdversaryKind::ObliviousRandom { t_actual });
         let config = GoodSamaritanConfig::new(scenario.upper_bound(), 16, 8);
         group.bench_with_input(
             BenchmarkId::new("good_samaritan", t_actual),
@@ -18,21 +18,19 @@ fn bench_crossover(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    run_good_samaritan_with(s, config, seed).result.rounds_executed
+                    run_good_samaritan_with(s, config, seed)
+                        .result
+                        .rounds_executed
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("trapdoor", t_actual),
-            &scenario,
-            |b, s| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    run_trapdoor(s, seed).result.rounds_executed
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("trapdoor", t_actual), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trapdoor(s, seed).result.rounds_executed
+            })
+        });
     }
     group.finish();
 }

@@ -33,5 +33,10 @@ fn bench_fault_tolerance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_weight_bound, bench_fault_tolerance);
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_weight_bound,
+    bench_fault_tolerance
+);
 criterion_main!(benches);

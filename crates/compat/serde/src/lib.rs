@@ -1,0 +1,21 @@
+//! Offline facade for the `serde` crate.
+//!
+//! This workspace builds in environments with no crates.io access. Nothing
+//! in the codebase serializes data yet — types only *derive*
+//! `Serialize`/`Deserialize` so that a later PR can add persistence — so
+//! this facade provides marker traits and re-exports the no-op derives from
+//! the sibling `serde_derive` stub. Swapping in the real `serde` later is a
+//! one-line Cargo.toml change per crate.
+
+#![forbid(unsafe_code)]
+
+// The derive macros live in the macro namespace, the traits below in the
+// type namespace, so `use serde::{Serialize, Deserialize}` imports both —
+// exactly like the real crate with its `derive` feature enabled.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for offline builds.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so that a
+//! future PR can turn on real serialization, but nothing currently consumes
+//! the trait impls. In environments without crates.io access the real
+//! `serde_derive` is unavailable, so these derives expand to nothing; the
+//! `#[serde(...)]` helper attribute is registered and ignored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

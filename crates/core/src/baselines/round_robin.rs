@@ -127,7 +127,12 @@ impl Protocol for RoundRobinProtocol {
         }
     }
 
-    fn on_feedback(&mut self, local_round: u64, feedback: Feedback<TrapdoorMsg>, _rng: &mut SimRng) {
+    fn on_feedback(
+        &mut self,
+        local_round: u64,
+        feedback: Feedback<TrapdoorMsg>,
+        _rng: &mut SimRng,
+    ) {
         let was_synced = self.output.is_some();
         if let Feedback::Received(received) = &feedback {
             match received.payload {

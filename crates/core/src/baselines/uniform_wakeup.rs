@@ -162,7 +162,12 @@ impl Protocol for WakeupProtocol {
         }
     }
 
-    fn on_feedback(&mut self, local_round: u64, feedback: Feedback<TrapdoorMsg>, _rng: &mut SimRng) {
+    fn on_feedback(
+        &mut self,
+        local_round: u64,
+        feedback: Feedback<TrapdoorMsg>,
+        _rng: &mut SimRng,
+    ) {
         let was_synced = self.output.is_some();
         if let Feedback::Received(received) = &feedback {
             match received.payload {
@@ -272,7 +277,9 @@ mod tests {
             Feedback::Received(Received {
                 sender: NodeId::new(1),
                 frequency: Frequency::new(1),
-                payload: TrapdoorMsg::Leader { announced_round: 77 },
+                payload: TrapdoorMsg::Leader {
+                    announced_round: 77,
+                },
             }),
             &mut rng,
         );
@@ -291,6 +298,9 @@ mod tests {
                 seen.insert(f.index());
             }
         }
-        assert!(seen.len() >= 6, "should use most of the 8 frequencies, saw {seen:?}");
+        assert!(
+            seen.len() >= 6,
+            "should use most of the 8 frequencies, saw {seen:?}"
+        );
     }
 }

@@ -1,0 +1,435 @@
+//! Parallel Monte-Carlo trial execution.
+//!
+//! Every experiment behind the paper's figures and theorem checks boils
+//! down to the same shape: run many *independent* executions of a
+//! [`Scenario`] — one per seed — and fold the per-trial [`SyncOutcome`]s
+//! into aggregate statistics. In the round-synchronous model each trial is
+//! a pure function of `(Scenario, seed)` (every randomness consumer draws
+//! from its own [`SimRng`](wsync_radio::rng::SimRng) stream derived from
+//! the master seed), so the trials are embarrassingly parallel.
+//!
+//! [`BatchRunner`] fans trials across a pool of OS threads and returns the
+//! results **in seed order**, which makes parallel execution
+//! indistinguishable from serial execution:
+//!
+//! * determinism — trial `i`'s result depends only on `(Scenario, seed_i)`,
+//!   never on scheduling, and
+//! * fold stability — aggregation happens *after* the results are back in
+//!   seed order, so every downstream statistic is bit-identical to what a
+//!   `for seed in seeds` loop would have produced.
+//!
+//! [`BatchStats`] provides the folds the experiments share (sync rate,
+//! single-leader rate, clean rate, violation counts, rounds-to-sync and
+//! completion-round summaries); bespoke folds can iterate the returned
+//! outcome vector directly.
+//!
+//! # Example
+//!
+//! ```
+//! use wsync_core::batch::{BatchRunner, BatchStats, ProtocolKind};
+//! use wsync_core::runner::{AdversaryKind, Scenario};
+//!
+//! let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+//! let runner = BatchRunner::new();
+//! let outcomes = runner.run(&scenario, &ProtocolKind::Trapdoor, 0..8);
+//! let stats = BatchStats::aggregate(&outcomes);
+//! assert_eq!(stats.trials, 8);
+//! assert!(stats.sync_rate() > 0.9);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use wsync_stats::Summary;
+
+use crate::good_samaritan::GoodSamaritanConfig;
+use crate::report::SyncOutcome;
+use crate::runner::{
+    run_good_samaritan_with, run_round_robin, run_single_frequency, run_trapdoor_with, run_wakeup,
+    Scenario,
+};
+use crate::trapdoor::TrapdoorConfig;
+
+/// Selects which protocol a batch of trials runs, optionally with an
+/// explicit configuration (the variants without one derive the paper's
+/// default configuration from the scenario, exactly like the
+/// `run_*` shorthands in [`crate::runner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ProtocolKind {
+    /// The Trapdoor Protocol with default constants.
+    #[default]
+    Trapdoor,
+    /// The Trapdoor Protocol with an explicit configuration.
+    TrapdoorWith(TrapdoorConfig),
+    /// The Good Samaritan Protocol with default constants.
+    GoodSamaritan,
+    /// The Good Samaritan Protocol with an explicit configuration.
+    GoodSamaritanWith(GoodSamaritanConfig),
+    /// The multi-frequency wake-up-style baseline.
+    Wakeup,
+    /// The deterministic round-robin hopping baseline.
+    RoundRobin,
+    /// The single-frequency Trapdoor baseline.
+    SingleFrequency,
+}
+
+impl ProtocolKind {
+    /// Runs one trial of this protocol on `scenario` with `seed`.
+    pub fn run_trial(&self, scenario: &Scenario, seed: u64) -> SyncOutcome {
+        match self {
+            ProtocolKind::Trapdoor => {
+                let config = TrapdoorConfig::new(
+                    scenario.upper_bound(),
+                    scenario.num_frequencies,
+                    scenario.disruption_bound,
+                );
+                run_trapdoor_with(scenario, config, seed)
+            }
+            ProtocolKind::TrapdoorWith(config) => run_trapdoor_with(scenario, *config, seed),
+            ProtocolKind::GoodSamaritan => {
+                let config = GoodSamaritanConfig::new(
+                    scenario.upper_bound(),
+                    scenario.num_frequencies,
+                    scenario.disruption_bound,
+                );
+                run_good_samaritan_with(scenario, config, seed)
+            }
+            ProtocolKind::GoodSamaritanWith(config) => {
+                run_good_samaritan_with(scenario, *config, seed)
+            }
+            ProtocolKind::Wakeup => run_wakeup(scenario, seed),
+            ProtocolKind::RoundRobin => run_round_robin(scenario, seed),
+            ProtocolKind::SingleFrequency => run_single_frequency(scenario, seed),
+        }
+    }
+
+    /// A short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Trapdoor | ProtocolKind::TrapdoorWith(_) => "trapdoor",
+            ProtocolKind::GoodSamaritan | ProtocolKind::GoodSamaritanWith(_) => "good-samaritan",
+            ProtocolKind::Wakeup => "wakeup",
+            ProtocolKind::RoundRobin => "round-robin",
+            ProtocolKind::SingleFrequency => "single-frequency",
+        }
+    }
+}
+
+/// Executes batches of independent seeded trials on a worker pool.
+///
+/// The worker count defaults to the machine's available parallelism and can
+/// be overridden with [`BatchRunner::with_workers`] or the `WSYNC_THREADS`
+/// environment variable (useful to pin CI runs or A/B serial vs parallel).
+/// Results never depend on the worker count — see the module docs.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner using every available core (or `WSYNC_THREADS` if set).
+    pub fn new() -> Self {
+        let workers = std::env::var("WSYNC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        BatchRunner { workers }
+    }
+
+    /// A runner that executes trials one after another on the calling
+    /// thread. Useful as the reference side of determinism checks.
+    pub fn serial() -> Self {
+        BatchRunner { workers: 1 }
+    }
+
+    /// A runner with an explicit worker count (at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        BatchRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The number of worker threads this runner fans trials across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `trial` to every seed in `seeds` and returns the results in
+    /// seed order.
+    ///
+    /// This is the generic core: `trial` may produce any `Send` value, so
+    /// experiments whose per-trial result is not a [`SyncOutcome`] (the
+    /// broadcast-weight scan, the two-node rendezvous game) parallelize
+    /// through the same pool. Work is handed out dynamically (an atomic
+    /// cursor), so uneven trial costs don't leave workers idle.
+    pub fn map<T, F>(&self, seeds: Range<u64>, trial: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
+            .expect("seed range length exceeds addressable memory");
+        let workers = self.workers.min(count);
+        if workers <= 1 {
+            return seeds.map(trial).collect();
+        }
+
+        let next = AtomicU64::new(seeds.start);
+        let (tx, rx) = mpsc::channel::<(u64, T)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let trial = &trial;
+                let end = seeds.end;
+                scope.spawn(move || loop {
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= end {
+                        break;
+                    }
+                    if tx.send((seed, trial(seed))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+            for (seed, value) in rx {
+                slots[(seed - seeds.start) as usize] = Some(value);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every seed produces exactly one result"))
+                .collect()
+        })
+    }
+
+    /// Runs `trial(scenario, seed)` for every seed and returns the outcomes
+    /// in seed order. Use this for bespoke trials (custom protocol
+    /// factories, wrappers such as the fault-tolerance crash harness).
+    pub fn run_with<F>(&self, scenario: &Scenario, seeds: Range<u64>, trial: F) -> Vec<SyncOutcome>
+    where
+        F: Fn(&Scenario, u64) -> SyncOutcome + Sync,
+    {
+        self.map(seeds, |seed| trial(scenario, seed))
+    }
+
+    /// Runs `protocol` on `scenario` for every seed and returns the
+    /// outcomes in seed order.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        protocol: &ProtocolKind,
+        seeds: Range<u64>,
+    ) -> Vec<SyncOutcome> {
+        self.run_with(scenario, seeds, |s, seed| protocol.run_trial(s, seed))
+    }
+
+    /// Runs `protocol` on `scenario` for every seed and folds the outcomes
+    /// directly into [`BatchStats`].
+    pub fn run_stats(
+        &self,
+        scenario: &Scenario,
+        protocol: &ProtocolKind,
+        seeds: Range<u64>,
+    ) -> BatchStats {
+        BatchStats::aggregate(&self.run(scenario, protocol, seeds))
+    }
+}
+
+/// Aggregate statistics over a batch of [`SyncOutcome`]s.
+///
+/// The folds are performed serially over the seed-ordered outcome vector,
+/// so a parallel batch produces bit-identical statistics to a serial loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Number of trials aggregated.
+    pub trials: u64,
+    /// Trials in which every node synchronized.
+    pub synced: u64,
+    /// Trials that ended with exactly one leader.
+    pub single_leader: u64,
+    /// Trials that were clean: all synced, one leader, no safety violation.
+    pub clean: u64,
+    /// Total number of property violations across all trials.
+    pub total_violations: u64,
+    /// Trials in which every property (including liveness) held.
+    pub all_hold: u64,
+    /// Summary of the worst per-node rounds-to-synchronization, over the
+    /// trials where every node synchronized (the Theorem 10 quantity).
+    pub rounds_to_sync: Summary,
+    /// Summary of the global completion round, over the trials where every
+    /// node synchronized.
+    pub completion_rounds: Summary,
+}
+
+impl BatchStats {
+    /// Folds a slice of outcomes (in seed order) into aggregate statistics.
+    pub fn aggregate(outcomes: &[SyncOutcome]) -> Self {
+        let mut rounds = Vec::new();
+        let mut completions = Vec::new();
+        let mut synced = 0u64;
+        let mut single_leader = 0u64;
+        let mut clean = 0u64;
+        let mut all_hold = 0u64;
+        let mut total_violations = 0u64;
+        for outcome in outcomes {
+            if outcome.result.all_synchronized {
+                synced += 1;
+            }
+            if outcome.leaders == 1 {
+                single_leader += 1;
+            }
+            if outcome.is_clean() {
+                clean += 1;
+            }
+            if outcome.properties.all_hold() {
+                all_hold += 1;
+            }
+            total_violations += outcome.properties.total_violations;
+            if let Some(r) = outcome.max_rounds_to_sync() {
+                rounds.push(r as f64);
+            }
+            if let Some(r) = outcome.completion_round() {
+                completions.push(r as f64);
+            }
+        }
+        BatchStats {
+            trials: outcomes.len() as u64,
+            synced,
+            single_leader,
+            clean,
+            total_violations,
+            all_hold,
+            rounds_to_sync: Summary::from_slice(&rounds),
+            completion_rounds: Summary::from_slice(&completions),
+        }
+    }
+
+    /// Fraction of trials in which every node synchronized.
+    pub fn sync_rate(&self) -> f64 {
+        self.rate(self.synced)
+    }
+
+    /// Fraction of trials that ended with exactly one leader.
+    pub fn single_leader_rate(&self) -> f64 {
+        self.rate(self.single_leader)
+    }
+
+    /// Fraction of clean trials.
+    pub fn clean_rate(&self) -> f64 {
+        self.rate(self.clean)
+    }
+
+    fn rate(&self, numerator: u64) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            numerator as f64 / self.trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_trapdoor, AdversaryKind};
+
+    fn scenario() -> Scenario {
+        Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random)
+    }
+
+    #[test]
+    fn parallel_results_equal_serial_results() {
+        let scenario = scenario();
+        let serial = BatchRunner::serial().run(&scenario, &ProtocolKind::Trapdoor, 0..12);
+        let parallel = BatchRunner::with_workers(4).run(&scenario, &ProtocolKind::Trapdoor, 0..12);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batch_matches_direct_runner_calls() {
+        let scenario = scenario();
+        let batch = BatchRunner::with_workers(3).run(&scenario, &ProtocolKind::Trapdoor, 5..9);
+        let direct: Vec<_> = (5..9).map(|seed| run_trapdoor(&scenario, seed)).collect();
+        assert_eq!(batch, direct);
+    }
+
+    #[test]
+    fn map_returns_results_in_seed_order() {
+        let runner = BatchRunner::with_workers(8);
+        let values = runner.map(10..200, |seed| seed * seed);
+        assert_eq!(values.len(), 190);
+        for (i, v) in values.iter().enumerate() {
+            let seed = 10 + i as u64;
+            assert_eq!(*v, seed * seed);
+        }
+    }
+
+    #[test]
+    fn empty_seed_range_yields_empty_batch() {
+        let runner = BatchRunner::new();
+        let outcomes = runner.run(&scenario(), &ProtocolKind::Trapdoor, 7..7);
+        assert!(outcomes.is_empty());
+        let stats = BatchStats::aggregate(&outcomes);
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.sync_rate(), 0.0);
+        assert_eq!(stats.rounds_to_sync.count, 0);
+    }
+
+    #[test]
+    fn stats_fold_counts_clean_runs() {
+        let scenario = scenario();
+        let stats = BatchRunner::new().run_stats(&scenario, &ProtocolKind::Trapdoor, 0..8);
+        assert_eq!(stats.trials, 8);
+        assert!(stats.synced >= stats.clean);
+        assert!(stats.single_leader >= stats.clean);
+        assert!(stats.rounds_to_sync.count as u64 <= stats.trials);
+        assert!(stats.sync_rate() > 0.5);
+        // completion round is never later than observed rounds, and the
+        // per-node worst never exceeds the completion round
+        assert!(stats.rounds_to_sync.max <= stats.completion_rounds.max);
+    }
+
+    #[test]
+    fn every_protocol_kind_runs_and_names_itself() {
+        let scenario = Scenario::new(4, 8, 1).with_adversary(AdversaryKind::Random);
+        let kinds = [
+            ProtocolKind::Trapdoor,
+            ProtocolKind::TrapdoorWith(TrapdoorConfig::new(4, 8, 1)),
+            ProtocolKind::GoodSamaritan,
+            ProtocolKind::GoodSamaritanWith(GoodSamaritanConfig::new(4, 8, 1)),
+            ProtocolKind::Wakeup,
+            ProtocolKind::RoundRobin,
+            ProtocolKind::SingleFrequency,
+        ];
+        for kind in &kinds {
+            let outcomes = BatchRunner::with_workers(2).run(&scenario, kind, 0..2);
+            assert_eq!(outcomes.len(), 2);
+            assert!(!kind.name().is_empty());
+            // the batch result matches the protocol's own shorthand runner
+            assert_eq!(outcomes[0], kind.run_trial(&scenario, 0));
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_and_env_is_optional() {
+        assert_eq!(BatchRunner::with_workers(0).workers(), 1);
+        assert_eq!(BatchRunner::serial().workers(), 1);
+        assert!(BatchRunner::new().workers() >= 1);
+    }
+}

@@ -195,15 +195,13 @@ impl Observer for PropertyChecker {
                             previous: p,
                         });
                     }
-                    (Some(p), Some(c)) => {
-                        if c != p + 1 {
-                            self.record(Violation::Correctness {
-                                node: NodeId::new(i as u32),
-                                round: observation.round,
-                                previous: p,
-                                current: c,
-                            });
-                        }
+                    (Some(p), Some(c)) if c != p + 1 => {
+                        self.record(Violation::Correctness {
+                            node: NodeId::new(i as u32),
+                            round: observation.round,
+                            previous: p,
+                            current: c,
+                        });
                     }
                     _ => {}
                 }
@@ -217,8 +215,8 @@ impl Observer for PropertyChecker {
 mod checker_tests {
     use super::*;
     use wsync_radio::adversary::DisruptionSet;
-    use wsync_radio::metrics::SimMetrics;
     use wsync_radio::engine::NodeSummary;
+    use wsync_radio::metrics::SimMetrics;
     use wsync_radio::trace::ActionView;
 
     /// Feeds a sequence of per-round output vectors into the checker.
@@ -286,7 +284,11 @@ mod checker_tests {
         assert_eq!(report.total_violations, 1);
         assert!(matches!(
             report.violations[0],
-            Violation::SynchCommit { previous: 5, round: 1, .. }
+            Violation::SynchCommit {
+                previous: 5,
+                round: 1,
+                ..
+            }
         ));
         assert!(!report.all_hold());
     }
@@ -298,7 +300,11 @@ mod checker_tests {
         assert_eq!(report.total_violations, 1);
         assert!(matches!(
             report.violations[0],
-            Violation::Correctness { previous: 5, current: 7, .. }
+            Violation::Correctness {
+                previous: 5,
+                current: 7,
+                ..
+            }
         ));
     }
 

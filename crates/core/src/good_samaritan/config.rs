@@ -402,9 +402,7 @@ mod tests {
         }
         // the threshold is (approximately) independent of k because both the
         // epoch length and the divisor scale with 2^k
-        assert!(
-            (c.success_threshold(1) as i64 - c.success_threshold(c.lg_f()) as i64).abs() <= 1
-        );
+        assert!((c.success_threshold(1) as i64 - c.success_threshold(c.lg_f()) as i64).abs() <= 1);
     }
 
     #[test]
@@ -452,7 +450,13 @@ mod tests {
         let c = GoodSamaritanConfig::new(16, 1, 0);
         assert_eq!(c.lg_f(), 0);
         assert_eq!(c.optimistic_total(), 0);
-        assert!(matches!(c.phase_at(0), Phase::Fallback { epoch: 1, round_in_epoch: 0 }));
+        assert!(matches!(
+            c.phase_at(0),
+            Phase::Fallback {
+                epoch: 1,
+                round_in_epoch: 0
+            }
+        ));
     }
 
     proptest! {

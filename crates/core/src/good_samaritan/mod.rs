@@ -287,7 +287,9 @@ impl GoodSamaritanProtocol {
         if rng.gen_bool(0.5) {
             self.current_round_special = false;
             let frequency = self.sample_prefix(self.config.f_prime(), rng);
-            let p = self.config.broadcast_probability(epoch.min(self.config.lg_n()));
+            let p = self
+                .config
+                .broadcast_probability(epoch.min(self.config.lg_n()));
             if rng.gen_bool(p) {
                 Action::broadcast(frequency, self.own_message(false, false))
             } else {
@@ -464,10 +466,8 @@ impl Protocol for GoodSamaritanProtocol {
                         // downgraded."
                         self.role = SamaritanRole::Samaritan;
                     }
-                    SamaritanRole::FallbackContender => {
-                        if timestamp > self.timestamp {
-                            self.role = SamaritanRole::FallbackKnockedOut;
-                        }
+                    SamaritanRole::FallbackContender if timestamp > self.timestamp => {
+                        self.role = SamaritanRole::FallbackKnockedOut;
                     }
                     _ => {}
                 },
@@ -724,7 +724,7 @@ mod tests {
                 special: false,
                 report: Some(SuccessReport {
                     contender_uid: p.uid(),
-                    count: threshold.saturating_sub(1).max(0),
+                    count: threshold.saturating_sub(1),
                 }),
             }),
             &mut rng,
@@ -754,7 +754,13 @@ mod tests {
     fn adopts_leader_numbering_and_increments() {
         let (mut p, mut rng) = activated(8);
         p.choose_action(0, &mut rng);
-        p.on_feedback(0, received(GoodSamaritanMsg::Leader { announced_round: 99 }), &mut rng);
+        p.on_feedback(
+            0,
+            received(GoodSamaritanMsg::Leader {
+                announced_round: 99,
+            }),
+            &mut rng,
+        );
         assert_eq!(p.role(), SamaritanRole::Synchronized);
         assert_eq!(p.output(), Some(99));
         for r in 1..4 {
@@ -853,7 +859,10 @@ mod tests {
                 break;
             }
         }
-        assert!(announced_checked, "leader should broadcast within 200 rounds");
+        assert!(
+            announced_checked,
+            "leader should broadcast within 200 rounds"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   an adversary and an activation schedule into the `wsync-radio` engine
 //!   and summarize the outcome (rounds to synchronization, leader count,
 //!   property violations).
+//! * [`batch`] — the [`BatchRunner`](batch::BatchRunner): deterministic
+//!   parallel execution of independent Monte-Carlo trials across a worker
+//!   pool, with seed-ordered results and shared aggregation folds.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod checker;
 pub mod good_samaritan;
 pub mod params;
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use crate::baselines::{
         RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol,
     };
+    pub use crate::batch::{BatchRunner, BatchStats, ProtocolKind};
     pub use crate::checker::{PropertyChecker, PropertyReport, Violation};
     pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
     pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};

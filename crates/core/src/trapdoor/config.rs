@@ -212,11 +212,15 @@ mod tests {
         assert_eq!(TrapdoorConfig::new(64, 16, 12).f_prime(), 16);
         assert_eq!(TrapdoorConfig::new(64, 16, 0).f_prime(), 1);
         assert_eq!(
-            TrapdoorConfig::new(64, 16, 4).with_frequency_limit(1).f_prime(),
+            TrapdoorConfig::new(64, 16, 4)
+                .with_frequency_limit(1)
+                .f_prime(),
             1
         );
         assert_eq!(
-            TrapdoorConfig::new(64, 4, 1).with_frequency_limit(100).f_prime(),
+            TrapdoorConfig::new(64, 4, 1)
+                .with_frequency_limit(100)
+                .f_prime(),
             4
         );
     }

@@ -180,7 +180,12 @@ impl Protocol for TrapdoorProtocol {
         }
     }
 
-    fn on_feedback(&mut self, local_round: u64, feedback: Feedback<TrapdoorMsg>, _rng: &mut SimRng) {
+    fn on_feedback(
+        &mut self,
+        local_round: u64,
+        feedback: Feedback<TrapdoorMsg>,
+        _rng: &mut SimRng,
+    ) {
         let was_synced = self.output.is_some();
 
         if let Feedback::Received(received) = &feedback {
@@ -414,18 +419,24 @@ mod tests {
         let mut p = TrapdoorProtocol::new(config);
         let mut rng = SimRng::from_seed(8);
         p.on_activate(ActivationInfo::new(256, 4, 1), &mut rng);
-        let last_epoch_start = config.total_contention_rounds() - config.epoch_length(config.num_epochs());
+        let last_epoch_start =
+            config.total_contention_rounds() - config.epoch_length(config.num_epochs());
         for i in 0..trials {
             // sample epoch-1 behaviour (without feeding feedback, the role
             // stays contender and probabilities depend only on the round)
             if p.choose_action(0, &mut rng).is_broadcast() {
                 early += 1;
             }
-            if p.choose_action(last_epoch_start + (i % 4), &mut rng).is_broadcast() {
+            if p.choose_action(last_epoch_start + (i % 4), &mut rng)
+                .is_broadcast()
+            {
                 late += 1;
             }
         }
-        assert!(late > early, "late epochs must broadcast more ({late} vs {early})");
+        assert!(
+            late > early,
+            "late epochs must broadcast more ({late} vs {early})"
+        );
         assert!(late as f64 > trials as f64 * 0.3);
         assert!((early as f64) < trials as f64 * 0.1);
     }

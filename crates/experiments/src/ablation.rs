@@ -8,36 +8,20 @@
 //!   bound has `F·t/(F−t)` rather than `F²/(F−t)`), while restricting to a
 //!   single frequency destroys agreement under jamming.
 
-use wsync_core::runner::{run_trapdoor_with, AdversaryKind, Scenario};
+use wsync_core::batch::{BatchRunner, ProtocolKind};
+use wsync_core::runner::{AdversaryKind, Scenario};
 use wsync_core::trapdoor::TrapdoorConfig;
 use wsync_stats::{Summary, Table};
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
-fn measure(
-    scenario: &Scenario,
-    config: TrapdoorConfig,
-    seeds: u64,
-) -> (Summary, f64, f64) {
-    let mut rounds = Vec::new();
-    let mut clean = 0usize;
-    let mut single_leader = 0usize;
-    for seed in 0..seeds {
-        let outcome = run_trapdoor_with(scenario, config, seed);
-        if let Some(r) = outcome.completion_round() {
-            rounds.push(r as f64);
-        }
-        if outcome.is_clean() {
-            clean += 1;
-        }
-        if outcome.leaders == 1 {
-            single_leader += 1;
-        }
-    }
+fn measure(scenario: &Scenario, config: TrapdoorConfig, seeds: u64) -> (Summary, f64, f64) {
+    let stats =
+        BatchRunner::new().run_stats(scenario, &ProtocolKind::TrapdoorWith(config), 0..seeds);
     (
-        Summary::from_slice(&rounds),
-        clean as f64 / seeds as f64,
-        single_leader as f64 / seeds as f64,
+        stats.completion_rounds,
+        stats.clean_rate(),
+        stats.single_leader_rate(),
     )
 }
 
@@ -139,7 +123,10 @@ mod tests {
         let rows = report.tables[0].rows();
         let fast: f64 = rows[0][1].parse().unwrap();
         let slow: f64 = rows[rows.len() - 1][1].parse().unwrap();
-        assert!(slow > fast, "longer epochs must take longer ({slow} vs {fast})");
+        assert!(
+            slow > fast,
+            "longer epochs must take longer ({slow} vs {fast})"
+        );
     }
 
     #[test]

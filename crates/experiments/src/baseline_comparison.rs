@@ -8,11 +8,9 @@
 //! the wake-up baseline needs a conservative fixed deadline, and the
 //! deterministic hopper is vulnerable to synchronized-collision patterns.
 
-use wsync_core::runner::{
-    run_round_robin, run_single_frequency, run_trapdoor, run_wakeup, AdversaryKind, Scenario,
-};
-use wsync_core::SyncOutcome;
-use wsync_stats::{Summary, Table};
+use wsync_core::batch::{BatchRunner, ProtocolKind};
+use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
@@ -28,26 +26,17 @@ pub struct BaselineRow {
     pub clean_rate: f64,
 }
 
-fn aggregate<F: Fn(u64) -> SyncOutcome>(run: F, seeds: u64) -> BaselineRow {
-    let mut rounds = Vec::new();
-    let mut synced = 0usize;
-    let mut clean = 0usize;
-    for seed in 0..seeds {
-        let outcome = run(seed);
-        if outcome.result.all_synchronized {
-            synced += 1;
-        }
-        if outcome.is_clean() {
-            clean += 1;
-        }
-        if let Some(r) = outcome.completion_round() {
-            rounds.push(r as f64);
-        }
-    }
+fn aggregate(
+    runner: &BatchRunner,
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seeds: u64,
+) -> BaselineRow {
+    let stats = runner.run_stats(scenario, &protocol, 0..seeds);
     BaselineRow {
-        mean_completion: Summary::from_slice(&rounds).mean,
-        sync_rate: synced as f64 / seeds as f64,
-        clean_rate: clean as f64 / seeds as f64,
+        mean_completion: stats.completion_rounds.mean,
+        sync_rate: stats.sync_rate(),
+        clean_rate: stats.clean_rate(),
     }
 }
 
@@ -75,16 +64,23 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
         let scenario = Scenario::new(n_nodes, f, t)
             .with_adversary(AdversaryKind::Random)
             .with_max_rounds(60_000);
+        let runner = BatchRunner::new();
         let rows: Vec<(&str, BaselineRow)> = vec![
-            ("trapdoor", aggregate(|s| run_trapdoor(&scenario, s), seeds)),
-            ("wakeup", aggregate(|s| run_wakeup(&scenario, s), seeds)),
+            (
+                "trapdoor",
+                aggregate(&runner, &scenario, ProtocolKind::Trapdoor, seeds),
+            ),
+            (
+                "wakeup",
+                aggregate(&runner, &scenario, ProtocolKind::Wakeup, seeds),
+            ),
             (
                 "round-robin",
-                aggregate(|s| run_round_robin(&scenario, s), seeds),
+                aggregate(&runner, &scenario, ProtocolKind::RoundRobin, seeds),
             ),
             (
                 "single-frequency",
-                aggregate(|s| run_single_frequency(&scenario, s), seeds),
+                aggregate(&runner, &scenario, ProtocolKind::SingleFrequency, seeds),
             ),
         ];
         for (name, row) in rows {

@@ -6,10 +6,11 @@
 //! that — it should win for small `t′` and lose (by roughly a `log N`
 //! factor) when `t′` approaches `t`.
 
+use wsync_core::batch::{BatchRunner, ProtocolKind};
 use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{run_good_samaritan_with, run_trapdoor, AdversaryKind, Scenario};
+use wsync_core::runner::{AdversaryKind, Scenario};
 use wsync_radio::activation::ActivationSchedule;
-use wsync_stats::{Summary, Table};
+use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
@@ -45,20 +46,20 @@ pub fn x1_crossover(effort: Effort) -> ExperimentReport {
             .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
             .with_activation(ActivationSchedule::Simultaneous);
         let gs_config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
-        let mut gs_rounds = Vec::new();
-        let mut td_rounds = Vec::new();
-        for seed in 0..seeds {
-            if let Some(r) = run_good_samaritan_with(&scenario, gs_config, seed).completion_round()
-            {
-                gs_rounds.push(r as f64);
-            }
-            if let Some(r) = run_trapdoor(&scenario, seed).completion_round() {
-                td_rounds.push(r as f64);
-            }
-        }
-        let gs = Summary::from_slice(&gs_rounds).mean;
-        let td = Summary::from_slice(&td_rounds).mean;
-        let winner = if gs < td { "good-samaritan" } else { "trapdoor" };
+        let runner = BatchRunner::new();
+        let gs_stats = runner.run_stats(
+            &scenario,
+            &ProtocolKind::GoodSamaritanWith(gs_config),
+            0..seeds,
+        );
+        let td_stats = runner.run_stats(&scenario, &ProtocolKind::Trapdoor, 0..seeds);
+        let gs = gs_stats.completion_rounds.mean;
+        let td = td_stats.completion_rounds.mean;
+        let winner = if gs < td {
+            "good-samaritan"
+        } else {
+            "trapdoor"
+        };
         if gs < td {
             gs_wins += 1;
         }

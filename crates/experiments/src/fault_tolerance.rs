@@ -17,6 +17,7 @@
 //! if it had one — keeps incrementing, which models a leader whose
 //! transmitter died rather than a full machine wipe).
 
+use wsync_core::batch::BatchRunner;
 use wsync_core::runner::{run_protocol, AdversaryKind, Scenario, SyncProtocol};
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::action::Action;
@@ -118,29 +119,34 @@ pub fn ft1_leader_crash(effort: Effort) -> ExperimentReport {
     let mut early_synced_all = 0u64;
     let mut late_synced = 0u64;
     let mut total_violations = 0u64;
-    for seed in 0..seeds {
-        // Node 0 is activated first (largest timestamp) so it wins the
-        // competition w.h.p.; we crash it shortly after it would have
-        // finished disseminating, and activate one extra node long after the
-        // crash.
-        let config = TrapdoorConfig::new(64, f, t);
-        let crash_at = config.total_contention_rounds() * 4;
-        let late_activation = crash_at * 3;
-        let mut activations: Vec<u64> = (0..n_nodes as u64).map(|i| i * 3).collect();
-        activations.push(late_activation);
-        let scenario = Scenario::new(n_nodes + 1, f, t)
-            .with_upper_bound(64)
-            .with_adversary(AdversaryKind::Random)
-            .with_activation(ActivationSchedule::Explicit(activations))
-            .with_max_rounds(late_activation + 30_000);
-        let outcome = run_protocol(
-            &scenario,
+    // Node 0 is activated first (largest timestamp) so it wins the
+    // competition w.h.p.; we crash it shortly after it would have finished
+    // disseminating, and activate one extra node long after the crash.
+    let config = TrapdoorConfig::new(64, f, t);
+    let crash_at = config.total_contention_rounds() * 4;
+    let late_activation = crash_at * 3;
+    let mut activations: Vec<u64> = (0..n_nodes as u64).map(|i| i * 3).collect();
+    activations.push(late_activation);
+    let scenario = Scenario::new(n_nodes + 1, f, t)
+        .with_upper_bound(64)
+        .with_adversary(AdversaryKind::Random)
+        .with_activation(ActivationSchedule::Explicit(activations))
+        .with_max_rounds(late_activation + 30_000);
+    let outcomes = BatchRunner::new().run_with(&scenario, 0..seeds, |s, seed| {
+        run_protocol(
+            s,
             |id: NodeId| {
-                let crash = if id.index() == 0 { Some(crash_at) } else { None };
+                let crash = if id.index() == 0 {
+                    Some(crash_at)
+                } else {
+                    None
+                };
                 CrashWrapper::new(TrapdoorProtocol::new(config), crash)
             },
             seed,
-        );
+        )
+    });
+    for (seed, outcome) in outcomes.iter().enumerate() {
         let early_ok = outcome.result.nodes[..n_nodes]
             .iter()
             .all(|nd| nd.sync_round.is_some());
@@ -186,7 +192,10 @@ mod tests {
     fn ft1_smoke_shows_split_brain_after_leader_crash() {
         let report = ft1_leader_crash(Effort::Smoke);
         for row in report.tables[0].rows() {
-            assert_eq!(row[1], "true", "early devices must sync before the crash: {row:?}");
+            assert_eq!(
+                row[1], "true",
+                "early devices must sync before the crash: {row:?}"
+            );
             assert_eq!(
                 row[3], "true",
                 "the late joiner must self-elect after the crash: {row:?}"

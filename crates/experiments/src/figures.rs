@@ -33,7 +33,12 @@ pub fn figure1(effort: Effort) -> ExperimentReport {
             t,
             config.f_prime()
         ),
-        &["epoch", "length (rounds)", "broadcast prob.", "paper prob. (2^e/2N)"],
+        &[
+            "epoch",
+            "length (rounds)",
+            "broadcast prob.",
+            "paper prob. (2^e/2N)",
+        ],
     );
     for spec in config.schedule() {
         let paper_prob = 2f64.powi(spec.epoch as i32) / (2.0 * config.upper_bound_n as f64);
@@ -157,7 +162,10 @@ mod tests {
         let report = figure2(Effort::Smoke);
         let config = GoodSamaritanConfig::new(64, 8, 3);
         assert_eq!(report.tables[0].len() as u32, config.lg_f());
-        assert_eq!(report.tables[1].len() as u32, config.epochs_per_super_epoch());
+        assert_eq!(
+            report.tables[1].len() as u32,
+            config.epochs_per_super_epoch()
+        );
         assert!(report.tables[2].len() <= 16);
         assert!(!report.notes.is_empty());
     }

@@ -12,9 +12,33 @@ use wsync_analysis::balls_in_bins::{no_singleton_probability_exact, BallsInBins}
 use wsync_analysis::formulas::Bounds;
 use wsync_analysis::good_probability::Claim3Ladder;
 use wsync_analysis::two_node::{RendezvousGame, RendezvousStrategy};
+use wsync_core::batch::BatchRunner;
 use wsync_stats::{fit_through_origin, Table};
 
 use crate::output::{fmt, Effort, ExperimentReport};
+
+/// Parallel drop-in for [`RendezvousGame::mean_rounds`]: plays the trials
+/// across cores (each trial is a pure function of `seed + i`) and applies
+/// the identical mean-over-finishers fold, so the result is bit-identical
+/// to the serial method.
+fn mean_rounds_sharded(
+    runner: &BatchRunner,
+    game: &RendezvousGame,
+    trials: usize,
+    max_rounds: u64,
+    seed: u64,
+) -> f64 {
+    let results = runner.map(0..trials as u64, |i| {
+        game.simulate(max_rounds, seed.wrapping_add(i))
+    });
+    let met = results.iter().flatten().count();
+    let total: u64 = results.iter().flatten().sum();
+    if met == 0 {
+        f64::INFINITY
+    } else {
+        total as f64 / met as f64
+    }
+}
 
 /// LB1 — Lemma 2 and Claim 3.
 pub fn lb1_balls_in_bins(effort: Effort) -> ExperimentReport {
@@ -24,7 +48,14 @@ pub fn lb1_balls_in_bins(effort: Effort) -> ExperimentReport {
     );
     let mut table = Table::new(
         "Lemma 2: exact no-singleton probability vs the 2^{-s} bound",
-        &["s (good bins)", "balls m", "good mass", "exact P", "2^{-s}", "P / bound"],
+        &[
+            "s (good bins)",
+            "balls m",
+            "good mass",
+            "exact P",
+            "2^{-s}",
+            "P / bound",
+        ],
     );
     let ss: Vec<usize> = match effort {
         Effort::Smoke => vec![1, 3],
@@ -105,7 +136,15 @@ pub fn lb2_two_node(effort: Effort) -> ExperimentReport {
     let eps = 0.01;
     let settings: Vec<(u32, u32)> = match effort {
         Effort::Smoke => vec![(8, 2), (16, 12)],
-        Effort::Quick => vec![(8, 2), (8, 6), (16, 4), (16, 8), (16, 12), (32, 16), (32, 28)],
+        Effort::Quick => vec![
+            (8, 2),
+            (8, 6),
+            (16, 4),
+            (16, 8),
+            (16, 12),
+            (32, 16),
+            (32, 28),
+        ],
         Effort::Full => vec![
             (8, 2),
             (8, 4),
@@ -134,9 +173,10 @@ pub fn lb2_two_node(effort: Effort) -> ExperimentReport {
     );
     let mut measured = Vec::new();
     let mut bound_vals = Vec::new();
+    let runner = BatchRunner::new();
     for &(f, t) in &settings {
         let game = RendezvousGame::symmetric(f, t, RendezvousStrategy::UniformAll);
-        let mean = game.mean_rounds(trials, 10_000_000, 42);
+        let mean = mean_rounds_sharded(&runner, &game, trials, 10_000_000, 42);
         let expected = game.expected_rounds();
         let bound = game.theorem4_bound(eps);
         measured.push(mean);
@@ -176,7 +216,12 @@ pub fn lb3_gap(effort: Effort) -> ExperimentReport {
     };
     let mut table = Table::new(
         "Lower bound vs upper bound (F=32, t=16)",
-        &["N", "Theorem 5 (lower)", "Theorem 10 (upper)", "gap (upper/lower)"],
+        &[
+            "N",
+            "Theorem 5 (lower)",
+            "Theorem 10 (upper)",
+            "gap (upper/lower)",
+        ],
     );
     for &n in &ns {
         let b = Bounds::new(n, 32, 16);
@@ -217,7 +262,10 @@ mod tests {
         let report = lb2_two_node(Effort::Smoke);
         for row in report.tables[0].rows() {
             let ratio: f64 = row[5].parse().unwrap();
-            assert!(ratio > 0.1, "measured time collapsed below the bound shape: {row:?}");
+            assert!(
+                ratio > 0.1,
+                "measured time collapsed below the bound shape: {row:?}"
+            );
         }
     }
 

@@ -3,26 +3,28 @@
 //! adversary disrupting at most `t′ < t` frequencies) and in `O(F·log³N)`
 //! rounds in every execution.
 
+use wsync_core::batch::{BatchRunner, ProtocolKind};
 use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{run_good_samaritan_with, AdversaryKind, Scenario};
+use wsync_core::runner::{AdversaryKind, Scenario};
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
-/// Runs the Good Samaritan protocol over several seeds and reports the mean
-/// completion round, the fraction of runs finishing during the optimistic
-/// portion, and the fraction of clean runs.
+/// Runs the Good Samaritan protocol over several seeds (sharded across
+/// cores) and reports the mean completion round, the fraction of runs
+/// finishing during the optimistic portion, and the fraction of clean runs.
 pub fn measure_samaritan(
     scenario: &Scenario,
     config: GoodSamaritanConfig,
     seeds: u64,
 ) -> (Summary, f64, f64) {
+    let outcomes =
+        BatchRunner::new().run(scenario, &ProtocolKind::GoodSamaritanWith(config), 0..seeds);
     let mut rounds = Vec::new();
     let mut optimistic = 0usize;
     let mut clean = 0usize;
-    for seed in 0..seeds {
-        let outcome = run_good_samaritan_with(scenario, config, seed);
+    for outcome in &outcomes {
         if let Some(r) = outcome.completion_round() {
             rounds.push(r as f64);
             if r < config.fallback_start() {

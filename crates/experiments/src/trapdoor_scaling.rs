@@ -9,7 +9,8 @@
 //! claimed shape is reproduced.
 
 use wsync_analysis::formulas::Bounds;
-use wsync_core::runner::{run_trapdoor, AdversaryKind, Scenario};
+use wsync_core::batch::{BatchRunner, ProtocolKind};
+use wsync_core::runner::{AdversaryKind, Scenario};
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
@@ -17,20 +18,11 @@ use crate::output::{fmt, Effort, ExperimentReport};
 
 /// Measures the mean (over seeds) of the worst per-node rounds-to-sync for a
 /// scenario, along with the fraction of clean runs (all synced, one leader,
-/// no safety violations).
+/// no safety violations). Trials are sharded across cores by
+/// [`BatchRunner`]; the aggregates are identical to a serial seed loop.
 pub fn measure_trapdoor(scenario: &Scenario, seeds: u64) -> (Summary, f64) {
-    let mut rounds = Vec::new();
-    let mut clean = 0usize;
-    for seed in 0..seeds {
-        let outcome = run_trapdoor(scenario, seed);
-        if let Some(r) = outcome.max_rounds_to_sync() {
-            rounds.push(r as f64);
-        }
-        if outcome.is_clean() {
-            clean += 1;
-        }
-    }
-    (Summary::from_slice(&rounds), clean as f64 / seeds as f64)
+    let stats = BatchRunner::new().run_stats(scenario, &ProtocolKind::Trapdoor, 0..seeds);
+    (stats.rounds_to_sync, stats.clean_rate())
 }
 
 fn scaling_report(
@@ -204,19 +196,13 @@ pub fn t10d_properties(effort: Effort) -> ExperimentReport {
             let scenario = Scenario::new(24, 16, 6)
                 .with_adversary(adversary.clone())
                 .with_activation(activation.clone());
-            let mut synced = 0u64;
-            let mut one_leader = 0u64;
-            let mut violations = 0u64;
-            for seed in 0..seeds {
-                let outcome = run_trapdoor(&scenario, 1000 + seed);
-                if outcome.result.all_synchronized {
-                    synced += 1;
-                }
-                if outcome.leaders == 1 {
-                    one_leader += 1;
-                }
-                violations += outcome.properties.total_violations;
-            }
+            let stats = BatchRunner::new().run_stats(
+                &scenario,
+                &ProtocolKind::Trapdoor,
+                1000..1000 + seeds,
+            );
+            let (synced, one_leader, violations) =
+                (stats.synced, stats.single_leader, stats.total_violations);
             total_runs += seeds;
             total_single_leader += one_leader;
             table.push_row(vec![

@@ -7,6 +7,7 @@
 //! [`TrapdoorProtocol::broadcast_weight_at`]), recording the maximum weight
 //! ever observed.
 
+use wsync_core::batch::BatchRunner;
 use wsync_core::runner::{AdversaryKind, Scenario};
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::engine::Engine;
@@ -83,11 +84,10 @@ pub fn l9_weight_bound(effort: Effort) -> ExperimentReport {
                 batch_size: (n / 4).max(1),
                 gap: 13,
             });
-        let mut max_w: f64 = 0.0;
-        for seed in 0..seeds {
-            let (w, _rounds) = max_broadcast_weight(&scenario, seed);
-            max_w = max_w.max(w);
-        }
+        let max_w = BatchRunner::new()
+            .map(0..seeds, |seed| max_broadcast_weight(&scenario, seed).0)
+            .into_iter()
+            .fold(0.0f64, f64::max);
         let ratio = max_w / bound;
         worst_ratio = worst_ratio.max(ratio);
         table.push_row(vec![

@@ -65,9 +65,7 @@ impl ActivationSchedule {
     pub fn activation_rounds(&self, n: usize, rng: &mut SimRng) -> Vec<u64> {
         match self {
             ActivationSchedule::Simultaneous => vec![0; n],
-            ActivationSchedule::Staggered { gap } => {
-                (0..n as u64).map(|i| i * gap).collect()
-            }
+            ActivationSchedule::Staggered { gap } => (0..n as u64).map(|i| i * gap).collect(),
             ActivationSchedule::Batches { batch_size, gap } => {
                 let bs = (*batch_size).max(1) as u64;
                 (0..n as u64).map(|i| (i / bs) * gap).collect()
@@ -193,8 +191,7 @@ mod tests {
     #[test]
     fn poisson_is_nondecreasing() {
         let mut rng = SimRng::from_seed(3);
-        let rounds =
-            ActivationSchedule::Poisson { mean_gap: 4.0 }.activation_rounds(50, &mut rng);
+        let rounds = ActivationSchedule::Poisson { mean_gap: 4.0 }.activation_rounds(50, &mut rng);
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(rounds[0], 0);
     }

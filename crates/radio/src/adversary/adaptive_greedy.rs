@@ -153,9 +153,24 @@ mod tests {
         hist.push(RoundRecord {
             round: 0,
             activity: vec![
-                FrequencyActivity { broadcasters: 5, listeners: 0, disrupted: false, delivered: false },
-                FrequencyActivity { broadcasters: 0, listeners: 9, disrupted: false, delivered: false },
-                FrequencyActivity { broadcasters: 1, listeners: 0, disrupted: false, delivered: false },
+                FrequencyActivity {
+                    broadcasters: 5,
+                    listeners: 0,
+                    disrupted: false,
+                    delivered: false,
+                },
+                FrequencyActivity {
+                    broadcasters: 0,
+                    listeners: 9,
+                    disrupted: false,
+                    delivered: false,
+                },
+                FrequencyActivity {
+                    broadcasters: 1,
+                    listeners: 0,
+                    disrupted: false,
+                    delivered: false,
+                },
             ],
             active_nodes: 15,
             newly_activated: 0,
@@ -172,6 +187,8 @@ mod tests {
         let mut hist = History::new();
         hist.push(record_with_listeners(0, &[3, 3, 3]));
         let mut adv = AdaptiveGreedyAdversary::new(0);
-        assert!(adv.disrupt(1, band, &hist, &mut SimRng::from_seed(0)).is_empty());
+        assert!(adv
+            .disrupt(1, band, &hist, &mut SimRng::from_seed(0))
+            .is_empty());
     }
 }

@@ -220,10 +220,8 @@ mod tests {
 
     #[test]
     fn truncate_to_budget_keeps_lowest() {
-        let mut s = DisruptionSet::from_frequencies(
-            6,
-            [1u32, 3, 4, 6].into_iter().map(Frequency::new),
-        );
+        let mut s =
+            DisruptionSet::from_frequencies(6, [1u32, 3, 4, 6].into_iter().map(Frequency::new));
         let removed = s.truncate_to_budget(2);
         assert_eq!(removed, 2);
         assert_eq!(s.len(), 2);

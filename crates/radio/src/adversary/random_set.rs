@@ -77,7 +77,9 @@ mod tests {
             .disrupt(0, band, &hist, &mut rng)
             .is_empty());
         assert_eq!(
-            RandomAdversary::new(10).disrupt(0, band, &hist, &mut rng).len(),
+            RandomAdversary::new(10)
+                .disrupt(0, band, &hist, &mut rng)
+                .len(),
             4
         );
     }
@@ -88,7 +90,9 @@ mod tests {
         let band = FrequencyBand::new(16);
         let hist = History::new();
         let mut rng = SimRng::from_seed(5);
-        let sets: Vec<DisruptionSet> = (0..20).map(|r| adv.disrupt(r, band, &hist, &mut rng)).collect();
+        let sets: Vec<DisruptionSet> = (0..20)
+            .map(|r| adv.disrupt(r, band, &hist, &mut rng))
+            .collect();
         let all_same = sets.iter().all(|s| *s == sets[0]);
         assert!(!all_same, "random adversary should vary its targets");
     }
@@ -101,7 +105,12 @@ mod tests {
             let mut adv = RandomAdversary::new(3);
             let mut rng = SimRng::from_seed(seed);
             (0..10)
-                .map(|r| adv.disrupt(r, band, &hist, &mut rng).iter().map(Frequency::index).collect())
+                .map(|r| {
+                    adv.disrupt(r, band, &hist, &mut rng)
+                        .iter()
+                        .map(Frequency::index)
+                        .collect()
+                })
                 .collect()
         };
         assert_eq!(run(7), run(7));

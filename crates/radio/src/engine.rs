@@ -165,7 +165,8 @@ impl NodeSummary {
     /// Number of rounds between activation and synchronization, if the node
     /// synchronized.
     pub fn rounds_to_sync(&self) -> Option<u64> {
-        self.sync_round.map(|s| s.saturating_sub(self.activation_round))
+        self.sync_round
+            .map(|s| s.saturating_sub(self.activation_round))
     }
 }
 
@@ -196,12 +197,20 @@ impl ExecutionResult {
         if !self.all_synchronized {
             return None;
         }
-        self.nodes.iter().map(|n| n.rounds_to_sync()).max().flatten()
+        self.nodes
+            .iter()
+            .map(|n| n.rounds_to_sync())
+            .max()
+            .flatten()
     }
 
     /// Mean per-node `rounds_to_sync` over nodes that synchronized.
     pub fn mean_rounds_to_sync(&self) -> f64 {
-        let synced: Vec<u64> = self.nodes.iter().filter_map(|n| n.rounds_to_sync()).collect();
+        let synced: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.rounds_to_sync())
+            .collect();
         if synced.is_empty() {
             0.0
         } else {
@@ -344,7 +353,8 @@ impl<P: Protocol, A: Adversary> Engine<P, A> {
 
         // 2. Actions.
         let mut actions: Vec<ActionView> = vec![ActionView::Inactive; self.config.num_nodes];
-        let mut broadcast_payload: Vec<Option<P::Msg>> = (0..self.config.num_nodes).map(|_| None).collect();
+        let mut broadcast_payload: Vec<Option<P::Msg>> =
+            (0..self.config.num_nodes).map(|_| None).collect();
         let mut broadcasters_per_freq: Vec<Vec<usize>> = vec![Vec::new(); f_count];
         let mut listeners_per_freq: Vec<Vec<usize>> = vec![Vec::new(); f_count];
         let mut active_count: u32 = 0;
@@ -385,7 +395,10 @@ impl<P: Protocol, A: Adversary> Engine<P, A> {
 
         // 3. Adversary.
         let mut disrupted = if self.config.adversary_sees_current_round {
-            let cur_b: Vec<u32> = broadcasters_per_freq.iter().map(|v| v.len() as u32).collect();
+            let cur_b: Vec<u32> = broadcasters_per_freq
+                .iter()
+                .map(|v| v.len() as u32)
+                .collect();
             let cur_l: Vec<u32> = listeners_per_freq.iter().map(|v| v.len() as u32).collect();
             self.adversary.disrupt_with_current(
                 round,
@@ -451,18 +464,16 @@ impl<P: Protocol, A: Adversary> Engine<P, A> {
                 ActionView::Inactive => unreachable!("active node has an action"),
                 ActionView::Sleep => Feedback::Slept,
                 ActionView::Broadcast(freq) => Feedback::Broadcasted { frequency: freq },
-                ActionView::Listen(freq) => {
-                    match delivered_sender_per_freq[freq.as_zero_based()] {
-                        Some(sender) => Feedback::Received(Received {
-                            sender: NodeId::new(sender as u32),
-                            frequency: freq,
-                            payload: broadcast_payload[sender]
-                                .clone()
-                                .expect("delivering sender has a payload"),
-                        }),
-                        None => Feedback::Silence { frequency: freq },
-                    }
-                }
+                ActionView::Listen(freq) => match delivered_sender_per_freq[freq.as_zero_based()] {
+                    Some(sender) => Feedback::Received(Received {
+                        sender: NodeId::new(sender as u32),
+                        frequency: freq,
+                        payload: broadcast_payload[sender]
+                            .clone()
+                            .expect("delivering sender has a payload"),
+                    }),
+                    None => Feedback::Silence { frequency: freq },
+                },
             };
             self.protocols[i].on_feedback(local_round, feedback, &mut self.node_rngs[i]);
             let output = self.protocols[i].output();
@@ -494,8 +505,7 @@ impl<P: Protocol, A: Adversary> Engine<P, A> {
     /// Whether every node has been activated and reports itself
     /// synchronized.
     pub fn all_synchronized(&self) -> bool {
-        (0..self.config.num_nodes)
-            .all(|i| self.activated[i] && self.protocols[i].is_synchronized())
+        (0..self.config.num_nodes).all(|i| self.activated[i] && self.protocols[i].is_synchronized())
     }
 
     /// Builds the result summary for the rounds executed so far.

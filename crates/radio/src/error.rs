@@ -69,7 +69,9 @@ mod tests {
         assert!(e.to_string().contains("N = 4"));
         assert!(ConfigError::NoNodes.to_string().contains("node"));
         assert!(ConfigError::NoFrequencies.to_string().contains("frequency"));
-        assert!(ConfigError::ZeroMaxRounds.to_string().contains("max_rounds"));
+        assert!(ConfigError::ZeroMaxRounds
+            .to_string()
+            .contains("max_rounds"));
     }
 
     #[test]

@@ -185,7 +185,14 @@ mod tests {
 
     #[test]
     fn record_aggregates() {
-        let r = record(3, &[(1, 2, false, true), (2, 0, true, false), (0, 1, false, false)]);
+        let r = record(
+            3,
+            &[
+                (1, 2, false, true),
+                (2, 0, true, false),
+                (0, 1, false, false),
+            ],
+        );
         assert_eq!(r.total_broadcasters(), 3);
         assert_eq!(r.total_listeners(), 3);
         assert_eq!(r.deliveries(), 1);

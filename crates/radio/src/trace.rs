@@ -156,12 +156,12 @@ impl FullTrace {
     /// The first recorded round in which node `node` produced a non-`⊥`
     /// output, if any.
     pub fn sync_round(&self, node: NodeId) -> Option<u64> {
-        self.events.iter().find_map(|e| {
-            match e.nodes.get(node.index()) {
+        self.events
+            .iter()
+            .find_map(|e| match e.nodes.get(node.index()) {
                 Some(NodeView::Active { output: Some(_) }) => Some(e.round),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// Total number of deliveries recorded.
@@ -246,15 +246,32 @@ mod tests {
         let newly = [NodeId::new(1)];
 
         let nodes_r0 = [NodeView::Active { output: None }, NodeView::Inactive];
-        let actions_r0 = [ActionView::Broadcast(Frequency::new(1)), ActionView::Inactive];
-        trace.on_round(&sample_observation(0, &nodes_r0, &actions_r0, &disrupted, &newly, &deliveries));
+        let actions_r0 = [
+            ActionView::Broadcast(Frequency::new(1)),
+            ActionView::Inactive,
+        ];
+        trace.on_round(&sample_observation(
+            0,
+            &nodes_r0,
+            &actions_r0,
+            &disrupted,
+            &newly,
+            &deliveries,
+        ));
 
         let nodes_r1 = [
             NodeView::Active { output: Some(7) },
             NodeView::Active { output: None },
         ];
         let actions_r1 = [ActionView::Listen(Frequency::new(2)), ActionView::Sleep];
-        trace.on_round(&sample_observation(1, &nodes_r1, &actions_r1, &disrupted, &[], &[]));
+        trace.on_round(&sample_observation(
+            1,
+            &nodes_r1,
+            &actions_r1,
+            &disrupted,
+            &[],
+            &[],
+        ));
 
         assert_eq!(trace.len(), 2);
         assert!(!trace.is_empty());
@@ -275,7 +292,14 @@ mod tests {
             let disrupted = DisruptionSet::empty(2);
             let nodes = [NodeView::Active { output: None }];
             let actions = [ActionView::Sleep];
-            multi.on_round(&sample_observation(0, &nodes, &actions, &disrupted, &[], &[]));
+            multi.on_round(&sample_observation(
+                0,
+                &nodes,
+                &actions,
+                &disrupted,
+                &[],
+                &[],
+            ));
         }
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
@@ -287,6 +311,13 @@ mod tests {
         let disrupted = DisruptionSet::empty(1);
         let nodes = [NodeView::Inactive];
         let actions = [ActionView::Inactive];
-        obs.on_round(&sample_observation(0, &nodes, &actions, &disrupted, &[], &[]));
+        obs.on_round(&sample_observation(
+            0,
+            &nodes,
+            &actions,
+            &disrupted,
+            &[],
+            &[],
+        ));
     }
 }

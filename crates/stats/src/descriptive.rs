@@ -34,6 +34,9 @@ impl Summary {
     }
 
     /// Computes a summary from an iterator of samples.
+    // Deliberately an inherent constructor, not `FromIterator`: a summary is
+    // a lossy reduction, so `collect()` would read misleadingly.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let mut online = OnlineStats::new();
         for x in iter {

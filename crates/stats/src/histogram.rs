@@ -79,7 +79,11 @@ impl Histogram {
         let mn = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let mx = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut hist = if samples.is_empty() || mx <= mn {
-            Histogram::linear(if mn.is_finite() { mn } else { 0.0 }, if mn.is_finite() { mn + 1.0 } else { 1.0 }, num_bins.max(1))
+            Histogram::linear(
+                if mn.is_finite() { mn } else { 0.0 },
+                if mn.is_finite() { mn + 1.0 } else { 1.0 },
+                num_bins.max(1),
+            )
         } else {
             Histogram::linear(mn, mx + (mx - mn) * 1e-9, num_bins)
         };

@@ -57,5 +57,8 @@ fn main() {
         outcome.result.metrics.jammed_solo_broadcasts
     );
 
-    assert!(outcome.is_clean(), "the quickstart scenario should always end cleanly");
+    assert!(
+        outcome.is_clean(),
+        "the quickstart scenario should always end cleanly"
+    );
 }

@@ -1,0 +1,93 @@
+//! Determinism guarantees of the simulator and the `BatchRunner`.
+//!
+//! Two claims, both load-bearing for every experiment in this workspace:
+//!
+//! 1. an execution is a pure function of `(Scenario, seed)` — running the
+//!    same trial twice yields a bit-identical [`SyncOutcome`], and
+//! 2. sharding a seed range across a worker pool changes *nothing*: the
+//!    per-trial outcomes, the [`BatchStats`] folds, and the experiment
+//!    tables built from them are identical whatever the worker count.
+
+use wireless_sync::experiments::trapdoor_scaling;
+use wireless_sync::experiments::Effort;
+use wireless_sync::prelude::*;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random),
+        Scenario::new(12, 12, 4)
+            .with_adversary(AdversaryKind::AdaptiveGreedy)
+            .with_activation(ActivationSchedule::Staggered { gap: 7 }),
+        Scenario::new(6, 16, 8).with_adversary(AdversaryKind::ObliviousRandom { t_actual: 3 }),
+    ]
+}
+
+#[test]
+fn same_scenario_and_seed_give_bit_identical_outcomes() {
+    for scenario in scenarios() {
+        for seed in [0u64, 7, 12345] {
+            let a = run_trapdoor(&scenario, seed);
+            let b = run_trapdoor(&scenario, seed);
+            assert_eq!(a, b, "trapdoor outcome must be a pure function of seed");
+            let c = run_good_samaritan(&scenario, seed);
+            let d = run_good_samaritan(&scenario, seed);
+            assert_eq!(
+                c, d,
+                "good-samaritan outcome must be a pure function of seed"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_batches_match_serial_batches_outcome_for_outcome() {
+    let seeds = 0..16u64;
+    for scenario in scenarios() {
+        let serial = BatchRunner::serial().run(&scenario, &ProtocolKind::Trapdoor, seeds.clone());
+        for workers in [2usize, 3, 8, 32] {
+            let parallel = BatchRunner::with_workers(workers).run(
+                &scenario,
+                &ProtocolKind::Trapdoor,
+                seeds.clone(),
+            );
+            assert_eq!(
+                serial, parallel,
+                "worker count {workers} changed the trial outcomes"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_aggregates_equal_serial_aggregates() {
+    let scenario = Scenario::new(10, 8, 3).with_adversary(AdversaryKind::Random);
+    let seeds = 100..124u64;
+    let serial =
+        BatchRunner::serial().run_stats(&scenario, &ProtocolKind::GoodSamaritan, seeds.clone());
+    let parallel =
+        BatchRunner::with_workers(6).run_stats(&scenario, &ProtocolKind::GoodSamaritan, seeds);
+    // BatchStats includes floating-point summaries; the folds run over
+    // seed-ordered outcomes on both sides, so even those are bit-identical.
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.trials, 24);
+}
+
+#[test]
+fn generic_map_is_order_and_schedule_independent() {
+    let serial: Vec<u64> = BatchRunner::serial().map(0..257, |s| s.wrapping_mul(s) ^ 0xABCD);
+    let parallel = BatchRunner::with_workers(16).map(0..257, |s| s.wrapping_mul(s) ^ 0xABCD);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn experiment_tables_are_reproducible() {
+    // The experiment harness runs its trials through BatchRunner::new(),
+    // whose worker count depends on the machine; the generated report —
+    // tables, notes, everything — must not.
+    let a = trapdoor_scaling::t10a_sweep_n(Effort::Smoke);
+    let b = trapdoor_scaling::t10a_sweep_n(Effort::Smoke);
+    assert_eq!(a, b, "experiment reports must be machine-independent");
+    let c = trapdoor_scaling::t10d_properties(Effort::Smoke);
+    let d = trapdoor_scaling::t10d_properties(Effort::Smoke);
+    assert_eq!(c, d);
+}

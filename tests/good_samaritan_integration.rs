@@ -34,7 +34,10 @@ fn good_execution_terminates_in_optimistic_portion() {
             "seed {seed}: safety violated: {:?}",
             outcome.properties.violations
         );
-        assert!(outcome.leaders >= 1, "seed {seed}: a leader must be elected");
+        assert!(
+            outcome.leaders >= 1,
+            "seed {seed}: a leader must be elected"
+        );
         let completion = outcome.completion_round().unwrap();
         if completion < config.fallback_start() {
             optimistic_wins += 1;
