@@ -1,5 +1,15 @@
 //! Micro-benchmarks of the simulation substrate itself: raw rounds per
 //! second of the engine under different node counts and adversaries.
+//!
+//! The `engine_throughput` group is the tracked perf baseline of the
+//! repository: its measured rounds/sec are recorded in `BENCH_engine.json`
+//! (see the "Performance" section of EXPERIMENTS.md). Run it with
+//!
+//! ```sh
+//! cargo bench -p wsync-bench --bench engine -- engine_throughput
+//! ```
+//!
+//! and set `CRITERION_JSON_OUT=<path>` to append machine-readable results.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wsync_core::runner::{AdversaryKind, Scenario};
@@ -38,5 +48,52 @@ fn bench_engine_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_rounds);
+/// The tracked engine baseline: steady-state rounds/sec of the full
+/// per-round pipeline (activation scan, Trapdoor action choice, random
+/// adversary, frequency resolution, feedback delivery, history append) over
+/// the grid N ∈ {16, 64, 256} × F ∈ {8, 32}, with the disruption bound set
+/// to t = F/4.
+///
+/// Each timed iteration covers one engine lifetime: construction (protocol
+/// instances, RNG streams, scratch buffers) plus 2000 stepped rounds, so the
+/// reported rounds/sec amortize a one-time O(N) setup — well under 1% of an
+/// iteration — over the steady-state dispatch the group exists to track.
+/// Before/after comparisons in `BENCH_engine.json` use this same
+/// methodology on both sides; the N=256/F=32 cell is the headline number.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    for n in [16usize, 64, 256] {
+        for f in [8u32, 32] {
+            let t = f / 4;
+            let scenario = Scenario::new(n, f, t).with_adversary(AdversaryKind::Random);
+            let config = TrapdoorConfig::new(scenario.upper_bound(), f, t);
+            let id = BenchmarkId::new(format!("N{n}"), format!("F{f}"));
+            group.bench_with_input(id, &scenario, |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let adversary = s.adversary.build(s, seed);
+                    let mut engine = Engine::new(
+                        s.sim_config().with_max_rounds(ROUNDS),
+                        |_| TrapdoorProtocol::new(config),
+                        adversary,
+                        s.activation.clone(),
+                        seed,
+                    )
+                    .unwrap();
+                    let mut obs = NullObserver;
+                    for _ in 0..ROUNDS {
+                        engine.step(&mut obs);
+                    }
+                    engine.metrics().deliveries
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds, bench_engine_throughput);
 criterion_main!(benches);

@@ -9,6 +9,12 @@
 //! statistics per benchmark to stdout. It performs real timed measurement
 //! (warm-up plus a fixed number of timed samples) but none of Criterion's
 //! statistical analysis or HTML reporting.
+//!
+//! When the `CRITERION_JSON_OUT` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line to that file
+//! (benchmark id, mean/median/min/max in nanoseconds, and elements-per-second
+//! throughput when annotated). The repository's committed `BENCH_*.json`
+//! baselines are produced from this output.
 
 #![forbid(unsafe_code)]
 
@@ -82,13 +88,60 @@ impl Bencher {
 
 /// The top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    filter: Vec<String>,
+    considered: usize,
+    ran: usize,
+}
+
+impl Drop for Criterion {
+    /// Flags a filter that deselected every benchmark — e.g. a value of a
+    /// real-Criterion flag this stub does not parse being mistaken for a
+    /// name filter — so an empty run is never silent.
+    fn drop(&mut self) {
+        if !self.filter.is_empty() && self.considered > 0 && self.ran == 0 {
+            eprintln!(
+                "criterion: no benchmark matched filter {:?} ({} considered); \
+                 note: this stub treats every non-flag argument as a name filter",
+                self.filter, self.considered
+            );
+        }
+    }
+}
 
 impl Criterion {
+    /// Reads the benchmark name filter from the process arguments, as real
+    /// Criterion does: positional arguments select benchmarks by substring
+    /// match; flags are ignored; no positional argument selects everything.
+    /// Called by [`criterion_group!`]; a `Criterion::default()` is
+    /// unfiltered.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Filter check that also keeps the considered/ran tally used by the
+    /// empty-run warning in [`Drop`].
+    fn select_and_count(&mut self, name: &str) -> bool {
+        self.considered += 1;
+        let selected = self.selected(name);
+        if selected {
+            self.ran += 1;
+        }
+        selected
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
             sample_size: 10,
             throughput: None,
@@ -101,7 +154,9 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id.id, 10, None, f);
+        if self.select_and_count(&id.id) {
+            run_one(&id.id, 10, None, f);
+        }
         self
     }
 }
@@ -109,7 +164,7 @@ impl Criterion {
 /// A named collection of benchmarks sharing sample-size and throughput
 /// settings.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
@@ -135,7 +190,9 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.sample_size, self.throughput, f);
+        if self.criterion.select_and_count(&full) {
+            run_one(&full, self.sample_size, self.throughput, f);
+        }
         self
     }
 
@@ -150,7 +207,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        if self.criterion.select_and_count(&full) {
+            run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        }
         self
     }
 
@@ -190,6 +249,72 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!("{name:<60} mean {mean:>12?}  median {median:>12?}  [{min:?} .. {max:?}]{rate}");
+    append_json_record(name, mean, median, min, max, throughput);
+}
+
+/// Escapes `s` for use inside a JSON string literal: backslash, double
+/// quote, and control characters only (everything else, including non-ASCII,
+/// is valid JSON as-is).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one JSON-lines record for a finished benchmark to the file named
+/// by `CRITERION_JSON_OUT`, if set. Errors are reported to stderr and
+/// otherwise ignored — a broken results file must never fail a bench run.
+fn append_json_record(
+    name: &str,
+    mean: Duration,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let per_sec = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!(
+                ",\"per_iter\":{n},\"per_sec\":{:.1}",
+                n as f64 / mean.as_secs_f64()
+            )
+        }
+        _ => String::new(),
+    };
+    let line = format!(
+        "{{\"id\":\"{}\",\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}{per_sec}}}\n",
+        json_escape(name),
+        mean.as_nanos(),
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion: could not append to {path}: {e}");
+    }
 }
 
 /// Declares a benchmark group function, mirroring `criterion_group!`.
@@ -197,7 +322,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -247,5 +372,48 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn json_escape_produces_valid_json_escapes() {
+        assert_eq!(json_escape("plain/id"), "plain/id");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("ctl\u{1}"), "ctl\\u0001");
+        // Non-ASCII and single quotes are valid JSON as-is.
+        assert_eq!(json_escape("N\u{2265}16'x"), "N\u{2265}16'x");
+    }
+
+    fn with_filter(v: &[&str]) -> Criterion {
+        Criterion {
+            filter: v.iter().map(|s| s.to_string()).collect(),
+            considered: 0,
+            ran: 0,
+        }
+    }
+
+    #[test]
+    fn filter_selects_by_substring_and_defaults_to_everything() {
+        assert!(Criterion::default().selected("group/bench"));
+        assert!(with_filter(&["group"]).selected("group/bench"));
+        assert!(with_filter(&["bench"]).selected("group/bench"));
+        assert!(!with_filter(&["other"]).selected("group/bench"));
+        assert!(with_filter(&["other", "bench"]).selected("group/bench"));
+    }
+
+    #[test]
+    fn filtered_out_benchmarks_do_not_run() {
+        let mut c = with_filter(&["only-this"]);
+        let mut ran = 0u32;
+        c.bench_function("something-else", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut group_ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &1u32, |b, _| {
+            b.iter(|| group_ran += 1)
+        });
+        group.finish();
+        assert_eq!(group_ran, 0);
     }
 }

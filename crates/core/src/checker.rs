@@ -2,7 +2,7 @@
 //! problem.
 //!
 //! [`PropertyChecker`] implements the radio engine's
-//! [`Observer`](wsync_radio::trace::Observer) hook and verifies, round by
+//! [`Observer`] hook and verifies, round by
 //! round and with O(n) memory:
 //!
 //! * **synch commit** — no node reverts from a round number to `⊥`;
@@ -12,7 +12,7 @@
 //! (**Validity** is enforced by the type system: outputs are `Option<u64>`.)
 //! **Liveness** is a whole-execution property and is filled in by
 //! [`PropertyChecker::finish`] from the engine's
-//! [`ExecutionResult`](wsync_radio::engine::ExecutionResult).
+//! [`ExecutionResult`].
 
 use serde::{Deserialize, Serialize};
 

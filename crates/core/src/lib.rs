@@ -22,7 +22,7 @@
 //!   an adversary and an activation schedule into the `wsync-radio` engine
 //!   and summarize the outcome (rounds to synchronization, leader count,
 //!   property violations).
-//! * [`batch`] — the [`BatchRunner`](batch::BatchRunner): deterministic
+//! * [`batch`] — the [`BatchRunner`]: deterministic
 //!   parallel execution of independent Monte-Carlo trials across a worker
 //!   pool, with seed-ordered results and shared aggregation folds.
 //!
@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod batch;

@@ -6,6 +6,7 @@
 //! engine's record of completed rounds in a form adversaries can query.
 
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 use crate::frequency::{Frequency, FrequencyBand};
 
@@ -72,9 +73,15 @@ impl RoundRecord {
 /// long executions cheap, the engine can be configured to retain only the
 /// most recent `w` rounds (see [`History::with_window`]); all adversaries in
 /// this crate only look a bounded number of rounds back.
+///
+/// Records are stored in a ring buffer, so windowed retention is O(1) per
+/// round, and the engine appends through
+/// [`push_recycled`](History::push_recycled), which reuses the evicted
+/// record's per-frequency buffer — in steady state the history performs no
+/// heap allocation at all.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct History {
-    records: Vec<RoundRecord>,
+    records: VecDeque<RoundRecord>,
     window: Option<usize>,
     dropped: u64,
 }
@@ -88,21 +95,57 @@ impl History {
     /// Creates an empty history that retains only the last `window` rounds.
     pub fn with_window(window: usize) -> Self {
         History {
-            records: Vec::new(),
+            records: VecDeque::new(),
             window: Some(window.max(1)),
             dropped: 0,
         }
     }
 
+    /// Evicts the oldest record if the retention window is full, returning
+    /// its cleared per-frequency buffer for reuse.
+    fn evict_for_push(&mut self) -> Option<Vec<FrequencyActivity>> {
+        match self.window {
+            Some(w) if self.records.len() >= w => {
+                let old = self.records.pop_front()?;
+                self.dropped += 1;
+                let mut buffer = old.activity;
+                buffer.clear();
+                Some(buffer)
+            }
+            _ => None,
+        }
+    }
+
     /// Appends the record of a completed round.
     pub fn push(&mut self, record: RoundRecord) {
-        self.records.push(record);
-        if let Some(w) = self.window {
-            while self.records.len() > w {
-                self.records.remove(0);
-                self.dropped += 1;
-            }
-        }
+        self.evict_for_push();
+        self.records.push_back(record);
+    }
+
+    /// Appends a completed round assembled from the engine's reusable
+    /// per-round buffers.
+    ///
+    /// `activity` is taken by swap: on return it holds an *empty* buffer —
+    /// the evicted record's recycled allocation once the retention window
+    /// has filled — ready to be refilled next round. This is the engine's
+    /// steady-state append path; it never allocates once the window is full.
+    pub fn push_recycled(
+        &mut self,
+        round: u64,
+        activity: &mut Vec<FrequencyActivity>,
+        active_nodes: u32,
+        newly_activated: u32,
+    ) {
+        let mut storage = self
+            .evict_for_push()
+            .unwrap_or_else(|| Vec::with_capacity(activity.len()));
+        std::mem::swap(&mut storage, activity);
+        self.records.push_back(RoundRecord {
+            round,
+            activity: storage,
+            active_nodes,
+            newly_activated,
+        });
     }
 
     /// Number of rounds recorded (and still retained).
@@ -123,17 +166,17 @@ impl History {
 
     /// The most recently completed round, if any.
     pub fn last(&self) -> Option<&RoundRecord> {
-        self.records.last()
+        self.records.back()
+    }
+
+    /// The `i`-th retained record, oldest first.
+    pub fn get(&self, i: usize) -> Option<&RoundRecord> {
+        self.records.get(i)
     }
 
     /// Iterates over the retained records from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = &RoundRecord> {
         self.records.iter()
-    }
-
-    /// The retained records as a slice (oldest first).
-    pub fn records(&self) -> &[RoundRecord] {
-        &self.records
     }
 
     /// Sums, per frequency, the number of listeners over the last
@@ -220,8 +263,30 @@ mod tests {
         }
         assert_eq!(h.len(), 2);
         assert_eq!(h.total_rounds(), 5);
-        assert_eq!(h.records()[0].round, 3);
+        assert_eq!(h.get(0).unwrap().round, 3);
         assert_eq!(h.last().unwrap().round, 4);
+    }
+
+    #[test]
+    fn push_recycled_matches_push_and_reuses_buffers() {
+        let mut plain = History::with_window(3);
+        let mut recycled = History::with_window(3);
+        let mut scratch: Vec<FrequencyActivity> = Vec::new();
+        for r in 0..8 {
+            let rec = record(r, &[(1, r as u32, false, false), (0, 2, r % 2 == 0, false)]);
+            scratch.extend(rec.activity.iter().cloned());
+            let active = rec.active_nodes;
+            plain.push(rec);
+            recycled.push_recycled(r, &mut scratch, active, 0);
+            assert!(scratch.is_empty(), "buffer is returned empty for reuse");
+        }
+        assert_eq!(plain.len(), recycled.len());
+        assert_eq!(plain.total_rounds(), recycled.total_rounds());
+        for (a, b) in plain.iter().zip(recycled.iter()) {
+            assert_eq!(a, b);
+        }
+        // Once the window is full the recycled buffer keeps its capacity.
+        assert!(scratch.capacity() >= 2);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!   in the paper's Theorem 1 and oblivious adversaries as assumed by the
 //!   Good Samaritan analysis),
 //! * pluggable [`activation`] schedules,
-//! * execution [`trace`]s, [`metrics`], and an [`Observer`](trace::Observer)
+//! * execution [`trace`]s, [`metrics`], and an [`Observer`]
 //!   hook for online property checking.
 //!
 //! # Example
@@ -78,7 +78,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod action;
 pub mod activation;

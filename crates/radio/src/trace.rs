@@ -66,6 +66,10 @@ pub struct Delivery {
 }
 
 /// Everything an observer sees about one completed round.
+///
+/// The slices borrow the engine's reusable per-round buffers and are valid
+/// only for the duration of the [`Observer::on_round`] call — an observer
+/// that retains data across rounds must copy it (as [`FullTrace`] does).
 #[derive(Debug)]
 pub struct RoundObservation<'a> {
     /// The global round number (0-based).

@@ -1,0 +1,208 @@
+//! Golden-outcome regression tests for the radio engine.
+//!
+//! Each case below pins the exact [`SyncOutcome`] — rounds executed, leader
+//! count, property verdicts, per-node summaries, and every engine metric —
+//! of one `(protocol, adversary, N, seed)` combination. The pinned digests
+//! were captured from the engine *before* the flat structure-of-arrays
+//! round-dispatch rewrite; the current engine must reproduce them bit for
+//! bit, proving the rewrite is observationally identical.
+//!
+//! The digest is FNV-1a over the `Debug` rendering of the full outcome, so
+//! any divergence anywhere in the outcome (a metric off by one, a changed
+//! sync round, a different violation) changes the digest. The side fields
+//! (rounds, leaders, synced, violations) are asserted separately so a
+//! failure points at what moved before anyone has to diff debug dumps.
+//!
+//! To re-record after an *intentional* semantic change, run
+//!
+//! ```sh
+//! cargo test --test engine_golden -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::runner::{run_round_robin, run_single_frequency, run_wakeup};
+
+/// 64-bit FNV-1a, the digest of a full outcome's `Debug` rendering.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn digest(outcome: &SyncOutcome) -> u64 {
+    fnv1a(format!("{outcome:?}").as_bytes())
+}
+
+/// The fixed scenario grid: six protocol/adversary/activation combinations
+/// spanning every protocol family, adaptive and oblivious adversaries,
+/// staggered and randomized activation, and one known-dirty execution.
+fn cases() -> Vec<(&'static str, SyncOutcome)> {
+    vec![
+        (
+            "trapdoor/random/n8",
+            run_trapdoor(
+                &Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random),
+                42,
+            ),
+        ),
+        (
+            "trapdoor/fixed-band/staggered/n16",
+            run_trapdoor(
+                &Scenario::new(16, 8, 3)
+                    .with_adversary(AdversaryKind::FixedBand)
+                    .with_activation(ActivationSchedule::Staggered { gap: 2 }),
+                7,
+            ),
+        ),
+        (
+            "trapdoor/adaptive-greedy/uniform/n12",
+            run_trapdoor(
+                &Scenario::new(12, 16, 5)
+                    .with_adversary(AdversaryKind::AdaptiveGreedy)
+                    .with_activation(ActivationSchedule::UniformWindow { window: 8 }),
+                13,
+            ),
+        ),
+        (
+            "good-samaritan/oblivious/n8",
+            run_good_samaritan(
+                &Scenario::new(8, 8, 4)
+                    .with_adversary(AdversaryKind::ObliviousRandom { t_actual: 2 }),
+                11,
+            ),
+        ),
+        (
+            "good-samaritan/bursty/n10",
+            run_good_samaritan(
+                &Scenario::new(10, 16, 5).with_adversary(AdversaryKind::Bursty {
+                    period: 16,
+                    burst_len: 4,
+                }),
+                3,
+            ),
+        ),
+        (
+            "wakeup/sweep/n6",
+            run_wakeup(
+                &Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Sweep),
+                9,
+            ),
+        ),
+        (
+            "round-robin/random/n6",
+            run_round_robin(
+                &Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Random),
+                21,
+            ),
+        ),
+        (
+            "single-frequency/fixed-band/late-joiner/n4",
+            run_single_frequency(
+                &Scenario::new(4, 4, 1)
+                    .with_adversary(AdversaryKind::FixedBand)
+                    .with_activation(ActivationSchedule::LateJoiner { late: 3 })
+                    .with_max_rounds(2_000),
+                5,
+            ),
+        ),
+    ]
+}
+
+/// `(name, digest, rounds_executed, leaders, all_synchronized,
+/// total_violations)` captured from the pre-refactor engine.
+const GOLDEN: &[(&str, u64, u64, usize, bool, u64)] = &[
+    ("trapdoor/random/n8", 0xe2d21497700237cf, 195, 1, true, 0),
+    (
+        "trapdoor/fixed-band/staggered/n16",
+        0x961573dd899aabbe,
+        413,
+        1,
+        true,
+        0,
+    ),
+    (
+        "trapdoor/adaptive-greedy/uniform/n12",
+        0xd3cbeb5377995ad1,
+        642,
+        1,
+        true,
+        0,
+    ),
+    (
+        "good-samaritan/oblivious/n8",
+        0x9501da306cadf9cd,
+        425,
+        1,
+        true,
+        0,
+    ),
+    (
+        "good-samaritan/bursty/n10",
+        0xb2c5f60684239808,
+        847,
+        1,
+        true,
+        0,
+    ),
+    ("wakeup/sweep/n6", 0xee9f4b32d765d19d, 90, 2, true, 0),
+    ("round-robin/random/n6", 0xde3d9a1abafc2179, 185, 4, true, 0),
+    (
+        "single-frequency/fixed-band/late-joiner/n4",
+        0xd3136354bef51a5d,
+        27,
+        4,
+        true,
+        9,
+    ),
+];
+
+#[test]
+fn outcomes_match_pre_refactor_golden_digests() {
+    let produced = cases();
+    assert_eq!(produced.len(), GOLDEN.len());
+    for ((name, outcome), &(g_name, g_digest, g_rounds, g_leaders, g_synced, g_violations)) in
+        produced.iter().zip(GOLDEN)
+    {
+        assert_eq!(*name, g_name, "case order drifted");
+        assert_eq!(
+            outcome.result.rounds_executed, g_rounds,
+            "{name}: rounds_executed moved"
+        );
+        assert_eq!(outcome.leaders, g_leaders, "{name}: leader count moved");
+        assert_eq!(
+            outcome.result.all_synchronized, g_synced,
+            "{name}: synchronization verdict moved"
+        );
+        assert_eq!(
+            outcome.properties.total_violations, g_violations,
+            "{name}: violation count moved"
+        );
+        assert_eq!(
+            digest(outcome),
+            g_digest,
+            "{name}: full-outcome digest moved — the engine is no longer \
+             observationally identical to the pre-refactor engine"
+        );
+    }
+}
+
+/// Re-recording helper: prints the `GOLDEN` table for the current engine.
+#[test]
+#[ignore = "run with --ignored --nocapture to re-record the golden table"]
+fn print_golden_table() {
+    for (name, outcome) in cases() {
+        println!(
+            "    (\"{name}\", 0x{:016x}, {}, {}, {}, {}),",
+            digest(&outcome),
+            outcome.result.rounds_executed,
+            outcome.leaders,
+            outcome.result.all_synchronized,
+            outcome.properties.total_violations,
+        );
+    }
+}
