@@ -1,35 +1,32 @@
 //! X2 — baseline protocols vs the Trapdoor Protocol under jamming.
+//!
+//! These benches measure the registry path (`Sim::run_one`, type-erased
+//! protocols + per-message `DynMsg` boxing) — the path users actually
+//! run — so their numbers are not comparable to records taken before the
+//! registry migration. The tracked engine baseline (`BENCH_engine.json`,
+//! `engine_throughput` in `engine.rs`) still measures the statically-typed
+//! engine and is unaffected.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wsync_core::runner::{run_round_robin, run_trapdoor, run_wakeup, AdversaryKind, Scenario};
+use wsync_core::sim::Sim;
+use wsync_core::spec::ScenarioSpec;
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("x2_baselines");
     group.sample_size(10);
-    let scenario = Scenario::new(16, 16, 8)
-        .with_adversary(AdversaryKind::Random)
-        .with_max_rounds(60_000);
-    group.bench_with_input(BenchmarkId::new("trapdoor", 8), &scenario, |b, s| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_trapdoor(s, seed).result.rounds_executed
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("wakeup", 8), &scenario, |b, s| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_wakeup(s, seed).result.rounds_executed
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("round_robin", 8), &scenario, |b, s| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_round_robin(s, seed).result.rounds_executed
-        })
-    });
+    for protocol in ["trapdoor", "wakeup", "round-robin"] {
+        let spec = ScenarioSpec::new(protocol, 16, 16, 8)
+            .with_adversary("random")
+            .with_max_rounds(60_000);
+        let sim = Sim::from_spec(&spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::new(protocol, 8), &sim, |b, sim| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sim.run_one(seed).result.rounds_executed
+            })
+        });
+    }
     group.finish();
 }
 

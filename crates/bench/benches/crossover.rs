@@ -1,34 +1,45 @@
 //! X1 — Good Samaritan vs Trapdoor on identical low-interference scenarios.
+//!
+//! These benches measure the registry path (`Sim::run_one`, type-erased
+//! protocols + per-message `DynMsg` boxing) — the path users actually
+//! run — so their numbers are not comparable to records taken before the
+//! registry migration. The tracked engine baseline (`BENCH_engine.json`,
+//! `engine_throughput` in `engine.rs`) still measures the statically-typed
+//! engine and is unaffected.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{run_good_samaritan_with, run_trapdoor, AdversaryKind, Scenario};
+use wsync_core::sim::Sim;
+use wsync_core::spec::{ComponentSpec, ScenarioSpec};
 
 fn bench_crossover(c: &mut Criterion) {
     let mut group = c.benchmark_group("x1_crossover");
     group.sample_size(10);
     for t_actual in [1u32, 8] {
-        let scenario =
-            Scenario::new(8, 16, 8).with_adversary(AdversaryKind::ObliviousRandom { t_actual });
-        let config = GoodSamaritanConfig::new(scenario.upper_bound(), 16, 8);
+        let base = ScenarioSpec::new("good-samaritan", 8, 16, 8).with_adversary(
+            ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual)),
+        );
+        let gs = Sim::from_spec(&base).expect("valid spec");
         group.bench_with_input(
             BenchmarkId::new("good_samaritan", t_actual),
-            &scenario,
-            |b, s| {
+            &gs,
+            |b, sim| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    run_good_samaritan_with(s, config, seed)
-                        .result
-                        .rounds_executed
+                    sim.run_one(seed).result.rounds_executed
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("trapdoor", t_actual), &scenario, |b, s| {
+        let td_spec = ScenarioSpec {
+            protocol: "trapdoor".into(),
+            ..base
+        };
+        let td = Sim::from_spec(&td_spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::new("trapdoor", t_actual), &td, |b, sim| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_trapdoor(s, seed).result.rounds_executed
+                sim.run_one(seed).result.rounds_executed
             })
         });
     }

@@ -12,7 +12,8 @@
 //! and set `CRITERION_JSON_OUT=<path>` to append machine-readable results.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::registry;
+use wsync_core::runner::Scenario;
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::engine::Engine;
 use wsync_radio::trace::NullObserver;
@@ -22,13 +23,13 @@ fn bench_engine_rounds(c: &mut Criterion) {
     const ROUNDS: u64 = 2_000;
     group.throughput(Throughput::Elements(ROUNDS));
     for n in [16usize, 64, 256] {
-        let scenario = Scenario::new(n, 16, 6).with_adversary(AdversaryKind::Random);
+        let scenario = Scenario::new(n, 16, 6).with_adversary("random");
         let config = TrapdoorConfig::new(scenario.upper_bound(), 16, 6);
         group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let adversary = s.adversary.build(s, seed);
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
                 let mut engine = Engine::new(
                     s.sim_config().with_max_rounds(ROUNDS),
                     |_| TrapdoorProtocol::new(config),
@@ -67,14 +68,14 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for n in [16usize, 64, 256] {
         for f in [8u32, 32] {
             let t = f / 4;
-            let scenario = Scenario::new(n, f, t).with_adversary(AdversaryKind::Random);
+            let scenario = Scenario::new(n, f, t).with_adversary("random");
             let config = TrapdoorConfig::new(scenario.upper_bound(), f, t);
             let id = BenchmarkId::new(format!("N{n}"), format!("F{f}"));
             group.bench_with_input(id, &scenario, |b, s| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let adversary = s.adversary.build(s, seed);
+                    let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
                     let mut engine = Engine::new(
                         s.sim_config().with_max_rounds(ROUNDS),
                         |_| TrapdoorProtocol::new(config),

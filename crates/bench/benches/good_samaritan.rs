@@ -1,32 +1,37 @@
 //! T18a / T18b — Theorem 18: Good Samaritan Protocol adaptive and fallback
 //! running time.
+//!
+//! These benches measure the registry path (`Sim::run_one`, type-erased
+//! protocols + per-message `DynMsg` boxing) — the path users actually
+//! run — so their numbers are not comparable to records taken before the
+//! registry migration. The tracked engine baseline (`BENCH_engine.json`,
+//! `engine_throughput` in `engine.rs`) still measures the statically-typed
+//! engine and is unaffected.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{run_good_samaritan_with, AdversaryKind, Scenario};
+use wsync_core::sim::Sim;
+use wsync_core::spec::{ComponentSpec, ScenarioSpec};
 use wsync_radio::activation::ActivationSchedule;
 
 fn bench_adaptive(c: &mut Criterion) {
     let mut group = c.benchmark_group("t18a_samaritan_adaptive");
     group.sample_size(10);
     for t_actual in [1u32, 4, 8] {
-        let scenario = Scenario::new(8, 16, 8)
-            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+        let spec = ScenarioSpec::new("good-samaritan", 8, 16, 8)
+            .with_adversary(
+                ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual)),
+            )
             .with_activation(ActivationSchedule::Simultaneous);
-        let config = GoodSamaritanConfig::new(scenario.upper_bound(), 16, 8);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(t_actual),
-            &(scenario, config),
-            |b, (s, cfg)| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let outcome = run_good_samaritan_with(s, *cfg, seed);
-                    assert!(outcome.result.all_synchronized);
-                    outcome.result.rounds_executed
-                });
-            },
-        );
+        let sim = Sim::from_spec(&spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::from_parameter(t_actual), &sim, |b, sim| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let outcome = sim.run_one(seed);
+                assert!(outcome.result.all_synchronized);
+                outcome.result.rounds_executed
+            });
+        });
     }
     group.finish();
 }
@@ -34,18 +39,16 @@ fn bench_adaptive(c: &mut Criterion) {
 fn bench_fallback(c: &mut Criterion) {
     let mut group = c.benchmark_group("t18b_samaritan_fallback");
     group.sample_size(10);
-    let scenario = Scenario::new(6, 8, 3)
-        .with_adversary(AdversaryKind::Random)
+    let spec = ScenarioSpec::new("good-samaritan", 6, 8, 3)
+        .with_adversary("random")
         .with_activation(ActivationSchedule::Staggered { gap: 37 })
         .with_max_rounds(4_000_000);
-    let config = GoodSamaritanConfig::new(scenario.upper_bound(), 8, 3);
+    let sim = Sim::from_spec(&spec).expect("valid spec");
     group.bench_function("staggered_f8", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_good_samaritan_with(&scenario, config, seed)
-                .result
-                .rounds_executed
+            sim.run_one(seed).result.rounds_executed
         });
     });
     group.finish();

@@ -4,22 +4,31 @@
 //! execution for one sweep point; the *reported quantity of interest* (the
 //! number of simulated rounds to synchronization, i.e. the paper's metric)
 //! is produced by `cargo run -p wsync-experiments --bin run_experiments -- T10a`.
+//!
+//! These benches measure the registry path (`Sim::run_one`, type-erased
+//! protocols + per-message `DynMsg` boxing) — the path users actually
+//! run — so their numbers are not comparable to records taken before the
+//! registry migration. The tracked engine baseline (`BENCH_engine.json`,
+//! `engine_throughput` in `engine.rs`) still measures the statically-typed
+//! engine and is unaffected.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wsync_core::runner::{run_trapdoor, AdversaryKind, Scenario};
+use wsync_core::sim::Sim;
+use wsync_core::spec::ScenarioSpec;
 
 fn bench_sweep_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("t10a_trapdoor_sweep_n");
     group.sample_size(10);
     for n in [64u64, 256, 1024] {
-        let scenario = Scenario::new((n / 2) as usize, 16, 8)
+        let spec = ScenarioSpec::new("trapdoor", (n / 2) as usize, 16, 8)
             .with_upper_bound(n)
-            .with_adversary(AdversaryKind::Random);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            .with_adversary("random");
+        let sim = Sim::from_spec(&spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sim, |b, sim| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let outcome = run_trapdoor(s, seed);
+                let outcome = sim.run_one(seed);
                 assert!(outcome.result.all_synchronized);
                 outcome.result.rounds_executed
             });
@@ -32,14 +41,15 @@ fn bench_sweep_t(c: &mut Criterion) {
     let mut group = c.benchmark_group("t10b_trapdoor_sweep_t");
     group.sample_size(10);
     for t in [2u32, 8, 14] {
-        let scenario = Scenario::new(32, 16, t)
+        let spec = ScenarioSpec::new("trapdoor", 32, 16, t)
             .with_upper_bound(128)
-            .with_adversary(AdversaryKind::Random);
-        group.bench_with_input(BenchmarkId::from_parameter(t), &scenario, |b, s| {
+            .with_adversary("random");
+        let sim = Sim::from_spec(&spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::from_parameter(t), &sim, |b, sim| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_trapdoor(s, seed).result.rounds_executed
+                sim.run_one(seed).result.rounds_executed
             });
         });
     }
@@ -50,14 +60,15 @@ fn bench_sweep_f(c: &mut Criterion) {
     let mut group = c.benchmark_group("t10c_trapdoor_sweep_f");
     group.sample_size(10);
     for f in [8u32, 16, 64] {
-        let scenario = Scenario::new(32, f, 4)
+        let spec = ScenarioSpec::new("trapdoor", 32, f, 4)
             .with_upper_bound(128)
-            .with_adversary(AdversaryKind::Random);
-        group.bench_with_input(BenchmarkId::from_parameter(f), &scenario, |b, s| {
+            .with_adversary("random");
+        let sim = Sim::from_spec(&spec).expect("valid spec");
+        group.bench_with_input(BenchmarkId::from_parameter(f), &sim, |b, sim| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_trapdoor(s, seed).result.rounds_executed
+                sim.run_one(seed).result.rounds_executed
             });
         });
     }

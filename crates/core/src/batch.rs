@@ -2,9 +2,9 @@
 //!
 //! Every experiment behind the paper's figures and theorem checks boils
 //! down to the same shape: run many *independent* executions of a
-//! [`Scenario`] — one per seed — and fold the per-trial [`SyncOutcome`]s
+//! scenario — one per seed — and fold the per-trial [`SyncOutcome`]s
 //! into aggregate statistics. In the round-synchronous model each trial is
-//! a pure function of `(Scenario, seed)` (every randomness consumer draws
+//! a pure function of `(spec, seed)` (every randomness consumer draws
 //! from its own [`SimRng`](wsync_radio::rng::SimRng) stream derived from
 //! the master seed), so the trials are embarrassingly parallel.
 //!
@@ -12,7 +12,7 @@
 //! results **in seed order**, which makes parallel execution
 //! indistinguishable from serial execution:
 //!
-//! * determinism — trial `i`'s result depends only on `(Scenario, seed_i)`,
+//! * determinism — trial `i`'s result depends only on `(spec, seed_i)`,
 //!   never on scheduling, and
 //! * fold stability — aggregation happens *after* the results are back in
 //!   seed order, so every downstream statistic is bit-identical to what a
@@ -26,15 +26,17 @@
 //! # Example
 //!
 //! ```
-//! use wsync_core::batch::{BatchRunner, BatchStats, ProtocolKind};
-//! use wsync_core::runner::{AdversaryKind, Scenario};
+//! use wsync_core::batch::{BatchRunner, BatchStats};
+//! use wsync_core::sim::Sim;
+//! use wsync_core::spec::ScenarioSpec;
 //!
-//! let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
-//! let runner = BatchRunner::new();
-//! let outcomes = runner.run(&scenario, &ProtocolKind::Trapdoor, 0..8);
-//! let stats = BatchStats::aggregate(&outcomes);
+//! let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+//! let stats = Sim::from_spec(&spec)?
+//!     .seeds(0..8)
+//!     .run_stats(&BatchRunner::new());
 //! assert_eq!(stats.trials, 8);
 //! assert!(stats.sync_rate() > 0.9);
+//! # Ok::<(), wsync_core::spec::SpecError>(())
 //! ```
 
 use std::ops::Range;
@@ -46,16 +48,20 @@ use wsync_stats::Summary;
 
 use crate::good_samaritan::GoodSamaritanConfig;
 use crate::report::SyncOutcome;
-use crate::runner::{
-    run_good_samaritan_with, run_round_robin, run_single_frequency, run_trapdoor_with, run_wakeup,
-    Scenario,
-};
+use crate::runner::{good_samaritan_component, trapdoor_component, Scenario};
+use crate::sim::Sim;
+use crate::spec::ComponentSpec;
 use crate::trapdoor::TrapdoorConfig;
 
-/// Selects which protocol a batch of trials runs, optionally with an
-/// explicit configuration (the variants without one derive the paper's
-/// default configuration from the scenario, exactly like the
-/// `run_*` shorthands in [`crate::runner`]).
+/// Typed shorthand for the built-in protocols, optionally with an explicit
+/// configuration.
+///
+/// Like [`AdversaryKind`](crate::runner::AdversaryKind), this enum predates
+/// the open [`registry`](crate::registry): it remains as a typo-proof way
+/// to name a built-in protocol and converts into the registry's
+/// [`ComponentSpec`] form via [`Into`]. Protocols added by downstream
+/// crates have no variant here — address them by name through
+/// [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ProtocolKind {
     /// The Trapdoor Protocol with default constants.
@@ -76,33 +82,28 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
-    /// Runs one trial of this protocol on `scenario` with `seed`.
-    pub fn run_trial(&self, scenario: &Scenario, seed: u64) -> SyncOutcome {
+    /// The registry component this variant denotes.
+    pub fn to_component(&self) -> ComponentSpec {
         match self {
-            ProtocolKind::Trapdoor => {
-                let config = TrapdoorConfig::new(
-                    scenario.upper_bound(),
-                    scenario.num_frequencies,
-                    scenario.disruption_bound,
-                );
-                run_trapdoor_with(scenario, config, seed)
-            }
-            ProtocolKind::TrapdoorWith(config) => run_trapdoor_with(scenario, *config, seed),
-            ProtocolKind::GoodSamaritan => {
-                let config = GoodSamaritanConfig::new(
-                    scenario.upper_bound(),
-                    scenario.num_frequencies,
-                    scenario.disruption_bound,
-                );
-                run_good_samaritan_with(scenario, config, seed)
-            }
-            ProtocolKind::GoodSamaritanWith(config) => {
-                run_good_samaritan_with(scenario, *config, seed)
-            }
-            ProtocolKind::Wakeup => run_wakeup(scenario, seed),
-            ProtocolKind::RoundRobin => run_round_robin(scenario, seed),
-            ProtocolKind::SingleFrequency => run_single_frequency(scenario, seed),
+            ProtocolKind::Trapdoor => ComponentSpec::named("trapdoor"),
+            ProtocolKind::TrapdoorWith(config) => trapdoor_component(config),
+            ProtocolKind::GoodSamaritan => ComponentSpec::named("good-samaritan"),
+            ProtocolKind::GoodSamaritanWith(config) => good_samaritan_component(config),
+            ProtocolKind::Wakeup => ComponentSpec::named("wakeup"),
+            ProtocolKind::RoundRobin => ComponentSpec::named("round-robin"),
+            ProtocolKind::SingleFrequency => ComponentSpec::named("single-frequency"),
         }
+    }
+
+    /// Runs one trial of this protocol on `scenario` with `seed`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Sim::from_scenario(scenario, kind.to_component())?.run_one(seed)`"
+    )]
+    pub fn run_trial(&self, scenario: &Scenario, seed: u64) -> SyncOutcome {
+        Sim::from_scenario(scenario, self.to_component())
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+            .run_one(seed)
     }
 
     /// A short name for experiment tables.
@@ -114,6 +115,18 @@ impl ProtocolKind {
             ProtocolKind::RoundRobin => "round-robin",
             ProtocolKind::SingleFrequency => "single-frequency",
         }
+    }
+}
+
+impl From<ProtocolKind> for ComponentSpec {
+    fn from(kind: ProtocolKind) -> Self {
+        kind.to_component()
+    }
+}
+
+impl From<&ProtocolKind> for ComponentSpec {
+    fn from(kind: &ProtocolKind) -> Self {
+        kind.to_component()
     }
 }
 
@@ -230,23 +243,35 @@ impl BatchRunner {
 
     /// Runs `protocol` on `scenario` for every seed and returns the
     /// outcomes in seed order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Sim::from_scenario(scenario, protocol.to_component())?.seeds(seeds).run(&runner)`"
+    )]
     pub fn run(
         &self,
         scenario: &Scenario,
         protocol: &ProtocolKind,
         seeds: Range<u64>,
     ) -> Vec<SyncOutcome> {
-        self.run_with(scenario, seeds, |s, seed| protocol.run_trial(s, seed))
+        Sim::from_scenario(scenario, protocol.to_component())
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+            .seeds(seeds)
+            .run(self)
     }
 
     /// Runs `protocol` on `scenario` for every seed and folds the outcomes
     /// directly into [`BatchStats`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Sim::from_scenario(scenario, protocol.to_component())?.seeds(seeds).run_stats(&runner)`"
+    )]
     pub fn run_stats(
         &self,
         scenario: &Scenario,
         protocol: &ProtocolKind,
         seeds: Range<u64>,
     ) -> BatchStats {
+        #[allow(deprecated)]
         BatchStats::aggregate(&self.run(scenario, protocol, seeds))
     }
 }
@@ -347,25 +372,25 @@ impl BatchStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_trapdoor, AdversaryKind};
+    use crate::spec::ScenarioSpec;
 
-    fn scenario() -> Scenario {
-        Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random)
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random")
     }
 
     #[test]
     fn parallel_results_equal_serial_results() {
-        let scenario = scenario();
-        let serial = BatchRunner::serial().run(&scenario, &ProtocolKind::Trapdoor, 0..12);
-        let parallel = BatchRunner::with_workers(4).run(&scenario, &ProtocolKind::Trapdoor, 0..12);
+        let sim = Sim::from_spec(&spec()).unwrap().seeds(0..12);
+        let serial = sim.run(&BatchRunner::serial());
+        let parallel = sim.run(&BatchRunner::with_workers(4));
         assert_eq!(serial, parallel);
     }
 
     #[test]
-    fn batch_matches_direct_runner_calls() {
-        let scenario = scenario();
-        let batch = BatchRunner::with_workers(3).run(&scenario, &ProtocolKind::Trapdoor, 5..9);
-        let direct: Vec<_> = (5..9).map(|seed| run_trapdoor(&scenario, seed)).collect();
+    fn batch_matches_direct_sim_calls() {
+        let sim = Sim::from_spec(&spec()).unwrap().seeds(5..9);
+        let batch = sim.run(&BatchRunner::with_workers(3));
+        let direct: Vec<_> = (5..9).map(|seed| sim.run_one(seed)).collect();
         assert_eq!(batch, direct);
     }
 
@@ -382,8 +407,10 @@ mod tests {
 
     #[test]
     fn empty_seed_range_yields_empty_batch() {
-        let runner = BatchRunner::new();
-        let outcomes = runner.run(&scenario(), &ProtocolKind::Trapdoor, 7..7);
+        let outcomes = Sim::from_spec(&spec())
+            .unwrap()
+            .seeds(7..7)
+            .run(&BatchRunner::new());
         assert!(outcomes.is_empty());
         let stats = BatchStats::aggregate(&outcomes);
         assert_eq!(stats.trials, 0);
@@ -393,8 +420,10 @@ mod tests {
 
     #[test]
     fn stats_fold_counts_clean_runs() {
-        let scenario = scenario();
-        let stats = BatchRunner::new().run_stats(&scenario, &ProtocolKind::Trapdoor, 0..8);
+        let stats = Sim::from_spec(&spec())
+            .unwrap()
+            .seeds(0..8)
+            .run_stats(&BatchRunner::new());
         assert_eq!(stats.trials, 8);
         assert!(stats.synced >= stats.clean);
         assert!(stats.single_leader >= stats.clean);
@@ -406,8 +435,8 @@ mod tests {
     }
 
     #[test]
-    fn every_protocol_kind_runs_and_names_itself() {
-        let scenario = Scenario::new(4, 8, 1).with_adversary(AdversaryKind::Random);
+    fn every_protocol_kind_maps_onto_the_registry() {
+        let scenario = Scenario::new(4, 8, 1).with_adversary("random");
         let kinds = [
             ProtocolKind::Trapdoor,
             ProtocolKind::TrapdoorWith(TrapdoorConfig::new(4, 8, 1)),
@@ -418,11 +447,18 @@ mod tests {
             ProtocolKind::SingleFrequency,
         ];
         for kind in &kinds {
-            let outcomes = BatchRunner::with_workers(2).run(&scenario, kind, 0..2);
+            let sim = Sim::from_scenario(&scenario, kind.to_component()).unwrap();
+            let outcomes = sim.seeds(0..2).run(&BatchRunner::with_workers(2));
             assert_eq!(outcomes.len(), 2);
             assert!(!kind.name().is_empty());
-            // the batch result matches the protocol's own shorthand runner
-            assert_eq!(outcomes[0], kind.run_trial(&scenario, 0));
+            assert_eq!(kind.to_component().name(), kind.name());
+            // the deprecated wrappers produce identical outcomes
+            #[allow(deprecated)]
+            let legacy = kind.run_trial(&scenario, 0);
+            assert_eq!(outcomes[0], legacy);
+            #[allow(deprecated)]
+            let legacy_batch = BatchRunner::with_workers(2).run(&scenario, kind, 0..2);
+            assert_eq!(outcomes, legacy_batch);
         }
     }
 

@@ -25,6 +25,10 @@
 //! * [`batch`] — the [`BatchRunner`]: deterministic
 //!   parallel execution of independent Monte-Carlo trials across a worker
 //!   pool, with seed-ordered results and shared aggregation folds.
+//! * [`registry`] / [`spec`] / [`sim`] — the open, declarative simulation
+//!   API: string-keyed protocol/adversary factories, JSON-serializable
+//!   [`ScenarioSpec`]/[`SweepSpec`] descriptions, and the validated
+//!   [`Sim`] builder every execution flows through.
 //!
 //! # Quickstart
 //!
@@ -33,13 +37,14 @@
 //! use wsync_radio::prelude::*;
 //!
 //! // 16 devices, 8 frequencies, an adversary that may jam up to 3 of them.
-//! let scenario = Scenario::new(16, 8, 3)
-//!     .with_adversary(AdversaryKind::Random)
+//! let spec = ScenarioSpec::new("trapdoor", 16, 8, 3)
+//!     .with_adversary("random")
 //!     .with_activation(ActivationSchedule::Simultaneous);
-//! let outcome = run_trapdoor(&scenario, 7);
+//! let outcome = Sim::from_spec(&spec)?.run_one(7);
 //! assert!(outcome.result.all_synchronized);
 //! assert!(outcome.properties.all_hold());
 //! assert_eq!(outcome.leaders, 1);
+//! # Ok::<(), wsync_core::spec::SpecError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,10 +54,14 @@ pub mod baselines;
 pub mod batch;
 pub mod checker;
 pub mod good_samaritan;
+pub mod json;
 pub mod params;
 pub mod problem;
+pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod sim;
+pub mod spec;
 pub mod timestamp;
 pub mod trapdoor;
 
@@ -66,10 +75,18 @@ pub mod prelude {
     pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
     pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};
     pub use crate::problem::{ProblemInstance, SyncOutput};
+    pub use crate::registry::Registry;
     pub use crate::report::SyncOutcome;
+    pub use crate::runner::{run_protocol, AdversaryKind, Scenario, SyncProtocol};
+    // The deprecated shorthands stay importable so pre-registry code keeps
+    // compiling (with a deprecation warning at the call site, not a break).
+    #[allow(deprecated)]
     pub use crate::runner::{
-        run_good_samaritan, run_protocol, run_trapdoor, AdversaryKind, Scenario, SyncProtocol,
+        run_good_samaritan, run_good_samaritan_with, run_round_robin, run_single_frequency,
+        run_trapdoor, run_trapdoor_with, run_wakeup,
     };
+    pub use crate::sim::Sim;
+    pub use crate::spec::{ComponentSpec, ScenarioSpec, SpecError, SweepSpec};
     pub use crate::timestamp::Timestamp;
     pub use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol, TrapdoorRole};
 }

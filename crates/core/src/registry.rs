@@ -1,0 +1,801 @@
+//! The open protocol/adversary registry.
+//!
+//! [`Registry`] maps string keys to [`ProtocolFactory`] and
+//! [`AdversaryFactory`] implementations. [`Registry::with_defaults`]
+//! pre-populates every protocol in this crate (`trapdoor`,
+//! `good-samaritan`, `wakeup`, `round-robin`, `single-frequency`) and every
+//! adversary in `wsync-radio` (`none`, `fixed-band`, `random`, `sweep`,
+//! `bursty`, `adaptive-greedy`, `oblivious-random`, `top-weight`).
+//! Downstream crates extend the set at run time with
+//! [`register_protocol`] / [`register_adversary`] — no enum to edit, no
+//! crate to fork — and their components immediately work everywhere a
+//! name does: [`ScenarioSpec`](crate::spec::ScenarioSpec) files,
+//! [`Sim::from_spec`](crate::sim::Sim::from_spec), sweeps, and the
+//! `run_experiments --spec` CLI.
+//!
+//! The string keys are **stable public API** (they appear in spec files and
+//! experiment tables); `tests/spec_roundtrip.rs` pins them.
+//!
+//! # Type erasure
+//!
+//! The engine is statically typed over one protocol type per run. Factories
+//! bridge from dynamic names to that world by returning
+//! [`BoxedProtocol`]s — type-erased [`SyncProtocol`]s whose message
+//! payloads ride in a [`DynMsg`]. The erasure wrapper forwards every call
+//! unchanged and draws no randomness of its own, so a registry-built run is
+//! bit-for-bit identical to the statically-typed equivalent
+//! (`tests/engine_golden.rs` holds the proof).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use wsync_radio::action::Action;
+use wsync_radio::adversary::{
+    AdaptiveGreedyAdversary, Adversary, BurstyAdversary, FixedBandAdversary, NoAdversary,
+    ObliviousScheduleAdversary, RandomAdversary, SweepAdversary, TopWeightAdversary,
+};
+use wsync_radio::message::{Feedback, Received};
+use wsync_radio::node::{ActivationInfo, NodeId};
+use wsync_radio::protocol::Protocol;
+use wsync_radio::rng::SimRng;
+
+use crate::baselines::{RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol};
+use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol};
+use crate::runner::{BoxedAdversary, Scenario, SyncProtocol};
+use crate::spec::{ComponentSpec, ParamReader, Params, SpecError};
+use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
+
+/// A type-erased message payload.
+///
+/// Registry-built protocols of arbitrary concrete type share one engine
+/// instantiation, so their messages travel as `DynMsg` and are downcast
+/// back on receipt. All nodes of a run are built by the same factory and
+/// therefore speak the same payload type; a mismatch (a custom factory
+/// mixing protocol types with different messages) panics with a clear
+/// message rather than corrupting an execution.
+#[derive(Clone)]
+pub struct DynMsg {
+    payload: Arc<dyn Any + Send + Sync>,
+    type_name: &'static str,
+}
+
+impl DynMsg {
+    /// Wraps a concrete message.
+    pub fn new<M: Any + Send + Sync>(message: M) -> Self {
+        DynMsg {
+            payload: Arc::new(message),
+            type_name: std::any::type_name::<M>(),
+        }
+    }
+
+    /// Recovers the concrete message, cloning it out of the shared payload.
+    pub fn downcast<M: Any + Clone>(&self) -> Option<M> {
+        self.payload.downcast_ref::<M>().cloned()
+    }
+
+    /// The `type_name` of the wrapped message (diagnostics only).
+    pub fn payload_type(&self) -> &'static str {
+        self.type_name
+    }
+}
+
+impl fmt::Debug for DynMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("DynMsg").field(&self.type_name).finish()
+    }
+}
+
+/// A boxed, type-erased synchronization protocol — what a
+/// [`ProtocolFactory`] produces and the engine runs.
+pub struct BoxedProtocol(Box<dyn SyncProtocol<Msg = DynMsg>>);
+
+impl BoxedProtocol {
+    /// Erases a concrete protocol.
+    pub fn erase<P>(protocol: P) -> Self
+    where
+        P: SyncProtocol + 'static,
+        P::Msg: Any + Send + Sync,
+    {
+        BoxedProtocol(Box::new(Erased(protocol)))
+    }
+}
+
+impl Protocol for BoxedProtocol {
+    type Msg = DynMsg;
+
+    fn on_activate(&mut self, info: ActivationInfo, rng: &mut SimRng) {
+        self.0.on_activate(info, rng);
+    }
+
+    fn choose_action(&mut self, local_round: u64, rng: &mut SimRng) -> Action<DynMsg> {
+        self.0.choose_action(local_round, rng)
+    }
+
+    fn on_feedback(&mut self, local_round: u64, feedback: Feedback<DynMsg>, rng: &mut SimRng) {
+        self.0.on_feedback(local_round, feedback, rng);
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.0.output()
+    }
+
+    fn is_synchronized(&self) -> bool {
+        self.0.is_synchronized()
+    }
+}
+
+impl SyncProtocol for BoxedProtocol {
+    fn is_leader(&self) -> bool {
+        self.0.is_leader()
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.0.protocol_name()
+    }
+}
+
+/// The erasure adapter: forwards every call to the concrete protocol,
+/// wrapping outgoing payloads in [`DynMsg`] and downcasting incoming ones.
+struct Erased<P>(P);
+
+impl<P> Protocol for Erased<P>
+where
+    P: SyncProtocol,
+    P::Msg: Any + Send + Sync,
+{
+    type Msg = DynMsg;
+
+    fn on_activate(&mut self, info: ActivationInfo, rng: &mut SimRng) {
+        self.0.on_activate(info, rng);
+    }
+
+    fn choose_action(&mut self, local_round: u64, rng: &mut SimRng) -> Action<DynMsg> {
+        self.0
+            .choose_action(local_round, rng)
+            .map_message(DynMsg::new)
+    }
+
+    fn on_feedback(&mut self, local_round: u64, feedback: Feedback<DynMsg>, rng: &mut SimRng) {
+        let feedback: Feedback<P::Msg> = match feedback {
+            Feedback::Received(r) => {
+                let payload = r.payload.downcast::<P::Msg>().unwrap_or_else(|| {
+                    panic!(
+                        "protocol {} expected a {} payload but received {}; a registry \
+                         factory must build nodes that all share one message type",
+                        self.0.protocol_name(),
+                        std::any::type_name::<P::Msg>(),
+                        r.payload.payload_type()
+                    )
+                });
+                Feedback::Received(Received {
+                    sender: r.sender,
+                    frequency: r.frequency,
+                    payload,
+                })
+            }
+            Feedback::Silence { frequency } => Feedback::Silence { frequency },
+            Feedback::Broadcasted { frequency } => Feedback::Broadcasted { frequency },
+            Feedback::Slept => Feedback::Slept,
+        };
+        self.0.on_feedback(local_round, feedback, rng);
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.0.output()
+    }
+
+    fn is_synchronized(&self) -> bool {
+        self.0.is_synchronized()
+    }
+}
+
+impl<P> SyncProtocol for Erased<P>
+where
+    P: SyncProtocol,
+    P::Msg: Any + Send + Sync,
+{
+    fn is_leader(&self) -> bool {
+        self.0.is_leader()
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.0.protocol_name()
+    }
+}
+
+/// A per-node protocol constructor, produced once per run by a
+/// [`ProtocolFactory`] after parameter validation.
+pub type ProtocolCtor = Box<dyn Fn(NodeId) -> BoxedProtocol + Send + Sync>;
+
+/// Builds protocol instances for a scenario from declarative parameters.
+///
+/// `instantiate` is called once per run: it validates `params` against the
+/// scenario (returning a typed [`SpecError`] on any problem) and returns
+/// the constructor the engine calls once per node.
+pub trait ProtocolFactory: Send + Sync {
+    /// Validates `params` and returns the per-node constructor.
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError>;
+}
+
+/// Builds an adversary instance for a scenario from declarative parameters.
+pub trait AdversaryFactory: Send + Sync {
+    /// Validates `params` and builds the adversary for one `(scenario,
+    /// seed)` execution.
+    ///
+    /// Validation must not depend on `seed`: whether this returns `Ok` may
+    /// vary only with `scenario` and `params`. [`Sim`](crate::sim::Sim)
+    /// probe-builds once (seed 0) at construction so that its per-trial
+    /// `run_one` can stay infallible; a factory that rejected some seeds
+    /// but not others would turn that contract into a mid-batch panic.
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+        seed: u64,
+    ) -> Result<BoxedAdversary, SpecError>;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in protocol factories
+// ---------------------------------------------------------------------------
+
+/// Shared parameter schema of the Trapdoor-family factories: instance
+/// overrides plus the `TrapdoorConfig` knobs the ablations sweep.
+fn trapdoor_config_from(
+    component: &str,
+    scenario: &Scenario,
+    params: &Params,
+    default_frequency_limit: Option<u32>,
+) -> Result<TrapdoorConfig, SpecError> {
+    let mut reader = ParamReader::new(component, params);
+    let n = reader
+        .opt_u64("upper_bound_n")?
+        .unwrap_or_else(|| scenario.upper_bound());
+    let f = reader
+        .opt_u32("num_frequencies")?
+        .unwrap_or(scenario.num_frequencies);
+    let t = reader
+        .opt_u32("disruption_bound")?
+        .unwrap_or(scenario.disruption_bound);
+    let mut config = TrapdoorConfig::new(n, f, t);
+    if let Some(c) = reader.opt_f64("epoch_constant")? {
+        config = config.with_epoch_constant(c);
+    }
+    if let Some(c) = reader.opt_f64("final_epoch_constant")? {
+        config = config.with_final_epoch_constant(c);
+    }
+    match reader.opt_u32("frequency_limit")? {
+        Some(limit) => config = config.with_frequency_limit(limit),
+        None => {
+            if let Some(limit) = default_frequency_limit {
+                config = config.with_frequency_limit(limit);
+            }
+        }
+    }
+    if let Some(p) = reader.opt_f64("leader_broadcast_probability")? {
+        config.leader_broadcast_probability = p;
+    }
+    reader.finish()?;
+    Ok(config)
+}
+
+struct TrapdoorFactory;
+
+impl ProtocolFactory for TrapdoorFactory {
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError> {
+        let config = trapdoor_config_from("trapdoor", scenario, params, None)?;
+        Ok(Box::new(move |_| {
+            BoxedProtocol::erase(TrapdoorProtocol::new(config))
+        }))
+    }
+}
+
+struct SingleFrequencyFactory;
+
+impl ProtocolFactory for SingleFrequencyFactory {
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError> {
+        let config = trapdoor_config_from("single-frequency", scenario, params, Some(1))?;
+        Ok(Box::new(move |_| {
+            BoxedProtocol::erase(TrapdoorProtocol::new(config))
+        }))
+    }
+}
+
+struct RoundRobinFactory;
+
+impl ProtocolFactory for RoundRobinFactory {
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError> {
+        let trapdoor = trapdoor_config_from("round-robin", scenario, params, None)?;
+        let config = RoundRobinConfig { trapdoor };
+        Ok(Box::new(move |_| {
+            BoxedProtocol::erase(RoundRobinProtocol::new(config))
+        }))
+    }
+}
+
+struct GoodSamaritanFactory;
+
+impl ProtocolFactory for GoodSamaritanFactory {
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError> {
+        let mut reader = ParamReader::new("good-samaritan", params);
+        let n = reader
+            .opt_u64("upper_bound_n")?
+            .unwrap_or_else(|| scenario.upper_bound());
+        let f = reader
+            .opt_u32("num_frequencies")?
+            .unwrap_or(scenario.num_frequencies);
+        let t = reader
+            .opt_u32("disruption_bound")?
+            .unwrap_or(scenario.disruption_bound);
+        let mut config = GoodSamaritanConfig::new(n, f, t);
+        if let Some(c) = reader.opt_f64("epoch_constant")? {
+            config = config.with_epoch_constant(c);
+        }
+        if let Some(shift) = reader.opt_u32("threshold_shift")? {
+            config = config.with_threshold_shift(shift);
+        }
+        if let Some(m) = reader.opt_f64("fallback_multiplier")? {
+            config = config.with_fallback_multiplier(m);
+        }
+        if let Some(p) = reader.opt_f64("leader_broadcast_probability")? {
+            config.leader_broadcast_probability = p;
+        }
+        reader.finish()?;
+        Ok(Box::new(move |_| {
+            BoxedProtocol::erase(GoodSamaritanProtocol::new(config))
+        }))
+    }
+}
+
+struct WakeupFactory;
+
+impl ProtocolFactory for WakeupFactory {
+    fn instantiate(&self, scenario: &Scenario, params: &Params) -> Result<ProtocolCtor, SpecError> {
+        let mut reader = ParamReader::new("wakeup", params);
+        let n = reader
+            .opt_u64("upper_bound_n")?
+            .unwrap_or_else(|| scenario.upper_bound());
+        let f = reader
+            .opt_u32("num_frequencies")?
+            .unwrap_or(scenario.num_frequencies);
+        let t = reader
+            .opt_u32("disruption_bound")?
+            .unwrap_or(scenario.disruption_bound);
+        let mut config = WakeupConfig::new(n, f, t);
+        if let Some(deadline) = reader.opt_u64("deadline_rounds")? {
+            config = config.with_deadline(deadline);
+        }
+        if let Some(p) = reader.opt_f64("leader_broadcast_probability")? {
+            config.leader_broadcast_probability = p;
+        }
+        reader.finish()?;
+        Ok(Box::new(move |_| {
+            BoxedProtocol::erase(WakeupProtocol::new(config))
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in adversary factories
+// ---------------------------------------------------------------------------
+
+/// Wraps a parameterless adversary constructor as a factory.
+struct SimpleAdversaryFactory {
+    name: &'static str,
+    build: fn(u32) -> Box<dyn Adversary>,
+}
+
+impl AdversaryFactory for SimpleAdversaryFactory {
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+        _seed: u64,
+    ) -> Result<BoxedAdversary, SpecError> {
+        ParamReader::new(self.name, params).finish()?;
+        Ok(BoxedAdversary::new((self.build)(scenario.disruption_bound)))
+    }
+}
+
+struct BurstyFactory;
+
+impl AdversaryFactory for BurstyFactory {
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+        _seed: u64,
+    ) -> Result<BoxedAdversary, SpecError> {
+        let mut reader = ParamReader::new("bursty", params);
+        let period = reader.req_u64("period")?;
+        let burst_len = reader.req_u64("burst_len")?;
+        reader.finish()?;
+        Ok(BoxedAdversary::new(Box::new(BurstyAdversary::new(
+            scenario.disruption_bound,
+            period,
+            burst_len,
+        ))))
+    }
+}
+
+struct ObliviousRandomFactory;
+
+impl AdversaryFactory for ObliviousRandomFactory {
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+        seed: u64,
+    ) -> Result<BoxedAdversary, SpecError> {
+        let mut reader = ParamReader::new("oblivious-random", params);
+        let t_actual = reader.req_u32("t_actual")?;
+        reader.finish()?;
+        // Pre-sample a schedule long enough to cover the run without
+        // repeating too quickly. The seed tweak and length are part of the
+        // reproducibility contract (pinned by tests/engine_golden.rs).
+        let len = 8192usize;
+        Ok(BoxedAdversary::new(Box::new(
+            ObliviousScheduleAdversary::random(
+                seed ^ 0x0b11_0005,
+                len,
+                scenario.num_frequencies,
+                t_actual.min(scenario.disruption_bound),
+            ),
+        )))
+    }
+}
+
+struct TopWeightFactory;
+
+impl AdversaryFactory for TopWeightFactory {
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+        _seed: u64,
+    ) -> Result<BoxedAdversary, SpecError> {
+        let mut reader = ParamReader::new("top-weight", params);
+        let weights = reader.opt_f64_list("weights")?;
+        reader.finish()?;
+        let adversary = match weights {
+            Some(weights) => TopWeightAdversary::new(scenario.disruption_bound, weights),
+            None => TopWeightAdversary::against_uniform(
+                scenario.disruption_bound,
+                scenario.num_frequencies,
+            ),
+        };
+        Ok(BoxedAdversary::new(Box::new(adversary)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// A string-keyed catalogue of protocol and adversary factories.
+#[derive(Clone)]
+pub struct Registry {
+    protocols: BTreeMap<String, Arc<dyn ProtocolFactory>>,
+    adversaries: BTreeMap<String, Arc<dyn AdversaryFactory>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("protocols", &self.protocol_names())
+            .field("adversaries", &self.adversary_names())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Registry {
+            protocols: BTreeMap::new(),
+            adversaries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with every protocol and adversary in the
+    /// workspace.
+    pub fn with_defaults() -> Self {
+        let mut registry = Registry::empty();
+        registry.register_protocol("trapdoor", Arc::new(TrapdoorFactory));
+        registry.register_protocol("good-samaritan", Arc::new(GoodSamaritanFactory));
+        registry.register_protocol("wakeup", Arc::new(WakeupFactory));
+        registry.register_protocol("round-robin", Arc::new(RoundRobinFactory));
+        registry.register_protocol("single-frequency", Arc::new(SingleFrequencyFactory));
+
+        fn simple(
+            name: &'static str,
+            build: fn(u32) -> Box<dyn Adversary>,
+        ) -> Arc<SimpleAdversaryFactory> {
+            Arc::new(SimpleAdversaryFactory { name, build })
+        }
+        registry.register_adversary("none", simple("none", |_| Box::new(NoAdversary::new())));
+        registry.register_adversary(
+            "fixed-band",
+            simple("fixed-band", |t| Box::new(FixedBandAdversary::new(t))),
+        );
+        registry.register_adversary(
+            "random",
+            simple("random", |t| Box::new(RandomAdversary::new(t))),
+        );
+        registry.register_adversary(
+            "sweep",
+            simple("sweep", |t| Box::new(SweepAdversary::new(t))),
+        );
+        registry.register_adversary(
+            "adaptive-greedy",
+            simple("adaptive-greedy", |t| {
+                Box::new(AdaptiveGreedyAdversary::new(t))
+            }),
+        );
+        registry.register_adversary("bursty", Arc::new(BurstyFactory));
+        registry.register_adversary("oblivious-random", Arc::new(ObliviousRandomFactory));
+        registry.register_adversary("top-weight", Arc::new(TopWeightFactory));
+        registry
+    }
+
+    /// Registers (or replaces) a protocol factory under `name`.
+    pub fn register_protocol(
+        &mut self,
+        name: impl Into<String>,
+        factory: Arc<dyn ProtocolFactory>,
+    ) {
+        self.protocols.insert(name.into(), factory);
+    }
+
+    /// Registers (or replaces) an adversary factory under `name`.
+    pub fn register_adversary(
+        &mut self,
+        name: impl Into<String>,
+        factory: Arc<dyn AdversaryFactory>,
+    ) {
+        self.adversaries.insert(name.into(), factory);
+    }
+
+    /// Resolves a protocol factory by name.
+    pub fn protocol(&self, name: &str) -> Result<Arc<dyn ProtocolFactory>, SpecError> {
+        self.protocols
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SpecError::UnknownProtocol {
+                name: name.to_string(),
+                known: self.protocol_names(),
+            })
+    }
+
+    /// Resolves an adversary factory by name.
+    pub fn adversary(&self, name: &str) -> Result<Arc<dyn AdversaryFactory>, SpecError> {
+        self.adversaries
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SpecError::UnknownAdversary {
+                name: name.to_string(),
+                known: self.adversary_names(),
+            })
+    }
+
+    /// The registered protocol names, sorted.
+    pub fn protocol_names(&self) -> Vec<String> {
+        self.protocols.keys().cloned().collect()
+    }
+
+    /// The registered adversary names, sorted.
+    pub fn adversary_names(&self) -> Vec<String> {
+        self.adversaries.keys().cloned().collect()
+    }
+}
+
+fn global() -> &'static RwLock<Registry> {
+    static GLOBAL: OnceLock<RwLock<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Registry::with_defaults()))
+}
+
+/// Registers a protocol factory in the process-global registry used by
+/// [`Sim::from_spec`](crate::sim::Sim::from_spec) and the deprecated
+/// shorthands. Downstream crates call this once at startup.
+pub fn register_protocol(name: impl Into<String>, factory: Arc<dyn ProtocolFactory>) {
+    global()
+        .write()
+        .expect("registry lock poisoned")
+        .register_protocol(name, factory);
+}
+
+/// Registers an adversary factory in the process-global registry.
+pub fn register_adversary(name: impl Into<String>, factory: Arc<dyn AdversaryFactory>) {
+    global()
+        .write()
+        .expect("registry lock poisoned")
+        .register_adversary(name, factory);
+}
+
+/// Resolves a protocol factory from the process-global registry.
+pub fn resolve_protocol(name: &str) -> Result<Arc<dyn ProtocolFactory>, SpecError> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .protocol(name)
+}
+
+/// Resolves an adversary factory from the process-global registry.
+pub fn resolve_adversary(name: &str) -> Result<Arc<dyn AdversaryFactory>, SpecError> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .adversary(name)
+}
+
+/// The protocol names in the process-global registry, sorted.
+pub fn protocol_names() -> Vec<String> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .protocol_names()
+}
+
+/// The adversary names in the process-global registry, sorted.
+pub fn adversary_names() -> Vec<String> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .adversary_names()
+}
+
+/// Builds the adversary described by `spec` for one `(scenario, seed)`
+/// execution, resolving the name against the process-global registry.
+pub fn build_adversary(
+    spec: &ComponentSpec,
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<BoxedAdversary, SpecError> {
+    resolve_adversary(spec.name())?.build(scenario, &spec.params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsync_radio::frequency::FrequencyBand;
+    use wsync_radio::history::History;
+
+    #[test]
+    fn default_registry_resolves_every_builtin() {
+        let registry = Registry::with_defaults();
+        let scenario = Scenario::new(4, 8, 2);
+        for name in registry.protocol_names() {
+            let factory = registry.protocol(&name).unwrap();
+            let ctor = factory
+                .instantiate(&scenario, &Params::new())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut protocol = ctor(NodeId::new(0));
+            assert!(!protocol.is_leader());
+            assert!(!protocol.protocol_name().is_empty());
+            // the protocol is runnable through the erased interface
+            let mut rng = SimRng::from_seed(1);
+            protocol.on_activate(ActivationInfo::new(4, 8, 2), &mut rng);
+            let action = protocol.choose_action(0, &mut rng);
+            let feedback = match action {
+                Action::Broadcast { frequency, .. } => Feedback::Broadcasted { frequency },
+                Action::Listen { frequency } => Feedback::Silence { frequency },
+                Action::Sleep => Feedback::Slept,
+            };
+            protocol.on_feedback(0, feedback, &mut rng);
+        }
+        for name in registry.adversary_names() {
+            let factory = registry.adversary(&name).unwrap();
+            let mut params = Params::new();
+            if name == "bursty" {
+                params.set("period", 10u64);
+                params.set("burst_len", 2u64);
+            } else if name == "oblivious-random" {
+                params.set("t_actual", 1u64);
+            }
+            let mut adversary = factory
+                .build(&scenario, &params, 7)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let set = adversary.disrupt(
+                0,
+                FrequencyBand::new(8),
+                &History::new(),
+                &mut SimRng::from_seed(0),
+            );
+            assert!(set.len() <= 8, "{name} disrupted too much");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_known_ones() {
+        let registry = Registry::with_defaults();
+        match registry.protocol("trapdor").err() {
+            Some(SpecError::UnknownProtocol { name, known }) => {
+                assert_eq!(name, "trapdor");
+                assert!(known.contains(&"trapdoor".to_string()));
+            }
+            other => panic!("expected UnknownProtocol, got {other:?}"),
+        }
+        match registry.adversary("nonsense").err() {
+            Some(SpecError::UnknownAdversary { known, .. }) => {
+                assert_eq!(known.len(), 8);
+            }
+            other => panic!("expected UnknownAdversary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factories_validate_their_parameters() {
+        let registry = Registry::with_defaults();
+        let scenario = Scenario::new(4, 8, 2);
+        // typo in a protocol parameter
+        let err = registry
+            .protocol("trapdoor")
+            .unwrap()
+            .instantiate(&scenario, &Params::new().with("epoch_konstant", 2.0))
+            .err()
+            .expect("typo must be rejected");
+        assert!(matches!(err, SpecError::UnknownParam { .. }), "{err}");
+        // missing required adversary parameter
+        let err = registry
+            .adversary("oblivious-random")
+            .unwrap()
+            .build(&scenario, &Params::new(), 0)
+            .expect_err("missing t_actual must be rejected");
+        assert!(matches!(err, SpecError::MissingParam { .. }), "{err}");
+        // wrong type
+        let err = registry
+            .adversary("bursty")
+            .unwrap()
+            .build(
+                &scenario,
+                &Params::new().with("period", "ten").with("burst_len", 2u64),
+                0,
+            )
+            .expect_err("mistyped period must be rejected");
+        assert!(matches!(err, SpecError::BadParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn downstream_registration_is_visible_globally() {
+        struct EchoFactory;
+        impl AdversaryFactory for EchoFactory {
+            fn build(
+                &self,
+                _scenario: &Scenario,
+                params: &Params,
+                _seed: u64,
+            ) -> Result<BoxedAdversary, SpecError> {
+                ParamReader::new("test-echo", params).finish()?;
+                Ok(BoxedAdversary::new(Box::new(NoAdversary::new())))
+            }
+        }
+        register_adversary("test-echo", Arc::new(EchoFactory));
+        assert!(adversary_names().contains(&"test-echo".to_string()));
+        let spec = ComponentSpec::named("test-echo");
+        let scenario = Scenario::new(2, 4, 1);
+        assert!(build_adversary(&spec, &scenario, 0).is_ok());
+    }
+
+    #[test]
+    fn trapdoor_params_mirror_the_config_builders() {
+        let scenario = Scenario::new(8, 16, 4);
+        let params = Params::new()
+            .with("epoch_constant", 1.5)
+            .with("final_epoch_constant", 3.0)
+            .with("frequency_limit", 2u64);
+        let config = trapdoor_config_from("trapdoor", &scenario, &params, None).unwrap();
+        let expected = TrapdoorConfig::new(8, 16, 4)
+            .with_epoch_constant(1.5)
+            .with_final_epoch_constant(3.0)
+            .with_frequency_limit(2);
+        assert_eq!(config, expected);
+    }
+}

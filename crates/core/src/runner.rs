@@ -1,16 +1,27 @@
 //! Convenience wiring between the protocols and the radio engine.
 //!
 //! A [`Scenario`] describes one synchronization setting — how many devices,
-//! how many frequencies, the disruption bound, which adversary, and the
-//! activation schedule. [`run_protocol`] (or the per-protocol shorthands
-//! [`run_trapdoor`], [`run_good_samaritan`], …) executes it with the
-//! property checker attached and returns a [`SyncOutcome`].
+//! how many frequencies, the disruption bound, which adversary (by registry
+//! name, see [`crate::registry`]), and the activation schedule. The primary
+//! way to execute one is the [`Sim`] builder:
+//!
+//! ```
+//! use wsync_core::sim::Sim;
+//! use wsync_core::spec::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+//! let outcome = Sim::from_spec(&spec)?.run_one(7);
+//! assert!(outcome.result.all_synchronized);
+//! # Ok::<(), wsync_core::spec::SpecError>(())
+//! ```
+//!
+//! [`run_protocol`] remains the statically-typed escape hatch for custom
+//! protocol types that are not registered (e.g. the fault-tolerance
+//! crash wrapper); the per-protocol `run_*` shorthands are deprecated thin
+//! wrappers over the registry path.
 
 use wsync_radio::activation::ActivationSchedule;
-use wsync_radio::adversary::{
-    AdaptiveGreedyAdversary, Adversary, BurstyAdversary, DisruptionSet, FixedBandAdversary,
-    NoAdversary, ObliviousScheduleAdversary, RandomAdversary, SweepAdversary,
-};
+use wsync_radio::adversary::{Adversary, DisruptionSet};
 use wsync_radio::engine::{Engine, SimConfig};
 use wsync_radio::frequency::FrequencyBand;
 use wsync_radio::history::History;
@@ -20,13 +31,14 @@ use wsync_radio::rng::SimRng;
 
 use serde::{Deserialize, Serialize};
 
-use crate::baselines::{
-    single_frequency_trapdoor, RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol,
-};
+use crate::baselines::{RoundRobinProtocol, WakeupProtocol};
 use crate::checker::PropertyChecker;
 use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol};
 use crate::params::next_power_of_two;
+use crate::registry;
 use crate::report::SyncOutcome;
+use crate::sim::Sim;
+use crate::spec::ComponentSpec;
 use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 
 /// Protocols that elect a leader while solving wireless synchronization.
@@ -77,7 +89,15 @@ impl SyncProtocol for RoundRobinProtocol {
     }
 }
 
-/// Which adversary a scenario runs against.
+/// Typed shorthand for the built-in adversaries.
+///
+/// This enum predates the open [`registry`]; it remains as
+/// a convenient, typo-proof way to name a built-in adversary
+/// (`scenario.with_adversary(AdversaryKind::Random)`) and converts into the
+/// registry's [`ComponentSpec`] form via [`Into`]. Adversaries added by
+/// downstream crates have no variant here — they are addressed by name —
+/// which is exactly why the `build` method here is deprecated in favour of
+/// the registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AdversaryKind {
     /// No disruption at all.
@@ -108,7 +128,8 @@ pub enum AdversaryKind {
 }
 
 impl AdversaryKind {
-    /// A short name for experiment tables.
+    /// A short name for experiment tables — the same string the registry
+    /// uses as this adversary's key.
     pub fn name(&self) -> &'static str {
         match self {
             AdversaryKind::None => "none",
@@ -121,31 +142,39 @@ impl AdversaryKind {
         }
     }
 
-    /// Instantiates the adversary for a given scenario and seed.
-    pub fn build(&self, scenario: &Scenario, seed: u64) -> BoxedAdversary {
-        let t = scenario.disruption_bound;
-        let inner: Box<dyn Adversary> = match self {
-            AdversaryKind::None => Box::new(NoAdversary::new()),
-            AdversaryKind::FixedBand => Box::new(FixedBandAdversary::new(t)),
-            AdversaryKind::Random => Box::new(RandomAdversary::new(t)),
-            AdversaryKind::Sweep => Box::new(SweepAdversary::new(t)),
-            AdversaryKind::Bursty { period, burst_len } => {
-                Box::new(BurstyAdversary::new(t, *period, *burst_len))
-            }
-            AdversaryKind::AdaptiveGreedy => Box::new(AdaptiveGreedyAdversary::new(t)),
+    /// The registry component this variant denotes.
+    pub fn to_component(&self) -> ComponentSpec {
+        match self {
+            AdversaryKind::Bursty { period, burst_len } => ComponentSpec::named("bursty")
+                .with("period", *period)
+                .with("burst_len", *burst_len),
             AdversaryKind::ObliviousRandom { t_actual } => {
-                // Pre-sample a schedule long enough to cover the run without
-                // repeating too quickly.
-                let len = 8192usize;
-                Box::new(ObliviousScheduleAdversary::random(
-                    seed ^ 0x0b11_0005,
-                    len,
-                    scenario.num_frequencies,
-                    (*t_actual).min(t),
-                ))
+                ComponentSpec::named("oblivious-random").with("t_actual", u64::from(*t_actual))
             }
-        };
-        BoxedAdversary { inner }
+            other => ComponentSpec::named(other.name()),
+        }
+    }
+
+    /// Instantiates the adversary for a given scenario and seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "resolve through the registry instead: `registry::build_adversary(&kind.to_component(), scenario, seed)`"
+    )]
+    pub fn build(&self, scenario: &Scenario, seed: u64) -> BoxedAdversary {
+        registry::build_adversary(&self.to_component(), scenario, seed)
+            .expect("built-in adversaries always resolve against the default registry")
+    }
+}
+
+impl From<AdversaryKind> for ComponentSpec {
+    fn from(kind: AdversaryKind) -> Self {
+        kind.to_component()
+    }
+}
+
+impl From<&AdversaryKind> for ComponentSpec {
+    fn from(kind: &AdversaryKind) -> Self {
+        kind.to_component()
     }
 }
 
@@ -153,6 +182,22 @@ impl AdversaryKind {
 /// stays statically typed.
 pub struct BoxedAdversary {
     inner: Box<dyn Adversary>,
+}
+
+impl std::fmt::Debug for BoxedAdversary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("BoxedAdversary")
+            .field(&self.inner.name())
+            .finish()
+    }
+}
+
+impl BoxedAdversary {
+    /// Boxes a concrete adversary (what [`registry`] adversary factories
+    /// return).
+    pub fn new(inner: Box<dyn Adversary>) -> Self {
+        BoxedAdversary { inner }
+    }
 }
 
 impl Adversary for BoxedAdversary {
@@ -195,6 +240,11 @@ impl Adversary for BoxedAdversary {
 }
 
 /// A complete description of one synchronization experiment setting.
+///
+/// This is the *runtime* shape — everything except the protocol choice.
+/// The declarative, serializable form that additionally names the protocol
+/// is [`ScenarioSpec`](crate::spec::ScenarioSpec); the two convert into
+/// each other losslessly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Actual number of participating devices `n`.
@@ -207,8 +257,8 @@ pub struct Scenario {
     /// Bound `N ≥ n` announced to the protocols; defaults to
     /// `n.next_power_of_two()`.
     pub upper_bound_n: Option<u64>,
-    /// The adversary to run against.
-    pub adversary: AdversaryKind,
+    /// The adversary to run against (registry name plus parameters).
+    pub adversary: ComponentSpec,
     /// When devices are activated.
     pub activation: ActivationSchedule,
     /// Round cap.
@@ -227,16 +277,17 @@ impl Scenario {
             num_frequencies,
             disruption_bound,
             upper_bound_n: None,
-            adversary: AdversaryKind::None,
+            adversary: ComponentSpec::named("none"),
             activation: ActivationSchedule::Simultaneous,
             max_rounds: 2_000_000,
             extra_rounds_after_sync: 8,
         }
     }
 
-    /// Sets the adversary.
-    pub fn with_adversary(mut self, adversary: AdversaryKind) -> Self {
-        self.adversary = adversary;
+    /// Sets the adversary — a registry name (`"random"`), a
+    /// [`ComponentSpec`] with parameters, or a typed [`AdversaryKind`].
+    pub fn with_adversary(mut self, adversary: impl Into<ComponentSpec>) -> Self {
+        self.adversary = adversary.into();
         self
     }
 
@@ -282,14 +333,20 @@ impl Scenario {
     }
 }
 
-/// Runs `scenario` with protocol instances produced by `factory`, checking
-/// the synchronization properties online.
-pub fn run_protocol<P, F>(scenario: &Scenario, factory: F, seed: u64) -> SyncOutcome
+/// The one engine-invocation path shared by every run in the workspace:
+/// builds the engine, attaches the property checker, executes, and counts
+/// leaders. Both [`run_protocol`] (statically typed) and
+/// [`Sim::run_one`](crate::sim::Sim::run_one) (registry path) end here.
+pub(crate) fn execute<P, F>(
+    scenario: &Scenario,
+    factory: F,
+    adversary: BoxedAdversary,
+    seed: u64,
+) -> SyncOutcome
 where
     P: SyncProtocol,
     F: FnMut(NodeId) -> P,
 {
-    let adversary = scenario.adversary.build(scenario, seed);
     let mut engine = Engine::new(
         scenario.sim_config(),
         factory,
@@ -310,66 +367,133 @@ where
     }
 }
 
+/// Runs `scenario` with protocol instances produced by `factory`, checking
+/// the synchronization properties online.
+///
+/// This is the statically-typed escape hatch for protocol types that are
+/// not registered (wrappers, instrumented variants). The adversary is still
+/// resolved by name through the global registry.
+///
+/// # Panics
+///
+/// Panics when the scenario is invalid or its adversary cannot be resolved;
+/// use [`Sim::from_spec`](crate::sim::Sim::from_spec) for fallible,
+/// validated construction.
+pub fn run_protocol<P, F>(scenario: &Scenario, factory: F, seed: u64) -> SyncOutcome
+where
+    P: SyncProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    let adversary = registry::build_adversary(&scenario.adversary, scenario, seed)
+        .unwrap_or_else(|e| panic!("scenario adversary failed to build: {e}"));
+    execute(scenario, factory, adversary, seed)
+}
+
+fn run_named(scenario: &Scenario, protocol: impl Into<ComponentSpec>, seed: u64) -> SyncOutcome {
+    Sim::from_scenario(scenario, protocol)
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+        .run_one(seed)
+}
+
+/// The registry parameters equivalent to an explicit [`TrapdoorConfig`].
+pub fn trapdoor_component(config: &TrapdoorConfig) -> ComponentSpec {
+    let mut component = ComponentSpec::named("trapdoor")
+        .with("upper_bound_n", config.upper_bound_n)
+        .with("num_frequencies", config.num_frequencies)
+        .with("disruption_bound", config.disruption_bound)
+        .with("epoch_constant", config.epoch_constant)
+        .with("final_epoch_constant", config.final_epoch_constant)
+        .with(
+            "leader_broadcast_probability",
+            config.leader_broadcast_probability,
+        );
+    if let Some(limit) = config.frequency_limit {
+        component = component.with("frequency_limit", limit);
+    }
+    component
+}
+
+/// The registry parameters equivalent to an explicit
+/// [`GoodSamaritanConfig`].
+pub fn good_samaritan_component(config: &GoodSamaritanConfig) -> ComponentSpec {
+    ComponentSpec::named("good-samaritan")
+        .with("upper_bound_n", config.upper_bound_n)
+        .with("num_frequencies", config.num_frequencies)
+        .with("disruption_bound", config.disruption_bound)
+        .with("epoch_constant", config.epoch_constant)
+        .with("threshold_shift", config.threshold_shift)
+        .with("fallback_multiplier", config.fallback_multiplier)
+        .with(
+            "leader_broadcast_probability",
+            config.leader_broadcast_probability,
+        )
+}
+
 /// Runs the Trapdoor Protocol (default constants) on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, \"trapdoor\")` or a ScenarioSpec"
+)]
 pub fn run_trapdoor(scenario: &Scenario, seed: u64) -> SyncOutcome {
-    let config = TrapdoorConfig::new(
-        scenario.upper_bound(),
-        scenario.num_frequencies,
-        scenario.disruption_bound,
-    );
-    run_protocol(scenario, |_| TrapdoorProtocol::new(config), seed)
+    run_named(scenario, "trapdoor", seed)
 }
 
 /// Runs the Trapdoor Protocol with an explicit configuration on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, trapdoor_component(&config))`"
+)]
 pub fn run_trapdoor_with(scenario: &Scenario, config: TrapdoorConfig, seed: u64) -> SyncOutcome {
-    run_protocol(scenario, |_| TrapdoorProtocol::new(config), seed)
+    run_named(scenario, trapdoor_component(&config), seed)
 }
 
 /// Runs the Good Samaritan Protocol (default constants) on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, \"good-samaritan\")` or a ScenarioSpec"
+)]
 pub fn run_good_samaritan(scenario: &Scenario, seed: u64) -> SyncOutcome {
-    let config = GoodSamaritanConfig::new(
-        scenario.upper_bound(),
-        scenario.num_frequencies,
-        scenario.disruption_bound,
-    );
-    run_protocol(scenario, |_| GoodSamaritanProtocol::new(config), seed)
+    run_named(scenario, "good-samaritan", seed)
 }
 
 /// Runs the Good Samaritan Protocol with an explicit configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, good_samaritan_component(&config))`"
+)]
 pub fn run_good_samaritan_with(
     scenario: &Scenario,
     config: GoodSamaritanConfig,
     seed: u64,
 ) -> SyncOutcome {
-    run_protocol(scenario, |_| GoodSamaritanProtocol::new(config), seed)
+    run_named(scenario, good_samaritan_component(&config), seed)
 }
 
 /// Runs the wake-up-style baseline on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, \"wakeup\")` or a ScenarioSpec"
+)]
 pub fn run_wakeup(scenario: &Scenario, seed: u64) -> SyncOutcome {
-    let config = WakeupConfig::new(
-        scenario.upper_bound(),
-        scenario.num_frequencies,
-        scenario.disruption_bound,
-    );
-    run_protocol(scenario, |_| WakeupProtocol::new(config), seed)
+    run_named(scenario, "wakeup", seed)
 }
 
 /// Runs the deterministic round-robin hopping baseline on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, \"round-robin\")` or a ScenarioSpec"
+)]
 pub fn run_round_robin(scenario: &Scenario, seed: u64) -> SyncOutcome {
-    let config = RoundRobinConfig::new(
-        scenario.upper_bound(),
-        scenario.num_frequencies,
-        scenario.disruption_bound,
-    );
-    run_protocol(scenario, |_| RoundRobinProtocol::new(config), seed)
+    run_named(scenario, "round-robin", seed)
 }
 
 /// Runs the single-frequency Trapdoor baseline on `scenario`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sim::from_scenario(scenario, \"single-frequency\")` or a ScenarioSpec"
+)]
 pub fn run_single_frequency(scenario: &Scenario, seed: u64) -> SyncOutcome {
-    let n = scenario.upper_bound();
-    let f = scenario.num_frequencies;
-    let t = scenario.disruption_bound;
-    run_protocol(scenario, |_| single_frequency_trapdoor(n, f, t), seed)
+    run_named(scenario, "single-frequency", seed)
 }
 
 #[cfg(test)]
@@ -380,7 +504,7 @@ mod tests {
     fn scenario_defaults() {
         let s = Scenario::new(10, 8, 2);
         assert_eq!(s.upper_bound(), 16);
-        assert_eq!(s.adversary, AdversaryKind::None);
+        assert_eq!(s.adversary, ComponentSpec::named("none"));
         let cfg = s.sim_config();
         assert_eq!(cfg.num_nodes, 10);
         assert_eq!(cfg.upper_bound_n, 16);
@@ -388,7 +512,7 @@ mod tests {
     }
 
     #[test]
-    fn adversary_kind_builds_all_variants() {
+    fn adversary_kind_converts_and_builds_all_variants() {
         let s = Scenario::new(4, 8, 3);
         for kind in [
             AdversaryKind::None,
@@ -402,18 +526,24 @@ mod tests {
             AdversaryKind::AdaptiveGreedy,
             AdversaryKind::ObliviousRandom { t_actual: 2 },
         ] {
-            let mut adv = kind.build(&s, 1);
+            let component = kind.to_component();
+            assert_eq!(component.name(), kind.name());
+            let mut adv = registry::build_adversary(&component, &s, 1).expect("builtin resolves");
             let band = FrequencyBand::new(8);
             let set = adv.disrupt(0, band, &History::new(), &mut SimRng::from_seed(0));
             assert!(set.len() <= 8);
-            assert!(!kind.name().is_empty());
+            // the deprecated wrapper builds the identical adversary
+            #[allow(deprecated)]
+            let mut legacy = kind.build(&s, 1);
+            let legacy_set = legacy.disrupt(0, band, &History::new(), &mut SimRng::from_seed(0));
+            assert_eq!(set, legacy_set);
         }
     }
 
     #[test]
     fn trapdoor_small_scenario_synchronizes_cleanly() {
-        let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
-        let outcome = run_trapdoor(&scenario, 11);
+        let scenario = Scenario::new(8, 8, 2).with_adversary("random");
+        let outcome = run_named(&scenario, "trapdoor", 11);
         assert!(outcome.result.all_synchronized);
         assert_eq!(outcome.leaders, 1);
         assert!(outcome.properties.all_hold());
@@ -421,12 +551,21 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shorthands_match_the_registry_path() {
+        let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+        #[allow(deprecated)]
+        let legacy = run_trapdoor(&scenario, 11);
+        let registry_path = run_named(&scenario, "trapdoor", 11);
+        assert_eq!(legacy, registry_path);
+    }
+
+    #[test]
     fn wakeup_and_round_robin_baselines_run() {
         let scenario = Scenario::new(6, 8, 1);
-        let w = run_wakeup(&scenario, 3);
+        let w = run_named(&scenario, "wakeup", 3);
         assert!(w.result.all_synchronized);
         assert!(w.leaders >= 1);
-        let r = run_round_robin(&scenario, 3);
+        let r = run_named(&scenario, "round-robin", 3);
         assert!(r.result.all_synchronized);
         assert!(r.leaders >= 1);
     }
@@ -438,10 +577,10 @@ mod tests {
         // declares itself leader, and late joiners adopt numbering schemes
         // that disagree with the early ones.
         let scenario = Scenario::new(4, 4, 1)
-            .with_adversary(AdversaryKind::FixedBand)
+            .with_adversary("fixed-band")
             .with_activation(ActivationSchedule::LateJoiner { late: 3 })
             .with_max_rounds(2_000);
-        let outcome = run_single_frequency(&scenario, 5);
+        let outcome = run_named(&scenario, "single-frequency", 5);
         assert_eq!(outcome.leaders, 4, "every isolated node elects itself");
         assert!(!outcome.is_clean());
         assert!(
@@ -452,9 +591,28 @@ mod tests {
 
     #[test]
     fn identical_seed_identical_outcome() {
-        let scenario = Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Random);
-        let a = run_trapdoor(&scenario, 21);
-        let b = run_trapdoor(&scenario, 21);
+        let scenario = Scenario::new(6, 8, 2).with_adversary("random");
+        let a = run_named(&scenario, "trapdoor", 21);
+        let b = run_named(&scenario, "trapdoor", 21);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_config_components_reproduce_the_configs() {
+        let config = TrapdoorConfig::new(64, 16, 4)
+            .with_epoch_constant(1.5)
+            .with_frequency_limit(3);
+        let component = trapdoor_component(&config);
+        assert_eq!(component.name(), "trapdoor");
+        let scenario = Scenario::new(8, 16, 4);
+        // rebuilding through the registry yields the same protocol config
+        let factory = registry::resolve_protocol("trapdoor").unwrap();
+        assert!(factory.instantiate(&scenario, &component.params).is_ok());
+
+        let gs = GoodSamaritanConfig::new(32, 8, 2).with_threshold_shift(5);
+        let component = good_samaritan_component(&gs);
+        assert_eq!(component.name(), "good-samaritan");
+        let factory = registry::resolve_protocol("good-samaritan").unwrap();
+        assert!(factory.instantiate(&scenario, &component.params).is_ok());
     }
 }

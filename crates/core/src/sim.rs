@@ -1,0 +1,267 @@
+//! The simulation builder: one validated, runnable entry point.
+//!
+//! [`Sim`] is the single code path every execution in the workspace goes
+//! through. Build one from a declarative [`ScenarioSpec`] (possibly loaded
+//! from JSON) or from an existing runtime [`Scenario`] plus a protocol
+//! name, choose a seed range, and run — one trial at a time or sharded
+//! across cores by a [`BatchRunner`]:
+//!
+//! ```
+//! use wsync_core::batch::BatchRunner;
+//! use wsync_core::sim::Sim;
+//! use wsync_core::spec::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+//! let outcomes = Sim::from_spec(&spec)?
+//!     .seeds(0..8)
+//!     .run(&BatchRunner::new());
+//! assert_eq!(outcomes.len(), 8);
+//! # Ok::<(), wsync_core::spec::SpecError>(())
+//! ```
+//!
+//! All validation happens in [`Sim::from_spec`]: protocol and adversary
+//! names resolve against the [`registry`], their
+//! parameters are type-checked, and the instance passes
+//! `SimConfig::validate` — so a bad spec is a typed [`SpecError`] at build
+//! time, never a panic mid-run. The deprecated `run_*` shorthands,
+//! `run_trial` on `ProtocolKind`, and `BatchRunner::run` are all thin wrappers
+//! over this type.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::batch::{BatchRunner, BatchStats};
+use crate::registry::{AdversaryFactory, ProtocolCtor, Registry};
+use crate::report::SyncOutcome;
+use crate::runner::{execute, Scenario};
+use crate::spec::{ComponentSpec, ScenarioSpec, SpecError};
+use crate::{registry, spec};
+
+/// A fully validated, runnable simulation: scenario, resolved protocol
+/// constructor, resolved adversary factory, and a seed range.
+pub struct Sim {
+    scenario: Scenario,
+    protocol: ComponentSpec,
+    ctor: ProtocolCtor,
+    adversary: Arc<dyn AdversaryFactory>,
+    seeds: Range<u64>,
+}
+
+impl Sim {
+    /// Builds a simulation from a declarative spec, resolving names against
+    /// the process-global registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the instance is inconsistent (`t ≥ F`,
+    /// `n = 0`, `N < n`, a zero round cap), a name is unknown, or a
+    /// parameter is missing, mistyped, or unrecognised.
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        Sim::build(
+            spec,
+            registry::resolve_protocol(spec.protocol.name())?,
+            registry::resolve_adversary(spec.adversary.name())?,
+        )
+    }
+
+    /// Builds a simulation from a declarative spec, resolving names against
+    /// an explicit registry instead of the process-global one.
+    pub fn from_spec_in(registry: &Registry, spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        Sim::build(
+            spec,
+            registry.protocol(spec.protocol.name())?,
+            registry.adversary(spec.adversary.name())?,
+        )
+    }
+
+    /// Builds a simulation from a runtime [`Scenario`] plus a protocol
+    /// (name or name-plus-params), resolving against the process-global
+    /// registry.
+    pub fn from_scenario(
+        scenario: &Scenario,
+        protocol: impl Into<ComponentSpec>,
+    ) -> Result<Self, SpecError> {
+        Sim::from_spec(&ScenarioSpec::from_scenario(scenario, protocol))
+    }
+
+    fn build(
+        spec: &ScenarioSpec,
+        protocol_factory: Arc<dyn crate::registry::ProtocolFactory>,
+        adversary_factory: Arc<dyn AdversaryFactory>,
+    ) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let scenario = spec.scenario();
+        let ctor = protocol_factory.instantiate(&scenario, &spec.protocol.params)?;
+        // Probe-build the adversary once so parameter errors surface here,
+        // keeping `run_one` infallible. AdversaryFactory's contract requires
+        // validation to be seed-independent, so one probe covers all seeds.
+        adversary_factory.build(&scenario, &spec.adversary.params, 0)?;
+        Ok(Sim {
+            scenario,
+            protocol: spec.protocol.clone(),
+            ctor,
+            adversary: adversary_factory,
+            seeds: 0..1,
+        })
+    }
+
+    /// Sets the seed range subsequent [`run`](Self::run) /
+    /// [`run_stats`](Self::run_stats) calls execute (default `0..1`).
+    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// The runtime scenario this simulation executes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The protocol component (registry name plus parameters).
+    pub fn protocol(&self) -> &ComponentSpec {
+        &self.protocol
+    }
+
+    /// The configured seed range.
+    pub fn seed_range(&self) -> Range<u64> {
+        self.seeds.clone()
+    }
+
+    /// Runs a single trial. Executions are a pure function of
+    /// `(spec, seed)`.
+    pub fn run_one(&self, seed: u64) -> SyncOutcome {
+        let adversary = self
+            .adversary
+            .build(&self.scenario, &self.scenario.adversary.params, seed)
+            .expect("adversary parameters were validated when the Sim was built");
+        execute(&self.scenario, |id| (self.ctor)(id), adversary, seed)
+    }
+
+    /// Runs every seed in the configured range on `runner`'s worker pool
+    /// and returns the outcomes in seed order (bit-identical to a serial
+    /// loop; see [`BatchRunner`]).
+    pub fn run(&self, runner: &BatchRunner) -> Vec<SyncOutcome> {
+        runner.map(self.seeds.clone(), |seed| self.run_one(seed))
+    }
+
+    /// Runs every seed in the configured range and folds the outcomes into
+    /// [`BatchStats`].
+    pub fn run_stats(&self, runner: &BatchRunner) -> BatchStats {
+        BatchStats::aggregate(&self.run(runner))
+    }
+
+    /// Expands a [`SweepSpec`](spec::SweepSpec) into `(label, Sim)` pairs,
+    /// one per grid point, each configured with the sweep's seed range.
+    pub fn from_sweep(sweep: &spec::SweepSpec) -> Result<Vec<(String, Sim)>, SpecError> {
+        let seeds = sweep.seeds()?;
+        sweep
+            .expand()?
+            .into_iter()
+            .map(|point| {
+                Sim::from_spec(&point.spec).map(|sim| (point.label, sim.seeds(seeds.clone())))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn spec_driven_run_is_deterministic_and_clean() {
+        let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+        let sim = Sim::from_spec(&spec).unwrap();
+        let a = sim.run_one(11);
+        let b = sim.run_one(11);
+        assert_eq!(a, b);
+        assert!(a.result.all_synchronized);
+        assert_eq!(a.leaders, 1);
+        assert_eq!(a.adversary, "random");
+    }
+
+    #[test]
+    fn invalid_specs_fail_at_build_time_not_mid_run() {
+        // t >= F
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("trapdoor", 4, 8, 8)),
+            Err(SpecError::InvalidConfig(_))
+        ));
+        // zero nodes
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("trapdoor", 0, 8, 2)),
+            Err(SpecError::InvalidConfig(_))
+        ));
+        // zero round cap
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("trapdoor", 4, 8, 2).with_max_rounds(0)),
+            Err(SpecError::InvalidConfig(_))
+        ));
+        // unknown protocol
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("paxos", 4, 8, 2)),
+            Err(SpecError::UnknownProtocol { .. })
+        ));
+        // unknown adversary
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("trapdoor", 4, 8, 2).with_adversary("ddos")),
+            Err(SpecError::UnknownAdversary { .. })
+        ));
+        // missing adversary parameter
+        assert!(matches!(
+            Sim::from_spec(&ScenarioSpec::new("trapdoor", 4, 8, 2).with_adversary("bursty")),
+            Err(SpecError::MissingParam { .. })
+        ));
+        // mistyped protocol parameter
+        assert!(matches!(
+            Sim::from_spec(
+                &ScenarioSpec::new("trapdoor", 4, 8, 2)
+                    .with_protocol_param("epoch_constant", "big")
+            ),
+            Err(SpecError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_run_matches_serial_loop() {
+        let spec = ScenarioSpec::new("wakeup", 6, 8, 1).with_adversary("random");
+        let sim = Sim::from_spec(&spec).unwrap().seeds(3..9);
+        let batch = sim.run(&BatchRunner::with_workers(4));
+        let serial: Vec<_> = (3..9).map(|seed| sim.run_one(seed)).collect();
+        assert_eq!(batch, serial);
+        let stats = sim.run_stats(&BatchRunner::with_workers(2));
+        assert_eq!(stats.trials, 6);
+    }
+
+    #[test]
+    fn sweep_expands_into_labelled_sims() {
+        let base = ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random");
+        let sweep =
+            SweepSpec::new(base, 0..2).with_axis("num_nodes", vec![4u64.into(), 6u64.into()]);
+        let sims = Sim::from_sweep(&sweep).unwrap();
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims[0].0, "num_nodes=4");
+        assert_eq!(sims[0].1.scenario().num_nodes, 4);
+        assert_eq!(sims[1].1.seed_range(), 0..2);
+        // a sweep containing an invalid point fails as a whole
+        let bad = SweepSpec::new(ScenarioSpec::new("trapdoor", 6, 8, 2), 0..2)
+            .with_axis("disruption_bound", vec![1u64.into(), 8u64.into()]);
+        assert!(Sim::from_sweep(&bad).is_err());
+    }
+
+    #[test]
+    fn json_spec_runs_end_to_end() {
+        let text = r#"{
+            "protocol": "good-samaritan",
+            "adversary": {"name": "oblivious-random", "params": {"t_actual": 2}},
+            "num_nodes": 8,
+            "num_frequencies": 8,
+            "disruption_bound": 4
+        }"#;
+        let spec = ScenarioSpec::from_json(text).unwrap();
+        let outcome = Sim::from_spec(&spec).unwrap().run_one(11);
+        assert!(outcome.result.all_synchronized);
+        assert_eq!(outcome.adversary, "oblivious-random");
+    }
+}

@@ -7,22 +7,21 @@
 //!   band when `F ≫ 2t` slows the competition down (the reason the paper's
 //!   bound has `F·t/(F−t)` rather than `F²/(F−t)`), while restricting to a
 //!   single frequency destroys agreement under jamming.
+//!
+//! Both ablations are expressed as [`SweepSpec`] parameter grids over the
+//! `trapdoor` factory's declarative parameters — the same knobs a JSON spec
+//! file can sweep via `run_experiments --spec`.
 
-use wsync_core::batch::{BatchRunner, ProtocolKind};
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::batch::{BatchRunner, BatchStats};
+use wsync_core::sim::Sim;
+use wsync_core::spec::{ScenarioSpec, SweepSpec};
 use wsync_core::trapdoor::TrapdoorConfig;
-use wsync_stats::{Summary, Table};
+use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
-fn measure(scenario: &Scenario, config: TrapdoorConfig, seeds: u64) -> (Summary, f64, f64) {
-    let stats =
-        BatchRunner::new().run_stats(scenario, &ProtocolKind::TrapdoorWith(config), 0..seeds);
-    (
-        stats.completion_rounds,
-        stats.clean_rate(),
-        stats.single_leader_rate(),
-    )
+fn measure(sim: &Sim) -> BatchStats {
+    sim.run_stats(&BatchRunner::new())
 }
 
 /// A1 — epoch-length constant sweep.
@@ -49,17 +48,18 @@ pub fn a1_epoch_constant(effort: Effort) -> ExperimentReport {
             "clean rate",
         ],
     );
-    let scenario = Scenario::new(n_nodes, f, t).with_adversary(AdversaryKind::Random);
     for &c in &constants {
-        let config = TrapdoorConfig::new(scenario.upper_bound(), f, t)
-            .with_epoch_constant(c)
-            .with_final_epoch_constant(c);
-        let (summary, clean, single) = measure(&scenario, config, seeds);
+        // sweep both the regular and the final epoch constant together
+        let spec = ScenarioSpec::new("trapdoor", n_nodes, f, t)
+            .with_adversary("random")
+            .with_protocol_param("epoch_constant", c)
+            .with_protocol_param("final_epoch_constant", c);
+        let stats = measure(&Sim::from_spec(&spec).expect("valid spec").seeds(0..seeds));
         table.push_row(vec![
             fmt(c),
-            fmt(summary.mean),
-            format!("{:.0}%", single * 100.0),
-            format!("{:.0}%", clean * 100.0),
+            fmt(stats.completion_rounds.mean),
+            format!("{:.0}%", stats.single_leader_rate() * 100.0),
+            format!("{:.0}%", stats.clean_rate() * 100.0),
         ]);
     }
     report.push_table(table);
@@ -67,7 +67,8 @@ pub fn a1_epoch_constant(effort: Effort) -> ExperimentReport {
     report
 }
 
-/// A2 — ablation of the `F′ = min(F, 2t)` frequency restriction.
+/// A2 — ablation of the `F′ = min(F, 2t)` frequency restriction, expressed
+/// as a declarative [`SweepSpec`] over the `frequency_limit` parameter.
 pub fn a2_frequency_limit(effort: Effort) -> ExperimentReport {
     let n_nodes = 24usize;
     let f = 32u32;
@@ -86,26 +87,28 @@ pub fn a2_frequency_limit(effort: Effort) -> ExperimentReport {
             "clean rate",
         ],
     );
-    let scenario = Scenario::new(n_nodes, f, t).with_adversary(AdversaryKind::Random);
-    let paper_limit = TrapdoorConfig::new(scenario.upper_bound(), f, t).f_prime();
-    let limits: Vec<(String, u32)> = vec![
+    let base = ScenarioSpec::new("trapdoor", n_nodes, f, t).with_adversary("random");
+    let paper_limit = TrapdoorConfig::new(base.scenario().upper_bound(), f, t).f_prime();
+    let mut limits: Vec<(String, u32)> = vec![
         (format!("paper F' = min(F,2t) = {paper_limit}"), paper_limit),
         (format!("full band F = {f}"), f),
         ("single frequency".to_string(), 1),
     ];
-    let limits = if effort == Effort::Smoke {
-        limits.into_iter().take(2).collect()
-    } else {
-        limits
-    };
-    for (label, limit) in &limits {
-        let config = TrapdoorConfig::new(scenario.upper_bound(), f, t).with_frequency_limit(*limit);
-        let (summary, clean, single) = measure(&scenario, config, seeds);
+    if effort == Effort::Smoke {
+        limits.truncate(2);
+    }
+    let sweep = SweepSpec::new(base, 0..seeds).with_axis(
+        "protocol.frequency_limit",
+        limits.iter().map(|&(_, limit)| limit.into()).collect(),
+    );
+    let sims = Sim::from_sweep(&sweep).expect("valid sweep");
+    for ((label, _), (_, sim)) in limits.iter().zip(&sims) {
+        let stats = measure(sim);
         table.push_row(vec![
             label.clone(),
-            fmt(summary.mean),
-            format!("{:.0}%", single * 100.0),
-            format!("{:.0}%", clean * 100.0),
+            fmt(stats.completion_rounds.mean),
+            format!("{:.0}%", stats.single_leader_rate() * 100.0),
+            format!("{:.0}%", stats.clean_rate() * 100.0),
         ]);
     }
     report.push_table(table);

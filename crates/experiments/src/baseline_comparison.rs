@@ -8,8 +8,9 @@
 //! the wake-up baseline needs a conservative fixed deadline, and the
 //! deterministic hopper is vulnerable to synchronized-collision patterns.
 
-use wsync_core::batch::{BatchRunner, ProtocolKind};
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::batch::BatchRunner;
+use wsync_core::sim::Sim;
+use wsync_core::spec::ScenarioSpec;
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
@@ -26,13 +27,11 @@ pub struct BaselineRow {
     pub clean_rate: f64,
 }
 
-fn aggregate(
-    runner: &BatchRunner,
-    scenario: &Scenario,
-    protocol: ProtocolKind,
-    seeds: u64,
-) -> BaselineRow {
-    let stats = runner.run_stats(scenario, &protocol, 0..seeds);
+fn aggregate(runner: &BatchRunner, spec: &ScenarioSpec, seeds: u64) -> BaselineRow {
+    let stats = Sim::from_spec(spec)
+        .expect("valid experiment spec")
+        .seeds(0..seeds)
+        .run_stats(runner);
     BaselineRow {
         mean_completion: stats.completion_rounds.mean,
         sync_rate: stats.sync_rate(),
@@ -50,6 +49,7 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
         Effort::Quick => vec![0, 4, 8, 12],
         Effort::Full => vec![0, 2, 4, 8, 12, 14],
     };
+    let protocols = ["trapdoor", "wakeup", "round-robin", "single-frequency"];
     let mut report = ExperimentReport::new(
         "X2",
         "Baseline comparison under jamming: Trapdoor vs wake-up-style vs round-robin hopping vs single-frequency",
@@ -59,34 +59,17 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
         &["t", "protocol", "mean completion", "sync rate", "clean rate"],
     );
     for &t in &ts {
-        // Cap the run length so the starving single-frequency baseline does
-        // not dominate the experiment's running time.
-        let scenario = Scenario::new(n_nodes, f, t)
-            .with_adversary(AdversaryKind::Random)
-            .with_max_rounds(60_000);
         let runner = BatchRunner::new();
-        let rows: Vec<(&str, BaselineRow)> = vec![
-            (
-                "trapdoor",
-                aggregate(&runner, &scenario, ProtocolKind::Trapdoor, seeds),
-            ),
-            (
-                "wakeup",
-                aggregate(&runner, &scenario, ProtocolKind::Wakeup, seeds),
-            ),
-            (
-                "round-robin",
-                aggregate(&runner, &scenario, ProtocolKind::RoundRobin, seeds),
-            ),
-            (
-                "single-frequency",
-                aggregate(&runner, &scenario, ProtocolKind::SingleFrequency, seeds),
-            ),
-        ];
-        for (name, row) in rows {
+        for protocol in protocols {
+            // Cap the run length so the starving single-frequency baseline
+            // does not dominate the experiment's running time.
+            let spec = ScenarioSpec::new(protocol, n_nodes, f, t)
+                .with_adversary("random")
+                .with_max_rounds(60_000);
+            let row = aggregate(&runner, &spec, seeds);
             table.push_row(vec![
                 t.to_string(),
-                name.to_string(),
+                protocol.to_string(),
                 fmt(row.mean_completion),
                 format!("{:.0}%", row.sync_rate * 100.0),
                 format!("{:.0}%", row.clean_rate * 100.0),

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p wsync-experiments --bin run_experiments -- <ID|all> [smoke|quick|full] [--markdown]
+//! cargo run --release -p wsync-experiments --bin run_experiments -- --spec <file.json> [smoke|quick|full] [--markdown]
 //! ```
 //!
 //! `<ID>` is an experiment identifier (`FIG1`, `FIG2`, `LB1`, `LB2`, `LB3`,
@@ -11,6 +12,11 @@
 //! `all`. The default effort is `quick`; `full` reproduces the settings
 //! recorded in EXPERIMENTS.md. With `--markdown` the tables are emitted as
 //! GitHub-flavoured Markdown instead of aligned plain text.
+//!
+//! `--spec <file.json>` runs a declarative scenario file (a `ScenarioSpec`
+//! or a `SweepSpec`, see `examples/specs/`) with zero recompilation: the
+//! protocol and adversary names resolve against the registry at run time.
+//! For a bare `ScenarioSpec` the effort level picks the seed count.
 
 use std::env;
 use std::process::ExitCode;
@@ -18,7 +24,7 @@ use std::process::ExitCode;
 use wsync_experiments::output::{Effort, ExperimentReport};
 use wsync_experiments::{
     ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds, run_all,
-    samaritan_adaptive, trapdoor_scaling, weight_bound,
+    run_spec_file, samaritan_adaptive, trapdoor_scaling, weight_bound,
 };
 
 fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
@@ -48,7 +54,71 @@ fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let spec_path: Option<String> =
+        args.iter()
+            .position(|a| a == "--spec")
+            .map(|i| match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => path.clone(),
+                _ => String::new(),
+            });
+    if let Some(ref path) = spec_path {
+        if path.is_empty() {
+            eprintln!("--spec requires a file path argument");
+            return ExitCode::FAILURE;
+        }
+    }
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--spec" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+
+    if let Some(path) = spec_path {
+        // In spec mode the only accepted positional is an effort level; a
+        // stray experiment id would otherwise be dropped silently.
+        let effort_arg = positional.first().map(|s| s.as_str());
+        if positional.len() > 1
+            || matches!(effort_arg, Some(a) if !matches!(a, "smoke" | "quick" | "full"))
+        {
+            eprintln!(
+                "--spec cannot be combined with an experiment id; pass only an optional \
+                 effort level (smoke|quick|full), got: {}",
+                positional
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let effort = Effort::from_arg(effort_arg);
+        match run_spec_file(&path, 0..effort.seeds()) {
+            Ok(report) => {
+                if markdown {
+                    println!("{}", report.to_markdown());
+                } else {
+                    println!("{}", report.to_plain_text());
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let id = positional.first().map(|s| s.as_str()).unwrap_or("all");
     let effort = Effort::from_arg(positional.get(1).map(|s| s.as_str()));
 
@@ -59,7 +129,7 @@ fn main() -> ExitCode {
             Some(r) => vec![r],
             None => {
                 eprintln!(
-                    "unknown experiment id '{id}'; expected FIG1, FIG2, LB1-LB3, T10a-T10d, L9, T18a, T18b, X1, X2, A1, A2, FT1, or 'all'"
+                    "unknown experiment id '{id}'; expected FIG1, FIG2, LB1-LB3, T10a-T10d, L9, T18a, T18b, X1, X2, A1, A2, FT1, or 'all' (or --spec <file.json>)"
                 );
                 return ExitCode::FAILURE;
             }

@@ -6,9 +6,9 @@
 //! that — it should win for small `t′` and lose (by roughly a `log N`
 //! factor) when `t′` approaches `t`.
 
-use wsync_core::batch::{BatchRunner, ProtocolKind};
-use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::batch::BatchRunner;
+use wsync_core::sim::Sim;
+use wsync_core::spec::{ComponentSpec, ScenarioSpec};
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::Table;
 
@@ -42,17 +42,24 @@ pub fn x1_crossover(effort: Effort) -> ExperimentReport {
     );
     let mut gs_wins = 0usize;
     for &t_actual in &t_actuals {
-        let scenario = Scenario::new(n_nodes, f, t)
-            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+        let base = ScenarioSpec::new("good-samaritan", n_nodes, f, t)
+            .with_adversary(
+                ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual)),
+            )
             .with_activation(ActivationSchedule::Simultaneous);
-        let gs_config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
         let runner = BatchRunner::new();
-        let gs_stats = runner.run_stats(
-            &scenario,
-            &ProtocolKind::GoodSamaritanWith(gs_config),
-            0..seeds,
-        );
-        let td_stats = runner.run_stats(&scenario, &ProtocolKind::Trapdoor, 0..seeds);
+        let gs_stats = Sim::from_spec(&base)
+            .expect("valid spec")
+            .seeds(0..seeds)
+            .run_stats(&runner);
+        let td_spec = ScenarioSpec {
+            protocol: ComponentSpec::named("trapdoor"),
+            ..base
+        };
+        let td_stats = Sim::from_spec(&td_spec)
+            .expect("valid spec")
+            .seeds(0..seeds)
+            .run_stats(&runner);
         let gs = gs_stats.completion_rounds.mean;
         let td = td_stats.completion_rounds.mean;
         let winner = if gs < td {

@@ -18,7 +18,7 @@
 //! transmitter died rather than a full machine wipe).
 
 use wsync_core::batch::BatchRunner;
-use wsync_core::runner::{run_protocol, AdversaryKind, Scenario, SyncProtocol};
+use wsync_core::runner::{run_protocol, Scenario, SyncProtocol};
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::action::Action;
 use wsync_radio::activation::ActivationSchedule;
@@ -129,7 +129,7 @@ pub fn ft1_leader_crash(effort: Effort) -> ExperimentReport {
     activations.push(late_activation);
     let scenario = Scenario::new(n_nodes + 1, f, t)
         .with_upper_bound(64)
-        .with_adversary(AdversaryKind::Random)
+        .with_adversary("random")
         .with_activation(ActivationSchedule::Explicit(activations))
         .with_max_rounds(late_activation + 30_000);
     let outcomes = BatchRunner::new().run_with(&scenario, 0..seeds, |s, seed| {

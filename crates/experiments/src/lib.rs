@@ -32,10 +32,12 @@ pub mod figures;
 pub mod lower_bounds;
 pub mod output;
 pub mod samaritan_adaptive;
+pub mod spec_run;
 pub mod trapdoor_scaling;
 pub mod weight_bound;
 
 pub use output::{Effort, ExperimentReport};
+pub use spec_run::{run_spec, run_spec_file, SpecFile};
 
 /// Runs every experiment at the given effort level and returns the reports
 /// in EXPERIMENTS.md order.

@@ -3,9 +3,10 @@
 //! adversary disrupting at most `t′ < t` frequencies) and in `O(F·log³N)`
 //! rounds in every execution.
 
-use wsync_core::batch::{BatchRunner, ProtocolKind};
+use wsync_core::batch::BatchRunner;
 use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::sim::Sim;
+use wsync_core::spec::{ComponentSpec, ScenarioSpec};
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
@@ -14,13 +15,17 @@ use crate::output::{fmt, Effort, ExperimentReport};
 /// Runs the Good Samaritan protocol over several seeds (sharded across
 /// cores) and reports the mean completion round, the fraction of runs
 /// finishing during the optimistic portion, and the fraction of clean runs.
+/// `config` supplies the schedule thresholds (`fallback_start`) used to
+/// classify an execution as optimistic; it mirrors the spec's parameters.
 pub fn measure_samaritan(
-    scenario: &Scenario,
+    spec: &ScenarioSpec,
     config: GoodSamaritanConfig,
     seeds: u64,
 ) -> (Summary, f64, f64) {
-    let outcomes =
-        BatchRunner::new().run(scenario, &ProtocolKind::GoodSamaritanWith(config), 0..seeds);
+    let outcomes = Sim::from_spec(spec)
+        .expect("valid experiment spec")
+        .seeds(0..seeds)
+        .run(&BatchRunner::new());
     let mut rounds = Vec::new();
     let mut optimistic = 0usize;
     let mut clean = 0usize;
@@ -76,11 +81,13 @@ pub fn t18a_adaptive(effort: Effort) -> ExperimentReport {
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
     for &t_actual in &t_actuals {
-        let scenario = Scenario::new(n_nodes, f, t)
-            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+        let spec = ScenarioSpec::new("good-samaritan", n_nodes, f, t)
+            .with_adversary(
+                ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual)),
+            )
             .with_activation(ActivationSchedule::Simultaneous);
-        let config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
-        let (summary, optimistic, clean) = measure_samaritan(&scenario, config, seeds);
+        let config = GoodSamaritanConfig::new(spec.scenario().upper_bound(), f, t);
+        let (summary, optimistic, clean) = measure_samaritan(&spec, config, seeds);
         let expr = config.theorem18_optimistic_bound(t_actual);
         measured.push(summary.mean);
         predicted.push(expr);
@@ -136,12 +143,12 @@ pub fn t18b_fallback(effort: Effort) -> ExperimentReport {
         ],
     );
     for &f in &fs {
-        let scenario = Scenario::new(n_nodes, f, t)
-            .with_adversary(AdversaryKind::Random)
+        let spec = ScenarioSpec::new("good-samaritan", n_nodes, f, t)
+            .with_adversary("random")
             .with_activation(ActivationSchedule::Staggered { gap: 37 })
             .with_max_rounds(4_000_000);
-        let config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
-        let (summary, _optimistic, clean) = measure_samaritan(&scenario, config, seeds);
+        let config = GoodSamaritanConfig::new(spec.scenario().upper_bound(), f, t);
+        let (summary, _optimistic, clean) = measure_samaritan(&spec, config, seeds);
         let bound = config.theorem18_fallback_bound();
         table.push_row(vec![
             f.to_string(),

@@ -9,19 +9,23 @@
 //! claimed shape is reproduced.
 
 use wsync_analysis::formulas::Bounds;
-use wsync_core::batch::{BatchRunner, ProtocolKind};
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::batch::BatchRunner;
+use wsync_core::sim::Sim;
+use wsync_core::spec::ScenarioSpec;
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
 use crate::output::{fmt, Effort, ExperimentReport};
 
 /// Measures the mean (over seeds) of the worst per-node rounds-to-sync for a
-/// scenario, along with the fraction of clean runs (all synced, one leader,
+/// spec, along with the fraction of clean runs (all synced, one leader,
 /// no safety violations). Trials are sharded across cores by
 /// [`BatchRunner`]; the aggregates are identical to a serial seed loop.
-pub fn measure_trapdoor(scenario: &Scenario, seeds: u64) -> (Summary, f64) {
-    let stats = BatchRunner::new().run_stats(scenario, &ProtocolKind::Trapdoor, 0..seeds);
+pub fn measure_trapdoor(spec: &ScenarioSpec, seeds: u64) -> (Summary, f64) {
+    let stats = Sim::from_spec(spec)
+        .expect("valid experiment spec")
+        .seeds(0..seeds)
+        .run_stats(&BatchRunner::new());
     (stats.rounds_to_sync, stats.clean_rate())
 }
 
@@ -29,7 +33,7 @@ fn scaling_report(
     id: &str,
     claim: &str,
     title: &str,
-    points: Vec<(String, Scenario, Bounds)>,
+    points: Vec<(String, ScenarioSpec, Bounds)>,
     effort: Effort,
 ) -> ExperimentReport {
     let seeds = effort.seeds();
@@ -47,8 +51,8 @@ fn scaling_report(
     );
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
-    for (label, scenario, bounds) in &points {
-        let (summary, clean) = measure_trapdoor(scenario, seeds);
+    for (label, spec, bounds) in &points {
+        let (summary, clean) = measure_trapdoor(spec, seeds);
         let expr = bounds.theorem10();
         let ratio = if expr > 0.0 { summary.mean / expr } else { 0.0 };
         measured.push(summary.mean);
@@ -88,10 +92,10 @@ pub fn t10a_sweep_n(effort: Effort) -> ExperimentReport {
         .into_iter()
         .map(|n| {
             let participants = (n / 2).max(2) as usize;
-            let scenario = Scenario::new(participants, f, t)
+            let spec = ScenarioSpec::new("trapdoor", participants, f, t)
                 .with_upper_bound(n)
-                .with_adversary(AdversaryKind::Random);
-            (format!("N={n}"), scenario, Bounds::new(n, f, t))
+                .with_adversary("random");
+            (format!("N={n}"), spec, Bounds::new(n, f, t))
         })
         .collect();
     scaling_report(
@@ -116,10 +120,10 @@ pub fn t10b_sweep_t(effort: Effort) -> ExperimentReport {
     let points = ts
         .into_iter()
         .map(|t| {
-            let scenario = Scenario::new(32, f, t)
+            let spec = ScenarioSpec::new("trapdoor", 32, f, t)
                 .with_upper_bound(n)
-                .with_adversary(AdversaryKind::Random);
-            (format!("t={t}"), scenario, Bounds::new(n, f, t))
+                .with_adversary("random");
+            (format!("t={t}"), spec, Bounds::new(n, f, t))
         })
         .collect();
     scaling_report(
@@ -143,10 +147,10 @@ pub fn t10c_sweep_f(effort: Effort) -> ExperimentReport {
     let points = fs
         .into_iter()
         .map(|f| {
-            let scenario = Scenario::new(32, f, t)
+            let spec = ScenarioSpec::new("trapdoor", 32, f, t)
                 .with_upper_bound(n)
-                .with_adversary(AdversaryKind::Random);
-            (format!("F={f}"), scenario, Bounds::new(n, f, t))
+                .with_adversary("random");
+            (format!("F={f}"), spec, Bounds::new(n, f, t))
         })
         .collect();
     scaling_report(
@@ -177,13 +181,7 @@ pub fn t10d_properties(effort: Effort) -> ExperimentReport {
             "safety violations",
         ],
     );
-    let adversaries = [
-        AdversaryKind::None,
-        AdversaryKind::FixedBand,
-        AdversaryKind::Random,
-        AdversaryKind::Sweep,
-        AdversaryKind::AdaptiveGreedy,
-    ];
+    let adversaries = ["none", "fixed-band", "random", "sweep", "adaptive-greedy"];
     let activations = [
         ("simultaneous", ActivationSchedule::Simultaneous),
         ("staggered", ActivationSchedule::Staggered { gap: 11 }),
@@ -193,20 +191,19 @@ pub fn t10d_properties(effort: Effort) -> ExperimentReport {
     let mut total_single_leader = 0u64;
     for adversary in &adversaries {
         for (act_name, activation) in &activations {
-            let scenario = Scenario::new(24, 16, 6)
-                .with_adversary(adversary.clone())
+            let spec = ScenarioSpec::new("trapdoor", 24, 16, 6)
+                .with_adversary(*adversary)
                 .with_activation(activation.clone());
-            let stats = BatchRunner::new().run_stats(
-                &scenario,
-                &ProtocolKind::Trapdoor,
-                1000..1000 + seeds,
-            );
+            let stats = Sim::from_spec(&spec)
+                .expect("valid experiment spec")
+                .seeds(1000..1000 + seeds)
+                .run_stats(&BatchRunner::new());
             let (synced, one_leader, violations) =
                 (stats.synced, stats.single_leader, stats.total_violations);
             total_runs += seeds;
             total_single_leader += one_leader;
             table.push_row(vec![
-                adversary.name().to_string(),
+                adversary.to_string(),
                 act_name.to_string(),
                 seeds.to_string(),
                 format!("{synced}/{seeds}"),

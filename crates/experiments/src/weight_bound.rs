@@ -8,7 +8,8 @@
 //! ever observed.
 
 use wsync_core::batch::BatchRunner;
-use wsync_core::runner::{AdversaryKind, Scenario};
+use wsync_core::registry;
+use wsync_core::runner::Scenario;
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::engine::Engine;
 use wsync_radio::trace::NullObserver;
@@ -24,7 +25,8 @@ pub fn max_broadcast_weight(scenario: &Scenario, seed: u64) -> (f64, u64) {
         scenario.num_frequencies,
         scenario.disruption_bound,
     );
-    let adversary = scenario.adversary.build(scenario, seed);
+    let adversary = registry::build_adversary(&scenario.adversary, scenario, seed)
+        .expect("scenario adversary resolves against the default registry");
     let mut engine = Engine::new(
         scenario.sim_config(),
         |_| TrapdoorProtocol::new(config),
@@ -79,7 +81,7 @@ pub fn l9_weight_bound(effort: Effort) -> ExperimentReport {
     let mut worst_ratio: f64 = 0.0;
     for &n in &ns {
         let scenario = Scenario::new(n, f, t)
-            .with_adversary(AdversaryKind::Random)
+            .with_adversary("random")
             .with_activation(wsync_radio::activation::ActivationSchedule::Batches {
                 batch_size: (n / 4).max(1),
                 gap: 13,
@@ -120,7 +122,7 @@ mod tests {
 
     #[test]
     fn max_weight_positive_for_nontrivial_run() {
-        let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+        let scenario = Scenario::new(8, 8, 2).with_adversary("random");
         let (w, rounds) = max_broadcast_weight(&scenario, 1);
         assert!(w > 0.0);
         assert!(rounds > 0);

@@ -1,18 +1,18 @@
 //! The Good Samaritan Protocol's adaptive advantage (Theorem 18): when the
 //! network is provisioned for heavy interference (`t` large) but the actual
 //! interference `t′` is small, the optimistic protocol finishes far sooner
-//! than the worst-case Trapdoor Protocol. This example sweeps `t′` and
-//! prints both protocols' completion times side by side.
+//! than the worst-case Trapdoor Protocol. This example sweeps `t′` with a
+//! declarative `SweepSpec` — the same machinery behind
+//! `run_experiments --spec` — and prints both protocols' completion times
+//! side by side.
 //!
 //! ```text
 //! cargo run --release --example adaptive_advantage
 //! ```
 
 use wireless_sync::prelude::*;
-use wireless_sync::sync::good_samaritan::GoodSamaritanConfig;
-use wireless_sync::sync::runner::run_good_samaritan_with;
 
-fn main() {
+fn main() -> std::result::Result<(), SpecError> {
     let num_devices = 8;
     let num_frequencies = 16;
     let worst_case_t = 8;
@@ -29,25 +29,22 @@ fn main() {
         "t'", "good samaritan (mean)", "trapdoor (mean)", "GS wins?"
     );
 
-    for t_actual in [1u32, 2, 4, 8] {
-        let scenario = Scenario::new(num_devices, num_frequencies, worst_case_t)
-            .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
-            .with_activation(ActivationSchedule::Simultaneous);
-        let config =
-            GoodSamaritanConfig::new(scenario.upper_bound(), num_frequencies, worst_case_t);
+    let base = ScenarioSpec::new("good-samaritan", num_devices, num_frequencies, worst_case_t)
+        .with_adversary(ComponentSpec::named("oblivious-random").with("t_actual", 1u64))
+        .with_activation(ActivationSchedule::Simultaneous);
+    let sweep = SweepSpec::new(base, 0..seeds_per_point).with_axis(
+        "adversary.t_actual",
+        vec![1u64.into(), 2u64.into(), 4u64.into(), 8u64.into()],
+    );
 
-        let mut gs_total = 0u64;
-        let mut td_total = 0u64;
-        for seed in 0..seeds_per_point {
-            gs_total += run_good_samaritan_with(&scenario, config, seed)
-                .completion_round()
-                .expect("good samaritan run must complete");
-            td_total += run_trapdoor(&scenario, seed)
-                .completion_round()
-                .expect("trapdoor run must complete");
-        }
-        let gs_mean = gs_total as f64 / seeds_per_point as f64;
-        let td_mean = td_total as f64 / seeds_per_point as f64;
+    let runner = BatchRunner::new();
+    for (label, gs_sim) in Sim::from_sweep(&sweep)? {
+        // The identical sweep point, run with the worst-case protocol.
+        let td_sim = Sim::from_scenario(gs_sim.scenario(), "trapdoor")?.seeds(0..seeds_per_point);
+
+        let gs_mean = gs_sim.run_stats(&runner).completion_rounds.mean;
+        let td_mean = td_sim.run_stats(&runner).completion_rounds.mean;
+        let t_actual = label.strip_prefix("adversary.t_actual=").unwrap_or(&label);
         println!(
             "{:>4}  {:>22.1}  {:>18.1}  {:>10}",
             t_actual,
@@ -62,4 +59,5 @@ fn main() {
          level (O(t'·log³N)), while the Trapdoor Protocol always pays for the worst case\n\
          it was configured for (O(F/(F−t)·log²N + Ft/(F−t)·logN))."
     );
+    Ok(())
 }

@@ -11,7 +11,7 @@
 
 use wireless_sync::prelude::*;
 
-fn main() {
+fn main() -> std::result::Result<(), SpecError> {
     // The 2.4 GHz band as Bluetooth slices it: 75 usable 1 MHz channels.
     let num_frequencies = 75;
     // Up to 12 channels suffering interference from Wi-Fi + microwave ovens.
@@ -19,11 +19,12 @@ fn main() {
     // Eight gadgets (headset, phone, keyboard, …) switching on one by one.
     let num_devices = 8;
 
-    let scenario = Scenario::new(num_devices, num_frequencies, disruption_bound)
-        .with_adversary(AdversaryKind::Bursty {
-            period: 50,
-            burst_len: 20,
-        })
+    let spec = ScenarioSpec::new("trapdoor", num_devices, num_frequencies, disruption_bound)
+        .with_adversary(
+            ComponentSpec::named("bursty")
+                .with("period", 50u64)
+                .with("burst_len", 20u64),
+        )
         .with_activation(ActivationSchedule::Staggered { gap: 25 });
 
     println!("== Bluetooth-style piconet formation ==");
@@ -32,14 +33,18 @@ fn main() {
         num_devices, num_frequencies, disruption_bound
     );
 
-    let outcome = run_trapdoor(&scenario, 7);
+    let outcome = Sim::from_spec(&spec)?.run_one(7);
     println!("\nTrapdoor Protocol:");
     report(&outcome);
 
     // The same scenario with the round-robin hopping baseline that a naive
     // implementation might use: deterministic hop sequences make devices
     // whose sequences never align miss each other.
-    let baseline = wireless_sync::sync::runner::run_round_robin(&scenario, 7);
+    let baseline_spec = ScenarioSpec {
+        protocol: "round-robin".into(),
+        ..spec
+    };
+    let baseline = Sim::from_spec(&baseline_spec)?.run_one(7);
     println!("\nRound-robin hopping baseline:");
     report(&baseline);
 
@@ -48,6 +53,7 @@ fn main() {
          sequence (frequency = hash(round) mod {num_frequencies}) and run master election,\n\
          TDMA assignment, or key agreement in designated rounds."
     );
+    Ok(())
 }
 
 fn report(outcome: &SyncOutcome) {

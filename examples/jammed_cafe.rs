@@ -3,24 +3,24 @@
 //! targets whatever frequencies were busiest, and laptops that join over
 //! time. Compares the Trapdoor Protocol against the wake-up-style and
 //! single-frequency baselines under the worst jamming level the model
-//! allows.
+//! allows — all three protocols addressed by registry name over one shared
+//! scenario spec.
 //!
 //! ```text
 //! cargo run --release --example jammed_cafe
 //! ```
 
 use wireless_sync::prelude::*;
-use wireless_sync::sync::runner::{run_single_frequency, run_wakeup};
 
-fn main() {
+fn main() -> std::result::Result<(), SpecError> {
     // Roughly the 2.4 GHz band as 802.11 divides it.
     let num_frequencies = 12;
     // A determined jammer that can blanket almost half the band.
     let disruption_bound = 5;
     let num_devices = 10;
 
-    let scenario = Scenario::new(num_devices, num_frequencies, disruption_bound)
-        .with_adversary(AdversaryKind::AdaptiveGreedy)
+    let base = ScenarioSpec::new("trapdoor", num_devices, num_frequencies, disruption_bound)
+        .with_adversary("adaptive-greedy")
         .with_activation(ActivationSchedule::UniformWindow { window: 60 })
         .with_max_rounds(100_000);
 
@@ -30,15 +30,24 @@ fn main() {
         num_devices, num_frequencies, disruption_bound
     );
 
-    let trapdoor = run_trapdoor(&scenario, 99);
+    let trapdoor = Sim::from_spec(&base)?.run_one(99);
     println!("Trapdoor Protocol:");
     describe(&trapdoor);
 
-    let wakeup = run_wakeup(&scenario, 99);
+    // The same scenario, different protocol: swap the registry name.
+    let wakeup_spec = ScenarioSpec {
+        protocol: "wakeup".into(),
+        ..base.clone()
+    };
+    let wakeup = Sim::from_spec(&wakeup_spec)?.run_one(99);
     println!("\nWake-up-style baseline (fixed deadline, whole band):");
     describe(&wakeup);
 
-    let single = run_single_frequency(&scenario, 99);
+    let single_spec = ScenarioSpec {
+        protocol: "single-frequency".into(),
+        ..base.clone()
+    };
+    let single = Sim::from_spec(&single_spec)?.run_one(99);
     println!("\nSingle-frequency baseline (everything on channel 1):");
     describe(&single);
 
@@ -47,16 +56,17 @@ fn main() {
          self-declared leaders as soon as the jammer notices channel 1; the paper's\n\
          protocol keeps a single consistent round numbering because contenders hop\n\
          over min(F, 2t) = {} channels and the jammer can only cover {} of them.",
-        trapdoor_f_prime(&scenario),
+        trapdoor_f_prime(&base),
         disruption_bound
     );
+    Ok(())
 }
 
-fn trapdoor_f_prime(scenario: &Scenario) -> u32 {
+fn trapdoor_f_prime(spec: &ScenarioSpec) -> u32 {
     wireless_sync::sync::trapdoor::TrapdoorConfig::new(
-        scenario.upper_bound(),
-        scenario.num_frequencies,
-        scenario.disruption_bound,
+        spec.scenario().upper_bound(),
+        spec.num_frequencies,
+        spec.disruption_bound,
     )
     .f_prime()
 }

@@ -1,5 +1,8 @@
 //! Quickstart: synchronize a handful of devices with the Trapdoor Protocol
-//! under a random jammer and print what happened.
+//! under a random jammer and print what happened. The scenario is loaded
+//! from the checked-in spec file `examples/specs/quickstart.json` — the
+//! exact same file `run_experiments --spec` accepts — demonstrating that a
+//! scenario is data, not code.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,20 +10,31 @@
 
 use wireless_sync::prelude::*;
 
-fn main() {
+fn main() -> std::result::Result<(), SpecError> {
     // 12 devices share a band of 8 frequencies; an unpredictable interferer
     // may disrupt up to 3 of them per round; devices arrive within a short
-    // window rather than all at once.
-    let scenario = Scenario::new(12, 8, 3)
-        .with_adversary(AdversaryKind::Random)
-        .with_activation(ActivationSchedule::UniformWindow { window: 40 });
+    // window rather than all at once. Fall back to building the same spec
+    // in code when the example runs from an unexpected working directory —
+    // and say which source was used, so an edited JSON file can never
+    // appear to silently have no effect.
+    const SPEC_PATH: &str = "examples/specs/quickstart.json";
+    let (spec, source) = match std::fs::read_to_string(SPEC_PATH) {
+        Ok(text) => (ScenarioSpec::from_json(&text)?, SPEC_PATH),
+        Err(_) => (
+            ScenarioSpec::new("trapdoor", 12, 8, 3)
+                .with_adversary("random")
+                .with_activation(ActivationSchedule::UniformWindow { window: 40 }),
+            "built-in fallback (spec file not found from this directory)",
+        ),
+    };
 
-    let outcome = run_trapdoor(&scenario, 2024);
+    let outcome = Sim::from_spec(&spec)?.run_one(2024);
 
     println!("== wireless-sync quickstart ==");
+    println!("scenario source: {source}");
     println!(
         "instance: n={} devices, F={} frequencies, t={} jammable per round",
-        scenario.num_nodes, scenario.num_frequencies, scenario.disruption_bound
+        spec.num_nodes, spec.num_frequencies, spec.disruption_bound
     );
     println!("{}", outcome.summary_line());
     println!(
@@ -61,4 +75,5 @@ fn main() {
         outcome.is_clean(),
         "the quickstart scenario should always end cleanly"
     );
+    Ok(())
 }

@@ -25,11 +25,19 @@
 //! use wireless_sync::prelude::*;
 //!
 //! // Eight devices share 8 frequencies; a random jammer may disrupt 2 per round.
-//! let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
-//! let outcome = run_trapdoor(&scenario, 42);
+//! let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+//! let outcome = Sim::from_spec(&spec)?.run_one(42);
 //! assert!(outcome.result.all_synchronized);
 //! assert_eq!(outcome.leaders, 1);
 //! assert!(outcome.properties.all_hold());
+//! # Ok::<(), wireless_sync::sync::spec::SpecError>(())
+//! ```
+//!
+//! The same scenario as a JSON file runs with zero recompilation:
+//!
+//! ```text
+//! cargo run --release -p wsync-experiments --bin run_experiments -- \
+//!     --spec examples/specs/quickstart.json
 //! ```
 
 #![forbid(unsafe_code)]

@@ -2,7 +2,7 @@
 //!
 //! Two claims, both load-bearing for every experiment in this workspace:
 //!
-//! 1. an execution is a pure function of `(Scenario, seed)` — running the
+//! 1. an execution is a pure function of `(spec, seed)` — running the
 //!    same trial twice yields a bit-identical [`SyncOutcome`], and
 //! 2. sharding a seed range across a worker pool changes *nothing*: the
 //!    per-trial outcomes, the [`BatchStats`] folds, and the experiment
@@ -12,44 +12,44 @@ use wireless_sync::experiments::trapdoor_scaling;
 use wireless_sync::experiments::Effort;
 use wireless_sync::prelude::*;
 
-fn scenarios() -> Vec<Scenario> {
+fn specs(protocol: &str) -> Vec<ScenarioSpec> {
     vec![
-        Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random),
-        Scenario::new(12, 12, 4)
-            .with_adversary(AdversaryKind::AdaptiveGreedy)
+        ScenarioSpec::new(protocol, 8, 8, 2).with_adversary("random"),
+        ScenarioSpec::new(protocol, 12, 12, 4)
+            .with_adversary("adaptive-greedy")
             .with_activation(ActivationSchedule::Staggered { gap: 7 }),
-        Scenario::new(6, 16, 8).with_adversary(AdversaryKind::ObliviousRandom { t_actual: 3 }),
+        ScenarioSpec::new(protocol, 6, 16, 8)
+            .with_adversary(ComponentSpec::named("oblivious-random").with("t_actual", 3u64)),
     ]
 }
 
 #[test]
-fn same_scenario_and_seed_give_bit_identical_outcomes() {
-    for scenario in scenarios() {
-        for seed in [0u64, 7, 12345] {
-            let a = run_trapdoor(&scenario, seed);
-            let b = run_trapdoor(&scenario, seed);
-            assert_eq!(a, b, "trapdoor outcome must be a pure function of seed");
-            let c = run_good_samaritan(&scenario, seed);
-            let d = run_good_samaritan(&scenario, seed);
-            assert_eq!(
-                c, d,
-                "good-samaritan outcome must be a pure function of seed"
-            );
+fn same_spec_and_seed_give_bit_identical_outcomes() {
+    for protocol in ["trapdoor", "good-samaritan"] {
+        for spec in specs(protocol) {
+            let sim = Sim::from_spec(&spec).expect("valid spec");
+            for seed in [0u64, 7, 12345] {
+                let a = sim.run_one(seed);
+                let b = sim.run_one(seed);
+                assert_eq!(
+                    a, b,
+                    "{protocol} outcome must be a pure function of the seed"
+                );
+                // a freshly built Sim from the same spec agrees too
+                let c = Sim::from_spec(&spec).expect("valid spec").run_one(seed);
+                assert_eq!(a, c, "{protocol}: rebuilt Sim diverged");
+            }
         }
     }
 }
 
 #[test]
 fn parallel_batches_match_serial_batches_outcome_for_outcome() {
-    let seeds = 0..16u64;
-    for scenario in scenarios() {
-        let serial = BatchRunner::serial().run(&scenario, &ProtocolKind::Trapdoor, seeds.clone());
+    for spec in specs("trapdoor") {
+        let sim = Sim::from_spec(&spec).expect("valid spec").seeds(0..16);
+        let serial = sim.run(&BatchRunner::serial());
         for workers in [2usize, 3, 8, 32] {
-            let parallel = BatchRunner::with_workers(workers).run(
-                &scenario,
-                &ProtocolKind::Trapdoor,
-                seeds.clone(),
-            );
+            let parallel = sim.run(&BatchRunner::with_workers(workers));
             assert_eq!(
                 serial, parallel,
                 "worker count {workers} changed the trial outcomes"
@@ -60,12 +60,10 @@ fn parallel_batches_match_serial_batches_outcome_for_outcome() {
 
 #[test]
 fn parallel_aggregates_equal_serial_aggregates() {
-    let scenario = Scenario::new(10, 8, 3).with_adversary(AdversaryKind::Random);
-    let seeds = 100..124u64;
-    let serial =
-        BatchRunner::serial().run_stats(&scenario, &ProtocolKind::GoodSamaritan, seeds.clone());
-    let parallel =
-        BatchRunner::with_workers(6).run_stats(&scenario, &ProtocolKind::GoodSamaritan, seeds);
+    let spec = ScenarioSpec::new("good-samaritan", 10, 8, 3).with_adversary("random");
+    let sim = Sim::from_spec(&spec).expect("valid spec").seeds(100..124);
+    let serial = sim.run_stats(&BatchRunner::serial());
+    let parallel = sim.run_stats(&BatchRunner::with_workers(6));
     // BatchStats includes floating-point summaries; the folds run over
     // seed-ordered outcomes on both sides, so even those are bit-identical.
     assert_eq!(serial, parallel);

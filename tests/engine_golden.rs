@@ -1,11 +1,16 @@
-//! Golden-outcome regression tests for the radio engine.
+//! Golden-outcome regression tests for the radio engine — now driven
+//! entirely through the declarative spec API.
 //!
 //! Each case below pins the exact [`SyncOutcome`] — rounds executed, leader
 //! count, property verdicts, per-node summaries, and every engine metric —
 //! of one `(protocol, adversary, N, seed)` combination. The pinned digests
 //! were captured from the engine *before* the flat structure-of-arrays
-//! round-dispatch rewrite; the current engine must reproduce them bit for
-//! bit, proving the rewrite is observationally identical.
+//! round-dispatch rewrite and before the registry/spec API redesign; the
+//! current engine, running each case via `ScenarioSpec` → `Sim::from_spec`
+//! (JSON-round-tripped on the way, so the serialized form is covered too),
+//! must reproduce them bit for bit — proving that the registry's
+//! type-erased protocol path and the declarative spec layer are
+//! observationally identical to the original statically-typed runners.
 //!
 //! The digest is FNV-1a over the `Debug` rendering of the full outcome, so
 //! any divergence anywhere in the outcome (a metric off by one, a changed
@@ -22,7 +27,7 @@
 //! and paste the printed table over `GOLDEN`.
 
 use wireless_sync::prelude::*;
-use wireless_sync::sync::runner::{run_round_robin, run_single_frequency, run_wakeup};
+use wireless_sync::radio::activation::ActivationSchedule;
 
 /// 64-bit FNV-1a, the digest of a full outcome's `Debug` rendering.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -38,6 +43,18 @@ fn digest(outcome: &SyncOutcome) -> u64 {
     fnv1a(format!("{outcome:?}").as_bytes())
 }
 
+/// Runs one spec through the full declarative pipeline: serialize to JSON,
+/// parse back (pinning the wire format into the digest check), validate,
+/// resolve against the registry, execute.
+fn run_spec(spec: ScenarioSpec, seed: u64) -> SyncOutcome {
+    let round_tripped =
+        ScenarioSpec::from_json(&spec.to_json()).expect("golden specs round-trip through JSON");
+    assert_eq!(round_tripped, spec, "JSON round trip must be lossless");
+    Sim::from_spec(&round_tripped)
+        .expect("golden specs are valid")
+        .run_one(seed)
+}
+
 /// The fixed scenario grid: six protocol/adversary/activation combinations
 /// spanning every protocol family, adaptive and oblivious adversaries,
 /// staggered and randomized activation, and one known-dirty execution.
@@ -45,66 +62,68 @@ fn cases() -> Vec<(&'static str, SyncOutcome)> {
     vec![
         (
             "trapdoor/random/n8",
-            run_trapdoor(
-                &Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random),
+            run_spec(
+                ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random"),
                 42,
             ),
         ),
         (
             "trapdoor/fixed-band/staggered/n16",
-            run_trapdoor(
-                &Scenario::new(16, 8, 3)
-                    .with_adversary(AdversaryKind::FixedBand)
+            run_spec(
+                ScenarioSpec::new("trapdoor", 16, 8, 3)
+                    .with_adversary("fixed-band")
                     .with_activation(ActivationSchedule::Staggered { gap: 2 }),
                 7,
             ),
         ),
         (
             "trapdoor/adaptive-greedy/uniform/n12",
-            run_trapdoor(
-                &Scenario::new(12, 16, 5)
-                    .with_adversary(AdversaryKind::AdaptiveGreedy)
+            run_spec(
+                ScenarioSpec::new("trapdoor", 12, 16, 5)
+                    .with_adversary("adaptive-greedy")
                     .with_activation(ActivationSchedule::UniformWindow { window: 8 }),
                 13,
             ),
         ),
         (
             "good-samaritan/oblivious/n8",
-            run_good_samaritan(
-                &Scenario::new(8, 8, 4)
-                    .with_adversary(AdversaryKind::ObliviousRandom { t_actual: 2 }),
+            run_spec(
+                ScenarioSpec::new("good-samaritan", 8, 8, 4).with_adversary(
+                    ComponentSpec::named("oblivious-random").with("t_actual", 2u64),
+                ),
                 11,
             ),
         ),
         (
             "good-samaritan/bursty/n10",
-            run_good_samaritan(
-                &Scenario::new(10, 16, 5).with_adversary(AdversaryKind::Bursty {
-                    period: 16,
-                    burst_len: 4,
-                }),
+            run_spec(
+                ScenarioSpec::new("good-samaritan", 10, 16, 5).with_adversary(
+                    ComponentSpec::named("bursty")
+                        .with("period", 16u64)
+                        .with("burst_len", 4u64),
+                ),
                 3,
             ),
         ),
         (
             "wakeup/sweep/n6",
-            run_wakeup(
-                &Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Sweep),
+            run_spec(
+                ScenarioSpec::new("wakeup", 6, 8, 2).with_adversary("sweep"),
                 9,
             ),
         ),
         (
             "round-robin/random/n6",
-            run_round_robin(
-                &Scenario::new(6, 8, 2).with_adversary(AdversaryKind::Random),
+            run_spec(
+                ScenarioSpec::new("round-robin", 6, 8, 2).with_adversary("random"),
                 21,
             ),
         ),
         (
             "single-frequency/fixed-band/late-joiner/n4",
-            run_single_frequency(
-                &Scenario::new(4, 4, 1)
-                    .with_adversary(AdversaryKind::FixedBand)
+            run_spec(
+                ScenarioSpec::new("single-frequency", 4, 4, 1)
+                    .with_adversary("fixed-band")
                     .with_activation(ActivationSchedule::LateJoiner { late: 3 })
                     .with_max_rounds(2_000),
                 5,
@@ -162,7 +181,7 @@ const GOLDEN: &[(&str, u64, u64, usize, bool, u64)] = &[
 ];
 
 #[test]
-fn outcomes_match_pre_refactor_golden_digests() {
+fn spec_driven_outcomes_match_pre_refactor_golden_digests() {
     let produced = cases();
     assert_eq!(produced.len(), GOLDEN.len());
     for ((name, outcome), &(g_name, g_digest, g_rounds, g_leaders, g_synced, g_violations)) in
@@ -185,8 +204,9 @@ fn outcomes_match_pre_refactor_golden_digests() {
         assert_eq!(
             digest(outcome),
             g_digest,
-            "{name}: full-outcome digest moved — the engine is no longer \
-             observationally identical to the pre-refactor engine"
+            "{name}: full-outcome digest moved — the spec-driven registry \
+             path is no longer observationally identical to the pre-refactor \
+             statically-typed engine"
         );
     }
 }

@@ -1,10 +1,18 @@
 //! End-to-end integration tests of the Good Samaritan Protocol
 //! (Theorem 18): optimistic termination in good executions, fallback
 //! termination otherwise, and the five problem properties throughout.
+//! All executions run through the declarative `ScenarioSpec` → `Sim` API.
 
 use wireless_sync::prelude::*;
 use wireless_sync::sync::good_samaritan::GoodSamaritanConfig;
-use wireless_sync::sync::runner::run_good_samaritan_with;
+
+fn run(spec: &ScenarioSpec, seed: u64) -> SyncOutcome {
+    Sim::from_spec(spec).expect("valid spec").run_one(seed)
+}
+
+fn oblivious(t_actual: u32) -> ComponentSpec {
+    ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual))
+}
 
 /// A "good execution": all nodes wake together and an oblivious adversary
 /// disrupts only `t' < t` frequencies. The protocol should terminate well
@@ -14,17 +22,18 @@ fn good_execution_terminates_in_optimistic_portion() {
     let n = 8;
     let f = 16;
     let t = 8;
-    let t_actual = 2;
-    let scenario = Scenario::new(n, f, t)
-        .with_adversary(AdversaryKind::ObliviousRandom { t_actual })
+    let spec = ScenarioSpec::new("good-samaritan", n, f, t)
+        .with_adversary(oblivious(2))
         .with_activation(ActivationSchedule::Simultaneous)
         .with_max_rounds(400_000);
-    let config = GoodSamaritanConfig::new(scenario.upper_bound(), f, t);
+    // The default factory parameters mirror GoodSamaritanConfig::new, so the
+    // schedule thresholds can be computed from the same config.
+    let config = GoodSamaritanConfig::new(spec.scenario().upper_bound(), f, t);
 
     let mut optimistic_wins = 0;
     let trials = 5;
     for seed in 0..trials {
-        let outcome = run_good_samaritan_with(&scenario, config, seed);
+        let outcome = run(&spec, seed);
         assert!(
             outcome.result.all_synchronized,
             "seed {seed}: every node must synchronize"
@@ -54,12 +63,11 @@ fn good_execution_terminates_in_optimistic_portion() {
 /// terminate — via the fallback if necessary — within the round cap.
 #[test]
 fn staggered_activation_still_terminates() {
-    let scenario = Scenario::new(4, 8, 3)
-        .with_adversary(AdversaryKind::Random)
+    let spec = ScenarioSpec::new("good-samaritan", 4, 8, 3)
+        .with_adversary("random")
         .with_activation(ActivationSchedule::Staggered { gap: 50 })
         .with_max_rounds(400_000);
-    let config = GoodSamaritanConfig::new(scenario.upper_bound(), 8, 3);
-    let outcome = run_good_samaritan_with(&scenario, config, 3);
+    let outcome = run(&spec, 3);
     assert!(outcome.result.all_synchronized);
     assert!(outcome.properties.safety_holds());
     assert!(outcome.leaders >= 1);
@@ -73,19 +81,18 @@ fn lower_actual_disruption_is_not_slower() {
     let n = 8;
     let f = 16;
     let t = 8;
-    let scenario_quiet = Scenario::new(n, f, t)
-        .with_adversary(AdversaryKind::ObliviousRandom { t_actual: 1 })
+    let quiet = ScenarioSpec::new("good-samaritan", n, f, t)
+        .with_adversary(oblivious(1))
         .with_max_rounds(600_000);
-    let scenario_noisy = Scenario::new(n, f, t)
-        .with_adversary(AdversaryKind::ObliviousRandom { t_actual: t })
+    let noisy = ScenarioSpec::new("good-samaritan", n, f, t)
+        .with_adversary(oblivious(t))
         .with_max_rounds(600_000);
-    let config = GoodSamaritanConfig::new(scenario_quiet.upper_bound(), f, t);
 
     let mut quiet_total = 0u64;
     let mut noisy_total = 0u64;
     for seed in 0..3 {
-        let q = run_good_samaritan_with(&scenario_quiet, config, seed);
-        let no = run_good_samaritan_with(&scenario_noisy, config, seed);
+        let q = run(&quiet, seed);
+        let no = run(&noisy, seed);
         assert!(q.result.all_synchronized && no.result.all_synchronized);
         quiet_total += q.completion_round().unwrap();
         noisy_total += no.completion_round().unwrap();

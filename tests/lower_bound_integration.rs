@@ -14,14 +14,15 @@ fn trapdoor_cannot_beat_the_two_node_lower_bound() {
     // expression: the lower bound applies to *every* protocol.
     let f = 16u32;
     let t = 12u32;
-    let scenario = Scenario::new(2, f, t)
-        .with_adversary(AdversaryKind::FixedBand)
+    let spec = ScenarioSpec::new("trapdoor", 2, f, t)
+        .with_adversary("fixed-band")
         .with_activation(ActivationSchedule::Staggered { gap: 3 });
-    let bound = Bounds::new(scenario.upper_bound(), f, t).theorem4(0.5);
+    let bound = Bounds::new(spec.scenario().upper_bound(), f, t).theorem4(0.5);
+    let sim = Sim::from_spec(&spec).expect("valid spec");
     let mut total = 0u64;
     let runs = 10u64;
     for seed in 0..runs {
-        let outcome = run_trapdoor(&scenario, seed);
+        let outcome = sim.run_one(seed);
         total += outcome.completion_round().expect("must finish");
     }
     let mean = total as f64 / runs as f64;

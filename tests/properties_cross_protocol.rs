@@ -2,27 +2,29 @@
 //! satisfy the *safety* requirements of the wireless synchronization problem
 //! (validity, synch commit, correctness) in every execution — they are
 //! deterministic consequences of the protocol structure — while agreement
-//! and liveness are checked where the paper claims them.
+//! and liveness are checked where the paper claims them. Protocols are
+//! addressed by registry name, so this file also exercises every built-in
+//! protocol factory end to end.
 
 use wireless_sync::prelude::*;
-use wireless_sync::sync::good_samaritan::GoodSamaritanConfig;
-use wireless_sync::sync::runner::{
-    run_good_samaritan_with, run_round_robin, run_single_frequency, run_wakeup,
-};
 
-fn stress_scenario(seedish: u64) -> Scenario {
+fn run(spec: &ScenarioSpec, seed: u64) -> SyncOutcome {
+    Sim::from_spec(spec).expect("valid spec").run_one(seed)
+}
+
+fn stress_spec(protocol: &str, seedish: u64) -> ScenarioSpec {
     let adversary = match seedish % 4 {
-        0 => AdversaryKind::Random,
-        1 => AdversaryKind::FixedBand,
-        2 => AdversaryKind::AdaptiveGreedy,
-        _ => AdversaryKind::Sweep,
+        0 => "random",
+        1 => "fixed-band",
+        2 => "adaptive-greedy",
+        _ => "sweep",
     };
     let activation = match seedish % 3 {
         0 => ActivationSchedule::Simultaneous,
         1 => ActivationSchedule::Staggered { gap: 7 },
         _ => ActivationSchedule::UniformWindow { window: 80 },
     };
-    Scenario::new(10, 8, 3)
+    ScenarioSpec::new(protocol, 10, 8, 3)
         .with_adversary(adversary)
         .with_activation(activation)
         .with_max_rounds(300_000)
@@ -31,7 +33,7 @@ fn stress_scenario(seedish: u64) -> Scenario {
 #[test]
 fn trapdoor_never_violates_safety() {
     for seed in 0..8u64 {
-        let outcome = run_trapdoor(&stress_scenario(seed), seed);
+        let outcome = run(&stress_spec("trapdoor", seed), seed);
         assert!(
             outcome.properties.safety_holds(),
             "seed {seed}: {:?}",
@@ -43,9 +45,7 @@ fn trapdoor_never_violates_safety() {
 #[test]
 fn good_samaritan_never_violates_synch_commit_or_correctness() {
     for seed in 0..4u64 {
-        let scenario = stress_scenario(seed);
-        let config = GoodSamaritanConfig::new(scenario.upper_bound(), 8, 3);
-        let outcome = run_good_samaritan_with(&scenario, config, seed);
+        let outcome = run(&stress_spec("good-samaritan", seed), seed);
         // Synch commit and correctness violations are impossible by
         // construction; agreement could in principle fail with tiny
         // probability, so only assert on the deterministic ones here.
@@ -62,12 +62,8 @@ fn good_samaritan_never_violates_synch_commit_or_correctness() {
 #[test]
 fn baselines_never_violate_synch_commit_or_correctness() {
     for seed in 0..4u64 {
-        let scenario = stress_scenario(seed);
-        for (name, outcome) in [
-            ("wakeup", run_wakeup(&scenario, seed)),
-            ("round-robin", run_round_robin(&scenario, seed)),
-            ("single-frequency", run_single_frequency(&scenario, seed)),
-        ] {
+        for name in ["wakeup", "round-robin", "single-frequency"] {
+            let outcome = run(&stress_spec(name, seed), seed);
             for v in &outcome.properties.violations {
                 assert!(
                     matches!(v, wireless_sync::sync::checker::Violation::Agreement { .. }),
@@ -83,13 +79,14 @@ fn agreement_failure_rate_of_trapdoor_is_low_across_many_seeds() {
     // "With high probability" claims are statistical; across a batch of
     // seeds, the fraction of runs with more than one leader (or any
     // agreement violation) must be small.
-    let scenario = Scenario::new(20, 16, 6)
-        .with_adversary(AdversaryKind::Random)
+    let spec = ScenarioSpec::new("trapdoor", 20, 16, 6)
+        .with_adversary("random")
         .with_activation(ActivationSchedule::UniformWindow { window: 50 });
+    let sim = Sim::from_spec(&spec).expect("valid spec");
     let runs = 30u64;
     let mut bad = 0usize;
     for seed in 0..runs {
-        let outcome = run_trapdoor(&scenario, seed);
+        let outcome = sim.run_one(seed);
         if outcome.leaders != 1 || !outcome.properties.safety_holds() {
             bad += 1;
         }

@@ -1,0 +1,169 @@
+//! The declarative-API contract tests:
+//!
+//! 1. **Name stability** — the registry's string keys are public API (they
+//!    appear in checked-in spec files and experiment tables); this file
+//!    pins the exact set.
+//! 2. **Serde round-trips** — every `ScenarioSpec`/`SweepSpec`, including
+//!    the example spec files checked in under `examples/specs/`, survives
+//!    JSON serialization losslessly.
+//! 3. **Wrapper equivalence** — the deprecated `run_*` shorthands,
+//!    `run_trial` on `ProtocolKind`, and `BatchRunner::run` produce outcomes
+//!    bit-identical to the registry/spec path they now wrap.
+
+#![allow(deprecated)]
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::batch::ProtocolKind;
+use wireless_sync::sync::runner::{
+    run_good_samaritan, run_round_robin, run_single_frequency, run_trapdoor, run_trapdoor_with,
+    run_wakeup,
+};
+use wireless_sync::sync::trapdoor::TrapdoorConfig;
+
+#[test]
+fn registry_names_are_stable() {
+    // These strings are serialized into spec files; changing one is a
+    // breaking API change and must be deliberate (update this test AND
+    // provide a migration note in README.md).
+    assert_eq!(
+        wireless_sync::sync::registry::protocol_names(),
+        vec![
+            "good-samaritan".to_string(),
+            "round-robin".to_string(),
+            "single-frequency".to_string(),
+            "trapdoor".to_string(),
+            "wakeup".to_string(),
+        ]
+    );
+    let adversaries = wireless_sync::sync::registry::adversary_names();
+    for expected in [
+        "adaptive-greedy",
+        "bursty",
+        "fixed-band",
+        "none",
+        "oblivious-random",
+        "random",
+        "sweep",
+        "top-weight",
+    ] {
+        assert!(
+            adversaries.contains(&expected.to_string()),
+            "adversary {expected} missing from the registry: {adversaries:?}"
+        );
+    }
+}
+
+#[test]
+fn checked_in_example_specs_parse_and_round_trip() {
+    for path in [
+        "examples/specs/quickstart.json",
+        "examples/specs/jamming_sweep.json",
+        "examples/specs/samaritan_crossover.json",
+    ] {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let file = wireless_sync::experiments::SpecFile::parse(&text)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        match file {
+            wireless_sync::experiments::SpecFile::Scenario(spec) => {
+                let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(back, spec, "{path} round trip");
+                Sim::from_spec(&spec).unwrap_or_else(|e| panic!("{path}: {e}"));
+            }
+            wireless_sync::experiments::SpecFile::Sweep(sweep) => {
+                let back = SweepSpec::from_json(&sweep.to_json()).unwrap();
+                assert_eq!(back, sweep, "{path} round trip");
+                let sims = Sim::from_sweep(&sweep).unwrap_or_else(|e| panic!("{path}: {e}"));
+                assert!(!sims.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_spec_round_trips_with_every_component_shape() {
+    let spec = ScenarioSpec::new("good-samaritan", 10, 16, 5)
+        .with_adversary(
+            ComponentSpec::named("bursty")
+                .with("period", 16u64)
+                .with("burst_len", 4u64),
+        )
+        .with_activation(ActivationSchedule::Explicit(vec![0, 3, 9, 9]))
+        .with_upper_bound(32)
+        .with_max_rounds(123_456)
+        .with_extra_rounds_after_sync(3)
+        .with_protocol_param("epoch_constant", 5.5)
+        .with_protocol_param("threshold_shift", 4u64);
+    let text = spec.to_json();
+    let back = ScenarioSpec::from_json(&text).expect("round trip");
+    assert_eq!(back, spec);
+    // serialization is canonical: serialize → parse → serialize is stable
+    assert_eq!(back.to_json(), text);
+}
+
+#[test]
+fn deprecated_wrappers_equal_the_spec_path() {
+    let scenario = Scenario::new(8, 8, 2).with_adversary("random");
+    let pairs: Vec<(&str, SyncOutcome)> = vec![
+        ("trapdoor", run_trapdoor(&scenario, 9)),
+        ("good-samaritan", run_good_samaritan(&scenario, 9)),
+        ("wakeup", run_wakeup(&scenario, 9)),
+        ("round-robin", run_round_robin(&scenario, 9)),
+        ("single-frequency", run_single_frequency(&scenario, 9)),
+    ];
+    for (name, legacy) in pairs {
+        let spec = ScenarioSpec::from_scenario(&scenario, name);
+        let modern = Sim::from_spec(&spec).unwrap().run_one(9);
+        assert_eq!(legacy, modern, "{name}: wrapper diverged from Sim path");
+    }
+}
+
+#[test]
+fn protocol_kind_and_batch_runner_wrappers_equal_the_spec_path() {
+    let scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
+    let config = TrapdoorConfig::new(16, 8, 2).with_epoch_constant(3.0);
+    for kind in [ProtocolKind::Trapdoor, ProtocolKind::TrapdoorWith(config)] {
+        let legacy = kind.run_trial(&scenario, 4);
+        let modern = Sim::from_scenario(&scenario, kind.to_component())
+            .unwrap()
+            .run_one(4);
+        assert_eq!(legacy, modern);
+
+        let legacy_batch = BatchRunner::with_workers(2).run(&scenario, &kind, 0..4);
+        let modern_batch = Sim::from_scenario(&scenario, kind.to_component())
+            .unwrap()
+            .seeds(0..4)
+            .run(&BatchRunner::with_workers(2));
+        assert_eq!(legacy_batch, modern_batch);
+    }
+    // the explicit-config wrapper reproduces run_trapdoor_with
+    let legacy = run_trapdoor_with(&scenario, config, 6);
+    let modern = Sim::from_scenario(
+        &scenario,
+        wireless_sync::sync::runner::trapdoor_component(&config),
+    )
+    .unwrap()
+    .run_one(6);
+    assert_eq!(legacy, modern);
+}
+
+#[test]
+fn sweep_spec_grid_runs_match_individual_spec_runs() {
+    let base = ScenarioSpec::new("trapdoor", 8, 8, 1).with_adversary("random");
+    let sweep = SweepSpec::new(base.clone(), 0..3)
+        .with_axis("disruption_bound", vec![1u64.into(), 3u64.into()]);
+    let sims = Sim::from_sweep(&sweep).unwrap();
+    assert_eq!(sims.len(), 2);
+    for (label, sim) in &sims {
+        let t: u32 = label
+            .strip_prefix("disruption_bound=")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut manual = base.clone();
+        manual.disruption_bound = t;
+        let expected: Vec<SyncOutcome> = (0..3)
+            .map(|seed| Sim::from_spec(&manual).unwrap().run_one(seed))
+            .collect();
+        assert_eq!(sim.run(&BatchRunner::serial()), expected);
+    }
+}

@@ -1,23 +1,28 @@
 //! End-to-end integration tests of the Trapdoor Protocol (Theorem 10):
 //! termination within the claimed bound shape, exactly one leader, and all
 //! five problem properties under every adversary/activation combination.
+//! All executions run through the declarative `ScenarioSpec` → `Sim` API.
 
 use wireless_sync::analysis::formulas::Bounds;
 use wireless_sync::prelude::*;
+use wireless_sync::sync::registry;
 
-fn scenarios() -> Vec<(&'static str, Scenario)> {
+fn run(spec: &ScenarioSpec, seed: u64) -> SyncOutcome {
+    Sim::from_spec(spec).expect("valid spec").run_one(seed)
+}
+
+fn specs() -> Vec<(&'static str, ScenarioSpec)> {
     let adversaries = [
-        ("none", AdversaryKind::None),
-        ("fixed-band", AdversaryKind::FixedBand),
-        ("random", AdversaryKind::Random),
-        ("sweep", AdversaryKind::Sweep),
-        ("adaptive", AdversaryKind::AdaptiveGreedy),
+        ("none", ComponentSpec::named("none")),
+        ("fixed-band", ComponentSpec::named("fixed-band")),
+        ("random", ComponentSpec::named("random")),
+        ("sweep", ComponentSpec::named("sweep")),
+        ("adaptive", ComponentSpec::named("adaptive-greedy")),
         (
             "bursty",
-            AdversaryKind::Bursty {
-                period: 20,
-                burst_len: 8,
-            },
+            ComponentSpec::named("bursty")
+                .with("period", 20u64)
+                .with("burst_len", 8u64),
         ),
     ];
     let activations = [
@@ -32,7 +37,7 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
             let name: &'static str = Box::leak(format!("{an}/{actn}").into_boxed_str());
             out.push((
                 name,
-                Scenario::new(16, 12, 4)
+                ScenarioSpec::new("trapdoor", 16, 12, 4)
                     .with_adversary(adv.clone())
                     .with_activation(act.clone()),
             ));
@@ -50,17 +55,17 @@ fn all_adversary_activation_combinations_are_clean() {
     // default constants keep the multi-leader rate at the ~1/N level (see
     // `TrapdoorConfig::new`), which at N=16 is a few percent — so the
     // single-leader/agreement claim is checked statistically over all
-    // (scenario, seed) draws instead of demanding a lucky straight flush.
+    // (spec, seed) draws instead of demanding a lucky straight flush.
     let mut runs = 0u32;
     let mut unclean = 0u32;
     let mut examples = Vec::new();
-    for (combo, (name, scenario)) in scenarios().into_iter().enumerate() {
+    for (combo, (name, spec)) in specs().into_iter().enumerate() {
         for s in 0..3u64 {
             // A distinct seed base per combination: the per-node RNG streams
             // depend only on the master seed, so reusing the same few seeds
             // everywhere would correlate the draws across combinations.
             let seed = 1000 * (combo as u64 + 1) + s;
-            let outcome = run_trapdoor(&scenario, seed);
+            let outcome = run(&spec, seed);
             assert!(
                 outcome.result.all_synchronized,
                 "{name} seed {seed}: liveness failed"
@@ -91,10 +96,10 @@ fn termination_stays_within_a_constant_of_theorem_10() {
     // stay within a fixed constant multiple of the Theorem 10 expression.
     let mut max_ratio: f64 = 0.0;
     for (n_nodes, f, t) in [(8usize, 8u32, 2u32), (16, 16, 8), (32, 16, 12), (16, 32, 4)] {
-        let scenario = Scenario::new(n_nodes, f, t).with_adversary(AdversaryKind::Random);
-        let bound = Bounds::new(scenario.upper_bound(), f, t).theorem10();
+        let spec = ScenarioSpec::new("trapdoor", n_nodes, f, t).with_adversary("random");
+        let bound = Bounds::new(spec.scenario().upper_bound(), f, t).theorem10();
         for seed in 0..3u64 {
-            let outcome = run_trapdoor(&scenario, seed);
+            let outcome = run(&spec, seed);
             let rounds = outcome.max_rounds_to_sync().expect("must synchronize") as f64;
             max_ratio = max_ratio.max(rounds / bound);
         }
@@ -109,9 +114,11 @@ fn termination_stays_within_a_constant_of_theorem_10() {
 fn earliest_activated_node_becomes_the_leader() {
     // The proof of Theorem 10 starts from the observation that the node with
     // the largest timestamp — the first one activated — cannot be knocked
-    // out and therefore becomes the leader.
+    // out and therefore becomes the leader. This needs direct access to the
+    // protocol instances, so it drives the engine itself (the statically
+    // typed escape hatch) while still resolving the adversary by name.
     let scenario = Scenario::new(10, 8, 3)
-        .with_adversary(AdversaryKind::Random)
+        .with_adversary("random")
         .with_activation(ActivationSchedule::Staggered { gap: 17 });
     for seed in 10..16u64 {
         let config = wireless_sync::sync::trapdoor::TrapdoorConfig::new(
@@ -119,7 +126,8 @@ fn earliest_activated_node_becomes_the_leader() {
             scenario.num_frequencies,
             scenario.disruption_bound,
         );
-        let adversary = scenario.adversary.build(&scenario, seed);
+        let adversary = registry::build_adversary(&scenario.adversary, &scenario, seed)
+            .expect("builtin adversary resolves");
         let mut engine = wireless_sync::radio::engine::Engine::new(
             scenario.sim_config(),
             |_| wireless_sync::sync::trapdoor::TrapdoorProtocol::new(config),
@@ -147,9 +155,10 @@ fn earliest_activated_node_becomes_the_leader() {
 fn outputs_keep_incrementing_after_synchronization() {
     // Run with extra rounds after synchronization and verify via the checker
     // that correctness (output increments by one) holds throughout.
-    let mut scenario = Scenario::new(8, 8, 2).with_adversary(AdversaryKind::Random);
-    scenario.extra_rounds_after_sync = 64;
-    let outcome = run_trapdoor(&scenario, 5);
+    let spec = ScenarioSpec::new("trapdoor", 8, 8, 2)
+        .with_adversary("random")
+        .with_extra_rounds_after_sync(64);
+    let outcome = run(&spec, 5);
     assert!(outcome.result.all_synchronized);
     assert!(outcome.properties.all_hold());
     assert!(outcome.properties.rounds_observed > outcome.completion_round().unwrap());
@@ -157,11 +166,11 @@ fn outputs_keep_incrementing_after_synchronization() {
 
 #[test]
 fn reproducible_across_identical_seeds_and_divergent_across_different_ones() {
-    let scenario = Scenario::new(12, 8, 3).with_adversary(AdversaryKind::Random);
-    let a = run_trapdoor(&scenario, 77);
-    let b = run_trapdoor(&scenario, 77);
+    let spec = ScenarioSpec::new("trapdoor", 12, 8, 3).with_adversary("random");
+    let a = run(&spec, 77);
+    let b = run(&spec, 77);
     assert_eq!(a, b);
-    let c = run_trapdoor(&scenario, 78);
+    let c = run(&spec, 78);
     // different seeds virtually always differ in at least the metrics
     assert!(a.result.metrics != c.result.metrics || a.completion_round() != c.completion_round());
 }
