@@ -39,12 +39,13 @@
 //! # Ok::<(), wsync_core::spec::SpecError>(())
 //! ```
 
+use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
 
-use wsync_stats::Summary;
+use wsync_stats::{OnlineStats, Summary};
 
 use crate::good_samaritan::GoodSamaritanConfig;
 use crate::report::SyncOutcome;
@@ -130,6 +131,12 @@ impl From<&ProtocolKind> for ComponentSpec {
     }
 }
 
+/// How many seeds a worker may run ahead of the in-order fold cursor in
+/// [`BatchRunner::try_map_each`] before stalling. Bounds the collector's
+/// reorder buffer (and therefore streaming memory) at `O(window)` results
+/// while staying far wider than any realistic cost imbalance needs.
+pub const REORDER_WINDOW: u64 = 1024;
+
 /// Executes batches of independent seeded trials on a worker pool.
 ///
 /// The worker count defaults to the machine's available parallelism and can
@@ -183,7 +190,8 @@ impl BatchRunner {
     /// Applies `trial` to every seed in `seeds` and returns the results in
     /// seed order.
     ///
-    /// This is the generic core: `trial` may produce any `Send` value, so
+    /// This is the collecting form of [`try_map_each`](Self::try_map_each)
+    /// (and is implemented on it): `trial` may produce any `Send` value, so
     /// experiments whose per-trial result is not a [`SyncOutcome`] (the
     /// broadcast-weight scan, the two-node rendezvous game) parallelize
     /// through the same pool. Work is handed out dynamically (an atomic
@@ -195,40 +203,183 @@ impl BatchRunner {
     {
         let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
             .expect("seed range length exceeds addressable memory");
+        let mut out: Vec<T> = Vec::with_capacity(count);
+        let result: Result<(), std::convert::Infallible> =
+            self.try_map_each(seeds, |seed| Ok(trial(seed)), |_, value| out.push(value));
+        match result {
+            Ok(()) => out,
+            Err(never) => match never {},
+        }
+    }
+
+    /// The streaming worker-pool core shared by [`map`](Self::map) and the
+    /// sweep layer: applies `trial` to every seed in `seeds` on the pool
+    /// and invokes `each` with the results **in seed order**, each exactly
+    /// once, as soon as its turn arrives.
+    ///
+    /// Two properties make this the substrate for arbitrarily large
+    /// batches:
+    ///
+    /// * **Bounded reordering.** Finished trials waiting for an earlier,
+    ///   slower seed are the only results held; workers that run more than
+    ///   [`REORDER_WINDOW`] seeds ahead of the in-order
+    ///   cursor stall (yielding) until it catches up, so memory stays
+    ///   `O(window)` even when later seeds are much cheaper than an early
+    ///   one — e.g. a resumed sweep whose only missing trial is the first.
+    /// * **Fail fast.** The first `Err` a trial returns stops the pool
+    ///   (remaining workers exit at the next seed claim or stall check)
+    ///   and is returned; `each` is never called past the last in-order
+    ///   success.
+    pub fn try_map_each<T, E, F, G>(
+        &self,
+        seeds: Range<u64>,
+        trial: F,
+        mut each: G,
+    ) -> Result<(), E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(u64) -> Result<T, E> + Sync,
+        G: FnMut(u64, T),
+    {
+        let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
+            .expect("seed range length exceeds addressable memory");
         let workers = self.workers.min(count);
         if workers <= 1 {
-            return seeds.map(trial).collect();
+            for seed in seeds {
+                each(seed, trial(seed)?);
+            }
+            return Ok(());
         }
 
         let next = AtomicU64::new(seeds.start);
+        // The next seed the collector will fold, published for backpressure.
+        let cursor = AtomicU64::new(seeds.start);
+        let stop = AtomicBool::new(false);
+        // Stalled workers sleep on this condvar instead of spinning; the
+        // collector pings it whenever the cursor advances (and the error
+        // path on stop). `wait_timeout` guards against any missed wakeup.
+        let stall = (Mutex::new(()), Condvar::new());
+        let first_error: Mutex<Option<E>> = Mutex::new(None);
         let (tx, rx) = mpsc::channel::<(u64, T)>();
         thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let cursor = &cursor;
+                let stop = &stop;
+                let stall = &stall;
+                let first_error = &first_error;
                 let trial = &trial;
                 let end = seeds.end;
-                scope.spawn(move || loop {
-                    let seed = next.fetch_add(1, Ordering::Relaxed);
-                    if seed >= end {
-                        break;
+                scope.spawn(move || {
+                    // If this worker panics (a trial's .expect fires), the
+                    // guard flips `stop` and wakes the stalled workers so
+                    // the pool drains, the scope joins, and the panic
+                    // propagates — instead of the cursor freezing and
+                    // every other worker waiting on it forever.
+                    struct PanicGuard<'a> {
+                        stop: &'a AtomicBool,
+                        stall: &'a (Mutex<()>, Condvar),
                     }
-                    if tx.send((seed, trial(seed))).is_err() {
-                        break;
+                    impl Drop for PanicGuard<'_> {
+                        fn drop(&mut self) {
+                            if thread::panicking() {
+                                self.stop.store(true, Ordering::Relaxed);
+                                let _guard = self.stall.0.lock().unwrap_or_else(|e| e.into_inner());
+                                self.stall.1.notify_all();
+                            }
+                        }
+                    }
+                    let _panic_guard = PanicGuard { stop, stall };
+                    // `seed - cursor` instead of `cursor + WINDOW`: the
+                    // cursor never passes an unfolded seed, and the
+                    // subtraction cannot overflow the way the addition
+                    // does for seed ranges near u64::MAX.
+                    let behind = |seed: u64| seed.saturating_sub(cursor.load(Ordering::Acquire));
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Checked claim, not fetch_add: a plain increment
+                        // wraps past u64::MAX when `end == u64::MAX`, after
+                        // which workers would claim seeds from 0 again and
+                        // never terminate.
+                        let claim = next.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                            (n < end).then(|| n + 1)
+                        });
+                        let Ok(seed) = claim else {
+                            break;
+                        };
+                        // Backpressure: don't run far ahead of the in-order
+                        // cursor. The worker holding the cursor's own seed
+                        // never stalls, so progress is guaranteed.
+                        while behind(seed) >= REORDER_WINDOW {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let guard = stall.0.lock().expect("stall gate poisoned");
+                            // re-check under the lock so a cursor advance
+                            // between the check and the wait is not missed
+                            if behind(seed) < REORDER_WINDOW || stop.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            let _ = stall
+                                .1
+                                .wait_timeout(guard, std::time::Duration::from_millis(20))
+                                .expect("stall gate poisoned");
+                        }
+                        match trial(seed) {
+                            Ok(value) => {
+                                if tx.send((seed, value)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                {
+                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                }
+                                // wake any stalled workers so they observe stop
+                                let _guard = stall.0.lock().expect("stall gate poisoned");
+                                stall.1.notify_all();
+                                break;
+                            }
+                        }
                     }
                 });
             }
             drop(tx);
 
-            let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+            // Re-order results back into seed order, handing each to the
+            // caller the moment its turn comes; only the out-of-order
+            // window is ever held.
+            let mut pending: HashMap<u64, T> = HashMap::new();
+            let mut expected = seeds.start;
             for (seed, value) in rx {
-                slots[(seed - seeds.start) as usize] = Some(value);
+                if seed == expected {
+                    each(seed, value);
+                    expected += 1;
+                    while let Some(value) = pending.remove(&(expected)) {
+                        each(expected, value);
+                        expected += 1;
+                    }
+                    cursor.store(expected, Ordering::Release);
+                    // wake workers stalled on the window
+                    let _guard = stall.0.lock().expect("stall gate poisoned");
+                    stall.1.notify_all();
+                } else {
+                    pending.insert(seed, value);
+                }
             }
-            slots
-                .into_iter()
-                .map(|slot| slot.expect("every seed produces exactly one result"))
-                .collect()
-        })
+        });
+        match first_error.into_inner().expect("error slot poisoned") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Runs `trial(scenario, seed)` for every seed and returns the outcomes
@@ -305,44 +456,11 @@ pub struct BatchStats {
 impl BatchStats {
     /// Folds a slice of outcomes (in seed order) into aggregate statistics.
     pub fn aggregate(outcomes: &[SyncOutcome]) -> Self {
-        let mut rounds = Vec::new();
-        let mut completions = Vec::new();
-        let mut synced = 0u64;
-        let mut single_leader = 0u64;
-        let mut clean = 0u64;
-        let mut all_hold = 0u64;
-        let mut total_violations = 0u64;
+        let mut fold = BatchStatsFold::new();
         for outcome in outcomes {
-            if outcome.result.all_synchronized {
-                synced += 1;
-            }
-            if outcome.leaders == 1 {
-                single_leader += 1;
-            }
-            if outcome.is_clean() {
-                clean += 1;
-            }
-            if outcome.properties.all_hold() {
-                all_hold += 1;
-            }
-            total_violations += outcome.properties.total_violations;
-            if let Some(r) = outcome.max_rounds_to_sync() {
-                rounds.push(r as f64);
-            }
-            if let Some(r) = outcome.completion_round() {
-                completions.push(r as f64);
-            }
+            fold.push(outcome);
         }
-        BatchStats {
-            trials: outcomes.len() as u64,
-            synced,
-            single_leader,
-            clean,
-            total_violations,
-            all_hold,
-            rounds_to_sync: Summary::from_slice(&rounds),
-            completion_rounds: Summary::from_slice(&completions),
-        }
+        fold.finish()
     }
 
     /// Fraction of trials in which every node synchronized.
@@ -365,6 +483,96 @@ impl BatchStats {
             0.0
         } else {
             numerator as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Incremental, constant-memory accumulator for [`BatchStats`].
+///
+/// Pushing outcomes **in seed order** and calling [`finish`](Self::finish)
+/// produces statistics bit-identical to
+/// [`BatchStats::aggregate`] over the same slice (which is implemented as
+/// exactly this fold): the summaries run on the same online Welford
+/// accumulator in the same order, so no intermediate vector of outcomes is
+/// ever required. This is what lets the sweep layer aggregate arbitrarily
+/// large Monte-Carlo runs while holding only one outcome at a time.
+#[derive(Debug, Clone)]
+pub struct BatchStatsFold {
+    trials: u64,
+    synced: u64,
+    single_leader: u64,
+    clean: u64,
+    total_violations: u64,
+    all_hold: u64,
+    rounds_to_sync: OnlineStats,
+    completion_rounds: OnlineStats,
+}
+
+impl Default for BatchStatsFold {
+    fn default() -> Self {
+        BatchStatsFold::new()
+    }
+}
+
+impl BatchStatsFold {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BatchStatsFold {
+            trials: 0,
+            synced: 0,
+            single_leader: 0,
+            clean: 0,
+            total_violations: 0,
+            all_hold: 0,
+            // `OnlineStats::new()`, not `default()`: the summaries of an
+            // empty fold must match `Summary::from_slice(&[])` (min = +inf,
+            // max = -inf), which the derived zeroed Default would not.
+            rounds_to_sync: OnlineStats::new(),
+            completion_rounds: OnlineStats::new(),
+        }
+    }
+
+    /// Folds one outcome. Call in seed order for bit-identical equivalence
+    /// with [`BatchStats::aggregate`].
+    pub fn push(&mut self, outcome: &SyncOutcome) {
+        self.trials += 1;
+        if outcome.result.all_synchronized {
+            self.synced += 1;
+        }
+        if outcome.leaders == 1 {
+            self.single_leader += 1;
+        }
+        if outcome.is_clean() {
+            self.clean += 1;
+        }
+        if outcome.properties.all_hold() {
+            self.all_hold += 1;
+        }
+        self.total_violations += outcome.properties.total_violations;
+        if let Some(r) = outcome.max_rounds_to_sync() {
+            self.rounds_to_sync.push(r as f64);
+        }
+        if let Some(r) = outcome.completion_round() {
+            self.completion_rounds.push(r as f64);
+        }
+    }
+
+    /// Number of outcomes folded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The aggregate statistics over everything pushed so far.
+    pub fn finish(&self) -> BatchStats {
+        BatchStats {
+            trials: self.trials,
+            synced: self.synced,
+            single_leader: self.single_leader,
+            clean: self.clean,
+            total_violations: self.total_violations,
+            all_hold: self.all_hold,
+            rounds_to_sync: self.rounds_to_sync.summary(),
+            completion_rounds: self.completion_rounds.summary(),
         }
     }
 }
@@ -403,6 +611,110 @@ mod tests {
             let seed = 10 + i as u64;
             assert_eq!(*v, seed * seed);
         }
+    }
+
+    #[test]
+    fn try_map_each_streams_in_order_and_stops_on_error() {
+        let runner = BatchRunner::with_workers(4);
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        runner
+            .try_map_each(
+                5..105,
+                |seed| Ok::<_, &str>(seed * 2),
+                |seed, value| seen.push((seed, value)),
+            )
+            .unwrap();
+        assert_eq!(seen.len(), 100);
+        for (i, (seed, value)) in seen.iter().enumerate() {
+            assert_eq!(*seed, 5 + i as u64, "results must arrive in seed order");
+            assert_eq!(*value, seed * 2);
+        }
+        // a failing trial surfaces as the returned error and stops the pool
+        let err = runner
+            .try_map_each(
+                0..10_000,
+                |seed| if seed == 37 { Err("boom") } else { Ok(seed) },
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+
+    #[test]
+    fn a_slow_early_seed_stalls_the_window_without_breaking_order() {
+        // Seed 0 finishes long after thousands of later (cheap) seeds. The
+        // range deliberately exceeds REORDER_WINDOW, so fast workers must
+        // actually hit the backpressure stall and sleep until the slow
+        // trial folds — exercising the stall/wakeup path — and the
+        // callback must still observe strict seed order throughout.
+        const TOTAL: u64 = 3 * REORDER_WINDOW;
+        let runner = BatchRunner::with_workers(8);
+        let mut seen = Vec::new();
+        runner
+            .try_map_each(
+                0..TOTAL,
+                |seed| {
+                    if seed == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                    Ok::<_, ()>(seed)
+                },
+                |seed, _| seen.push(seed),
+            )
+            .unwrap();
+        assert_eq!(seen, (0..TOTAL).collect::<Vec<u64>>());
+        // the error path also crosses the stall: a failure after the
+        // window boundary still surfaces and terminates every worker
+        let err = runner
+            .try_map_each(
+                0..TOTAL,
+                |seed| {
+                    if seed == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Err("early boom")
+                    } else {
+                        Ok(seed)
+                    }
+                },
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, "early boom");
+    }
+
+    #[test]
+    fn seed_ranges_near_u64_max_stream_without_overflow() {
+        // The stall threshold must be computed as seed - cursor, not
+        // cursor + WINDOW: the addition overflows for ranges near
+        // u64::MAX (panic in debug, all-workers deadlock in release).
+        let runner = BatchRunner::with_workers(4);
+        let start = u64::MAX - 3000;
+        let mut expected = start;
+        runner
+            .try_map_each(start..u64::MAX, Ok::<_, ()>, |seed, _| {
+                assert_eq!(seed, expected);
+                expected += 1;
+            })
+            .unwrap();
+        assert_eq!(expected, u64::MAX);
+    }
+
+    #[test]
+    fn panicking_trial_propagates_instead_of_hanging_the_pool() {
+        // The panicking worker's guard must flip `stop` and wake the
+        // stalled workers, so the scope joins and the panic surfaces —
+        // a batch wider than REORDER_WINDOW used to hang forever here.
+        let runner = BatchRunner::with_workers(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.map(0..3 * REORDER_WINDOW, |seed| {
+                if seed == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    panic!("trial panic");
+                }
+                seed
+            })
+        }));
+        assert!(result.is_err(), "the trial panic must propagate");
     }
 
     #[test]
@@ -459,7 +771,41 @@ mod tests {
             #[allow(deprecated)]
             let legacy_batch = BatchRunner::with_workers(2).run(&scenario, kind, 0..2);
             assert_eq!(outcomes, legacy_batch);
+            // the deprecated stats wrapper folds to identical aggregates
+            #[allow(deprecated)]
+            let legacy_stats = BatchRunner::with_workers(2).run_stats(&scenario, kind, 0..2);
+            assert_eq!(legacy_stats, BatchStats::aggregate(&outcomes));
         }
+    }
+
+    #[test]
+    fn incremental_fold_is_bit_identical_to_slice_aggregation() {
+        let outcomes = Sim::from_spec(&spec())
+            .unwrap()
+            .seeds(0..10)
+            .run(&BatchRunner::new());
+        // reference: the historical Vec-collecting implementation
+        let mut rounds = Vec::new();
+        let mut completions = Vec::new();
+        for outcome in &outcomes {
+            if let Some(r) = outcome.max_rounds_to_sync() {
+                rounds.push(r as f64);
+            }
+            if let Some(r) = outcome.completion_round() {
+                completions.push(r as f64);
+            }
+        }
+        let mut fold = BatchStatsFold::new();
+        for outcome in &outcomes {
+            fold.push(outcome);
+        }
+        assert_eq!(fold.trials(), 10);
+        let folded = fold.finish();
+        assert_eq!(folded, BatchStats::aggregate(&outcomes));
+        assert_eq!(folded.rounds_to_sync, Summary::from_slice(&rounds));
+        assert_eq!(folded.completion_rounds, Summary::from_slice(&completions));
+        // an empty fold matches an empty aggregate exactly (min/max = ±inf)
+        assert_eq!(BatchStatsFold::new().finish(), BatchStats::aggregate(&[]));
     }
 
     #[test]

@@ -131,6 +131,16 @@ impl Value {
         write_value(self, 0, &mut out);
         out
     }
+
+    /// Serializes the value as single-line JSON with no insignificant
+    /// whitespace. This is the JSONL form the result store appends: one
+    /// record per line, so a reader can recover from a torn final line by
+    /// dropping it. Round-trips exactly like [`to_json`](Self::to_json).
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        write_value_compact(self, &mut out);
+        out
+    }
 }
 
 impl From<bool> for Value {
@@ -284,6 +294,38 @@ fn write_value(value: &Value, depth: usize, out: &mut String) {
     }
 }
 
+fn write_value_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            out.push('{');
+            for (i, (key, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A JSON parse error with a 1-based line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -307,12 +349,19 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. Deeper documents are
+/// rejected with a parse error instead of risking a stack overflow in the
+/// recursive-descent parser (every legitimate spec/store document is a few
+/// levels deep).
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
 /// garbage rejected).
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_whitespace();
     let value = p.parse_value()?;
@@ -326,6 +375,7 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -389,7 +439,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.error(format!(
+                "maximum nesting depth ({MAX_NESTING_DEPTH}) exceeded"
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.enter()?;
+        let object = self.parse_object_inner();
+        self.depth -= 1;
+        object
+    }
+
+    fn parse_object_inner(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
         let mut members: Vec<(String, Value)> = Vec::new();
         self.skip_whitespace();
@@ -423,6 +490,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.enter()?;
+        let array = self.parse_array_inner();
+        self.depth -= 1;
+        array
+    }
+
+    fn parse_array_inner(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
@@ -708,6 +782,42 @@ mod tests {
             .map(|(k, _)| k.as_str())
             .collect();
         assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn compact_output_is_single_line_and_round_trips() {
+        let v = parse(r#"{"name": "trapdoor", "params": {"c": 2.0}, "xs": [1, 2, 3]}"#).unwrap();
+        let compact = v.to_json_compact();
+        assert!(!compact.contains('\n'));
+        assert!(!compact.contains(": "));
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(
+            compact,
+            r#"{"name":"trapdoor","params":{"c":2.0},"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep_array = "[".repeat(100_000);
+        let err = parse(&deep_array).unwrap_err();
+        assert!(err.message.contains("nesting depth"), "{err}");
+        let deep_object = "{\"k\":".repeat(100_000);
+        let err = parse(&deep_object).unwrap_err();
+        assert!(err.message.contains("nesting depth"), "{err}");
+        // documents at or below the limit still parse
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_NESTING_DEPTH),
+            "]".repeat(MAX_NESTING_DEPTH)
+        );
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_NESTING_DEPTH + 1),
+            "]".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!   API: string-keyed protocol/adversary factories, JSON-serializable
 //!   [`ScenarioSpec`]/[`SweepSpec`] descriptions, and the validated
 //!   [`Sim`] builder every execution flows through.
+//! * [`store`] / [`sweep`] — the persistence and orchestration layer: a
+//!   content-addressed [`ResultStore`] of completed
+//!   trials (sharded JSONL, keyed by canonical spec digest + seed) and the
+//!   [`SweepRunner`] that streams whole sweep grids
+//!   through the worker pool with work stealing, constant-memory
+//!   aggregation, and bit-identical resume.
 //!
 //! # Quickstart
 //!
@@ -62,6 +68,8 @@ pub mod report;
 pub mod runner;
 pub mod sim;
 pub mod spec;
+pub mod store;
+pub mod sweep;
 pub mod timestamp;
 pub mod trapdoor;
 
@@ -70,7 +78,7 @@ pub mod prelude {
     pub use crate::baselines::{
         RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol,
     };
-    pub use crate::batch::{BatchRunner, BatchStats, ProtocolKind};
+    pub use crate::batch::{BatchRunner, BatchStats, BatchStatsFold, ProtocolKind};
     pub use crate::checker::{PropertyChecker, PropertyReport, Violation};
     pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
     pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};
@@ -87,6 +95,8 @@ pub mod prelude {
     };
     pub use crate::sim::Sim;
     pub use crate::spec::{ComponentSpec, ScenarioSpec, SpecError, SweepSpec};
+    pub use crate::store::ResultStore;
+    pub use crate::sweep::{SweepReport, SweepRunner};
     pub use crate::timestamp::Timestamp;
     pub use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol, TrapdoorRole};
 }

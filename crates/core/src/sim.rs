@@ -35,6 +35,7 @@ use crate::registry::{AdversaryFactory, ProtocolCtor, Registry};
 use crate::report::SyncOutcome;
 use crate::runner::{execute, Scenario};
 use crate::spec::{ComponentSpec, ScenarioSpec, SpecError};
+use crate::store::{spec_digest, ResultStore};
 use crate::{registry, spec};
 
 /// A fully validated, runnable simulation: scenario, resolved protocol
@@ -45,6 +46,8 @@ pub struct Sim {
     ctor: ProtocolCtor,
     adversary: Arc<dyn AdversaryFactory>,
     seeds: Range<u64>,
+    digest: u64,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl Sim {
@@ -102,6 +105,8 @@ impl Sim {
             ctor,
             adversary: adversary_factory,
             seeds: 0..1,
+            digest: spec_digest(spec),
+            store: None,
         })
     }
 
@@ -127,14 +132,49 @@ impl Sim {
         self.seeds.clone()
     }
 
+    /// Attaches a persistent [`ResultStore`]: subsequent
+    /// [`run_one`](Self::run_one) / [`run`](Self::run) calls serve
+    /// already-stored trials from the cache without executing the engine,
+    /// and persist every trial they do execute. Trials are keyed by the
+    /// canonical spec digest ([`spec_digest`]), so equivalent `Sim`s built
+    /// in different processes share entries.
+    pub fn store(mut self, store: &Arc<ResultStore>) -> Self {
+        self.store = Some(Arc::clone(store));
+        self
+    }
+
+    /// The canonical content digest of this simulation's resolved spec —
+    /// the key its trials are stored under.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
     /// Runs a single trial. Executions are a pure function of
-    /// `(spec, seed)`.
+    /// `(spec, seed)`; with a [`store`](Self::store) attached, an
+    /// already-stored trial is returned without touching the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if persisting a fresh outcome to the attached store fails
+    /// (`run_one` stays infallible; orchestration layers that need typed
+    /// store errors use [`SweepRunner`](crate::sweep::SweepRunner)).
     pub fn run_one(&self, seed: u64) -> SyncOutcome {
+        if let Some(store) = &self.store {
+            if let Some(hit) = store.get(self.digest, seed) {
+                return hit;
+            }
+        }
         let adversary = self
             .adversary
             .build(&self.scenario, &self.scenario.adversary.params, seed)
             .expect("adversary parameters were validated when the Sim was built");
-        execute(&self.scenario, |id| (self.ctor)(id), adversary, seed)
+        let outcome = execute(&self.scenario, |id| (self.ctor)(id), adversary, seed);
+        if let Some(store) = &self.store {
+            store
+                .put(self.digest, seed, &outcome)
+                .expect("persisting a trial outcome to the result store failed");
+        }
+        outcome
     }
 
     /// Runs every seed in the configured range on `runner`'s worker pool
@@ -248,6 +288,34 @@ mod tests {
         let bad = SweepSpec::new(ScenarioSpec::new("trapdoor", 6, 8, 2), 0..2)
             .with_axis("disruption_bound", vec![1u64.into(), 8u64.into()]);
         assert!(Sim::from_sweep(&bad).is_err());
+    }
+
+    #[test]
+    fn store_attached_sim_serves_cache_hits_without_the_engine() {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-sim-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random");
+        let plain = Sim::from_spec(&spec).unwrap();
+        let fresh = plain.run_one(3);
+
+        let store = Arc::new(crate::store::ResultStore::open(&dir).unwrap());
+        let sim = Sim::from_spec(&spec).unwrap().store(&store);
+        assert_eq!(sim.run_one(3), fresh); // miss: executes and records
+        assert!(store.contains(sim.digest(), 3));
+
+        // Reopen: poison the engine path by checking the stored outcome is
+        // what comes back, bit for bit, through a fresh process-like load.
+        let store = Arc::new(crate::store::ResultStore::open(&dir).unwrap());
+        assert_eq!(store.loaded_records(), 1);
+        let sim = Sim::from_spec(&spec).unwrap().store(&store);
+        assert_eq!(sim.run_one(3), fresh); // hit: served from the store
+        let batch = sim.seeds(3..4).run(&BatchRunner::new());
+        assert_eq!(batch, vec![fresh]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

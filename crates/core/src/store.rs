@@ -1,0 +1,808 @@
+//! The persistent, content-addressed trial result store.
+//!
+//! Every completed trial in this workspace is a pure function of its
+//! resolved [`ScenarioSpec`] and seed, which makes results *content
+//! addressable*: the store keys each [`SyncOutcome`] by
+//! `(digest(spec), seed)`, where the digest is 64-bit FNV-1a over the
+//! spec's **canonical** JSON (object keys sorted recursively, compact
+//! encoding) — so two specs that differ only in parameter insertion order
+//! share cache entries.
+//!
+//! On disk a store is a directory of sharded JSONL files
+//! (`shard-00.jsonl` … `shard-07.jsonl`); each line is one self-contained
+//! record written through the dependency-free [`json`] module:
+//!
+//! ```text
+//! {"spec":"9f86d081884c7d65","seed":3,"outcome":{...}}
+//! ```
+//!
+//! Appends are atomic at line granularity: a killed process can leave at
+//! most one torn final line per shard, which [`ResultStore::open`] detects,
+//! drops, and counts (see [`ResultStore::dropped_records`]) — the
+//! corresponding trial is simply recomputed on resume. Records are
+//! append-only and idempotent (`put` of an existing key is a no-op), so a
+//! sweep restarted against the same store re-executes only the missing
+//! trials and, because outcomes contain only integers/booleans/strings,
+//! replayed aggregates are **bit-identical** to a from-scratch run.
+//!
+//! The store is safe to share across the worker threads of a
+//! [`BatchRunner`](crate::batch::BatchRunner) /
+//! [`SweepRunner`](crate::sweep::SweepRunner): the in-memory index is
+//! behind an `RwLock` and each shard file behind its own `Mutex`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
+
+use wsync_radio::engine::{ExecutionResult, NodeSummary};
+use wsync_radio::metrics::SimMetrics;
+use wsync_radio::node::NodeId;
+
+use crate::checker::{PropertyReport, Violation};
+use crate::json::{self, Value};
+use crate::report::SyncOutcome;
+use crate::spec::ScenarioSpec;
+
+/// Number of JSONL shard files a store spreads its records over.
+pub const SHARD_COUNT: usize = 8;
+
+/// An error raised by store I/O (records that fail to *decode* are not
+/// errors — they are dropped and counted at open time).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or writing a store file failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "result store I/O error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// 64-bit FNV-1a (the workspace's standard content digest).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Recursively sorts object keys, producing the canonical form of a value:
+/// two semantically equal specs whose parameter bags were built in
+/// different orders canonicalize to the same value (and therefore the same
+/// digest).
+pub fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        Value::Object(members) => {
+            let mut sorted: Vec<(String, Value)> = members
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical digest of a resolved scenario spec: FNV-1a over the
+/// key-sorted compact JSON encoding.
+pub fn spec_digest(spec: &ScenarioSpec) -> u64 {
+    fnv1a(canonicalize(&spec.to_value()).to_json_compact().as_bytes())
+}
+
+/// A persistent map from `(spec digest, seed)` to the trial's
+/// [`SyncOutcome`], backed by sharded JSONL files.
+///
+/// # Memory model
+///
+/// The store keeps an in-memory index of **all** records (loaded at open
+/// plus appended since), so lookups and idempotence checks never touch
+/// disk: memory is `O(stored records)`, while the sweep layer's
+/// *aggregation* memory stays `O(reorder window)`. For the sweep sizes
+/// the experiments run this is megabytes; a spill-to-offset index (keys
+/// in memory, outcomes re-read from their shard on demand) is the
+/// designed escape hatch if stores ever outgrow RAM, and can be added
+/// behind this same API.
+pub struct ResultStore {
+    dir: PathBuf,
+    index: RwLock<HashMap<(u64, u64), SyncOutcome>>,
+    shards: Vec<Mutex<Option<File>>>,
+    dropped: u64,
+    loaded: usize,
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("records", &self.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) the store rooted at `dir`, loading
+    /// every decodable record from its shards. Undecodable lines — a torn
+    /// final line from a killed writer, or any other corruption — are
+    /// dropped and counted, never fatal: the trials they held are simply
+    /// recomputed by the next resumed run. A shard containing dropped
+    /// lines is repaired in place (rewritten with only the good records,
+    /// via a temporary file and rename), so later appends always start on
+    /// a clean line and a subsequent open reports zero drops.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        let mut index = HashMap::new();
+        let mut dropped = 0u64;
+        for shard in 0..SHARD_COUNT {
+            let path = shard_path(&dir, shard);
+            let mut file = match File::open(&path) {
+                Ok(file) => file,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(source) => return Err(StoreError::Io { path, source }),
+            };
+            // A shard not ending in '\n' means the last append was cut off
+            // by a kill. Even if the surviving bytes happen to decode (the
+            // cut can land exactly before the newline), the shard must be
+            // rewritten so the next append starts on a fresh line instead
+            // of concatenating onto the remnant.
+            let ends_clean = {
+                use std::io::{Read as _, Seek as _, SeekFrom};
+                let io = |source| StoreError::Io {
+                    path: path.clone(),
+                    source,
+                };
+                let len = file.metadata().map_err(io)?.len();
+                if len == 0 {
+                    true
+                } else {
+                    file.seek(SeekFrom::End(-1)).map_err(io)?;
+                    let mut last = [0u8; 1];
+                    file.read_exact(&mut last).map_err(io)?;
+                    file.seek(SeekFrom::Start(0)).map_err(io)?;
+                    last[0] == b'\n'
+                }
+            };
+            let mut good_lines: Vec<String> = Vec::new();
+            let mut shard_dropped = 0u64;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|source| StoreError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match decode_record(&line) {
+                    Some((digest, seed, outcome)) => {
+                        index.insert((digest, seed), outcome);
+                        good_lines.push(line);
+                    }
+                    None => shard_dropped += 1,
+                }
+            }
+            if shard_dropped > 0 || !ends_clean {
+                let mut repaired = good_lines.join("\n");
+                if !repaired.is_empty() {
+                    repaired.push('\n');
+                }
+                let tmp = dir.join(format!(".shard-{shard:02}.jsonl.tmp"));
+                fs::write(&tmp, repaired)
+                    .and_then(|()| fs::rename(&tmp, &path))
+                    .map_err(|source| StoreError::Io {
+                        path: path.clone(),
+                        source,
+                    })?;
+            }
+            dropped += shard_dropped;
+        }
+        let loaded = index.len();
+        Ok(ResultStore {
+            dir,
+            index: RwLock::new(index),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(None)).collect(),
+            dropped,
+            loaded,
+        })
+    }
+
+    /// The directory this store persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records currently held (loaded plus appended).
+    pub fn len(&self) -> usize {
+        self.index.read().expect("store index poisoned").len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records loaded from disk when the store was opened.
+    pub fn loaded_records(&self) -> usize {
+        self.loaded
+    }
+
+    /// Number of undecodable lines dropped while opening (torn final lines
+    /// from a killed writer, or corrupted records).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Looks up the stored outcome of trial `(digest, seed)`.
+    pub fn get(&self, digest: u64, seed: u64) -> Option<SyncOutcome> {
+        self.index
+            .read()
+            .expect("store index poisoned")
+            .get(&(digest, seed))
+            .cloned()
+    }
+
+    /// Whether trial `(digest, seed)` is already stored.
+    pub fn contains(&self, digest: u64, seed: u64) -> bool {
+        self.index
+            .read()
+            .expect("store index poisoned")
+            .contains_key(&(digest, seed))
+    }
+
+    /// Records a completed trial, appending one JSONL line to the
+    /// responsible shard. Idempotent: putting an already-stored key is a
+    /// no-op (the first record wins), so concurrent workers and re-runs
+    /// never duplicate lines.
+    pub fn put(&self, digest: u64, seed: u64, outcome: &SyncOutcome) -> Result<(), StoreError> {
+        {
+            let mut index = self.index.write().expect("store index poisoned");
+            if index.contains_key(&(digest, seed)) {
+                return Ok(());
+            }
+            index.insert((digest, seed), outcome.clone());
+        }
+        // One buffer, one write_all: the record and its newline must never
+        // be separate writes, or a kill between them would leave a
+        // *decodable* line with no trailing newline — the repair-on-open
+        // pass would not trigger and the next append would concatenate
+        // onto it, corrupting two good records.
+        let mut line = encode_record(digest, seed, outcome);
+        line.push('\n');
+        let shard = shard_for(digest, seed);
+        let path = shard_path(&self.dir, shard);
+        let mut guard = self.shards[shard].lock().expect("shard writer poisoned");
+        if guard.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|source| StoreError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+            *guard = Some(file);
+        }
+        let file = guard.as_mut().expect("writer opened above");
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|source| StoreError::Io { path, source })
+    }
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.jsonl"))
+}
+
+fn shard_for(digest: u64, seed: u64) -> usize {
+    // Mix the seed so one grid point's trials spread over all shards.
+    ((digest ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % SHARD_COUNT as u64) as usize
+}
+
+// --- record codec -------------------------------------------------------
+//
+// The vendored serde is a no-op facade, so outcomes are encoded by hand
+// through `json::Value`. Every field of `SyncOutcome` is an integer,
+// boolean, or string — no floats — so decode(encode(x)) == x exactly,
+// which is what makes resumed aggregates bit-identical.
+
+fn encode_record(digest: u64, seed: u64, outcome: &SyncOutcome) -> String {
+    Value::Object(vec![
+        ("spec".to_string(), Value::Str(format!("{digest:016x}"))),
+        ("seed".to_string(), u64_value(seed)),
+        ("outcome".to_string(), outcome_to_value(outcome)),
+    ])
+    .to_json_compact()
+}
+
+/// Decodes one shard line into `(digest, seed, outcome)`; `None` means the
+/// line is torn or corrupt and must be dropped.
+fn decode_record(line: &str) -> Option<(u64, u64, SyncOutcome)> {
+    let value = json::parse(line).ok()?;
+    let digest = u64::from_str_radix(value.get("spec")?.as_str()?, 16).ok()?;
+    let seed = value_as_u64(value.get("seed")?)?;
+    let outcome = outcome_from_value(value.get("outcome")?)?;
+    // A record whose embedded outcome disagrees with its key is corrupt.
+    if outcome.seed != seed {
+        return None;
+    }
+    Some((digest, seed, outcome))
+}
+
+/// Encodes a `u64` losslessly: as a JSON integer when it fits in `i64`,
+/// otherwise as a decimal string. `Value::from(u64)` falls back to `f64`
+/// above `i64::MAX`, which would silently round large seeds and break the
+/// `decode(encode(x)) == x` contract — a record with such a seed would be
+/// dropped as corrupt on every reopen and recomputed forever.
+fn u64_value(n: u64) -> Value {
+    match i64::try_from(n) {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(n.to_string()),
+    }
+}
+
+/// Decodes either `u64` encoding produced by [`u64_value`].
+fn value_as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Str(s) => s.parse().ok(),
+        other => other.as_u64(),
+    }
+}
+
+fn opt_u64_value(v: Option<u64>) -> Value {
+    match v {
+        Some(n) => u64_value(n),
+        None => Value::Null,
+    }
+}
+
+/// Encodes a full [`SyncOutcome`] as a JSON value.
+pub fn outcome_to_value(outcome: &SyncOutcome) -> Value {
+    let nodes = outcome
+        .result
+        .nodes
+        .iter()
+        .map(|n| {
+            Value::Object(vec![
+                ("id".to_string(), u64_value(n.id.index() as u64)),
+                ("activated".to_string(), u64_value(n.activation_round)),
+                ("sync".to_string(), opt_u64_value(n.sync_round)),
+                ("out".to_string(), opt_u64_value(n.final_output)),
+            ])
+        })
+        .collect();
+    let m = &outcome.result.metrics;
+    let metrics = Value::Object(vec![
+        ("rounds".to_string(), u64_value(m.rounds)),
+        ("broadcasts".to_string(), u64_value(m.broadcasts)),
+        ("listens".to_string(), u64_value(m.listens)),
+        ("sleeps".to_string(), u64_value(m.sleeps)),
+        ("deliveries".to_string(), u64_value(m.deliveries)),
+        ("receptions".to_string(), u64_value(m.receptions)),
+        ("collisions".to_string(), u64_value(m.collisions)),
+        (
+            "jammed_solo".to_string(),
+            u64_value(m.jammed_solo_broadcasts),
+        ),
+        (
+            "disrupted_freq_rounds".to_string(),
+            u64_value(m.disrupted_frequency_rounds),
+        ),
+        ("max_active".to_string(), m.max_active_nodes.into()),
+        (
+            "budget_violations".to_string(),
+            u64_value(m.adversary_budget_violations),
+        ),
+    ]);
+    let result = Value::Object(vec![
+        (
+            "rounds".to_string(),
+            u64_value(outcome.result.rounds_executed),
+        ),
+        ("synced".to_string(), outcome.result.all_synchronized.into()),
+        ("nodes".to_string(), Value::Array(nodes)),
+        ("metrics".to_string(), metrics),
+    ]);
+    let violations = outcome
+        .properties
+        .violations
+        .iter()
+        .map(violation_to_value)
+        .collect();
+    let properties = Value::Object(vec![
+        ("violations".to_string(), Value::Array(violations)),
+        (
+            "total".to_string(),
+            u64_value(outcome.properties.total_violations),
+        ),
+        (
+            "rounds".to_string(),
+            u64_value(outcome.properties.rounds_observed),
+        ),
+        ("liveness".to_string(), outcome.properties.liveness.into()),
+        (
+            "completion".to_string(),
+            opt_u64_value(outcome.properties.completion_round),
+        ),
+    ]);
+    Value::Object(vec![
+        ("result".to_string(), result),
+        ("properties".to_string(), properties),
+        ("leaders".to_string(), u64_value(outcome.leaders as u64)),
+        (
+            "adversary".to_string(),
+            Value::Str(outcome.adversary.clone()),
+        ),
+        ("seed".to_string(), u64_value(outcome.seed)),
+    ])
+}
+
+fn violation_to_value(violation: &Violation) -> Value {
+    match violation {
+        Violation::SynchCommit {
+            node,
+            round,
+            previous,
+        } => Value::Object(vec![
+            ("kind".to_string(), Value::Str("synch-commit".to_string())),
+            ("node".to_string(), u64_value(node.index() as u64)),
+            ("round".to_string(), u64_value(*round)),
+            ("previous".to_string(), u64_value(*previous)),
+        ]),
+        Violation::Correctness {
+            node,
+            round,
+            previous,
+            current,
+        } => Value::Object(vec![
+            ("kind".to_string(), Value::Str("correctness".to_string())),
+            ("node".to_string(), u64_value(node.index() as u64)),
+            ("round".to_string(), u64_value(*round)),
+            ("previous".to_string(), u64_value(*previous)),
+            ("current".to_string(), u64_value(*current)),
+        ]),
+        Violation::Agreement {
+            round,
+            first,
+            second,
+        } => Value::Object(vec![
+            ("kind".to_string(), Value::Str("agreement".to_string())),
+            ("round".to_string(), u64_value(*round)),
+            (
+                "first".to_string(),
+                Value::Array(vec![u64_value(first.0.index() as u64), u64_value(first.1)]),
+            ),
+            (
+                "second".to_string(),
+                Value::Array(vec![
+                    u64_value(second.0.index() as u64),
+                    u64_value(second.1),
+                ]),
+            ),
+        ]),
+    }
+}
+
+fn get_u64(value: &Value, key: &str) -> Option<u64> {
+    value_as_u64(value.get(key)?)
+}
+
+fn get_opt_u64(value: &Value, key: &str) -> Option<Option<u64>> {
+    match value.get(key)? {
+        Value::Null => Some(None),
+        other => value_as_u64(other).map(Some),
+    }
+}
+
+fn node_id(raw: u64) -> Option<NodeId> {
+    u32::try_from(raw).ok().map(NodeId::new)
+}
+
+/// Decodes a [`SyncOutcome`] from its JSON encoding; `None` on any shape
+/// mismatch (the caller treats the record as corrupt and drops it).
+pub fn outcome_from_value(value: &Value) -> Option<SyncOutcome> {
+    let result = value.get("result")?;
+    let nodes = result
+        .get("nodes")?
+        .as_array()?
+        .iter()
+        .map(|n| {
+            Some(NodeSummary {
+                id: node_id(get_u64(n, "id")?)?,
+                activation_round: get_u64(n, "activated")?,
+                sync_round: get_opt_u64(n, "sync")?,
+                final_output: get_opt_u64(n, "out")?,
+            })
+        })
+        .collect::<Option<Vec<NodeSummary>>>()?;
+    let m = result.get("metrics")?;
+    let metrics = SimMetrics {
+        rounds: get_u64(m, "rounds")?,
+        broadcasts: get_u64(m, "broadcasts")?,
+        listens: get_u64(m, "listens")?,
+        sleeps: get_u64(m, "sleeps")?,
+        deliveries: get_u64(m, "deliveries")?,
+        receptions: get_u64(m, "receptions")?,
+        collisions: get_u64(m, "collisions")?,
+        jammed_solo_broadcasts: get_u64(m, "jammed_solo")?,
+        disrupted_frequency_rounds: get_u64(m, "disrupted_freq_rounds")?,
+        max_active_nodes: u32::try_from(get_u64(m, "max_active")?).ok()?,
+        adversary_budget_violations: get_u64(m, "budget_violations")?,
+    };
+    let properties = value.get("properties")?;
+    let violations = properties
+        .get("violations")?
+        .as_array()?
+        .iter()
+        .map(violation_from_value)
+        .collect::<Option<Vec<Violation>>>()?;
+    Some(SyncOutcome {
+        result: ExecutionResult {
+            rounds_executed: get_u64(result, "rounds")?,
+            all_synchronized: result.get("synced")?.as_bool()?,
+            nodes,
+            metrics,
+        },
+        properties: PropertyReport {
+            violations,
+            total_violations: get_u64(properties, "total")?,
+            rounds_observed: get_u64(properties, "rounds")?,
+            liveness: properties.get("liveness")?.as_bool()?,
+            completion_round: get_opt_u64(properties, "completion")?,
+        },
+        leaders: usize::try_from(get_u64(value, "leaders")?).ok()?,
+        adversary: value.get("adversary")?.as_str()?.to_string(),
+        seed: get_u64(value, "seed")?,
+    })
+}
+
+fn violation_from_value(value: &Value) -> Option<Violation> {
+    let pair = |key: &str| -> Option<(NodeId, u64)> {
+        let items = value.get(key)?.as_array()?;
+        match items {
+            [a, b] => Some((node_id(value_as_u64(a)?)?, value_as_u64(b)?)),
+            _ => None,
+        }
+    };
+    match value.get("kind")?.as_str()? {
+        "synch-commit" => Some(Violation::SynchCommit {
+            node: node_id(get_u64(value, "node")?)?,
+            round: get_u64(value, "round")?,
+            previous: get_u64(value, "previous")?,
+        }),
+        "correctness" => Some(Violation::Correctness {
+            node: node_id(get_u64(value, "node")?)?,
+            round: get_u64(value, "round")?,
+            previous: get_u64(value, "previous")?,
+            current: get_u64(value, "current")?,
+        }),
+        "agreement" => Some(Violation::Agreement {
+            round: get_u64(value, "round")?,
+            first: pair("first")?,
+            second: pair("second")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_outcomes(n: usize) -> Vec<SyncOutcome> {
+        let spec = ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random");
+        let sim = Sim::from_spec(&spec).unwrap();
+        (0..n as u64).map(|seed| sim.run_one(seed)).collect()
+    }
+
+    #[test]
+    fn outcome_codec_round_trips_exactly() {
+        for outcome in sample_outcomes(3) {
+            let value = outcome_to_value(&outcome);
+            // through text as well, exactly as the store writes it
+            let text = value.to_json_compact();
+            let back = outcome_from_value(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, outcome);
+        }
+        // a dirty outcome with violations round-trips too
+        let dirty = Sim::from_spec(
+            &ScenarioSpec::new("single-frequency", 4, 4, 1)
+                .with_adversary("fixed-band")
+                .with_activation(wsync_radio::activation::ActivationSchedule::LateJoiner {
+                    late: 3,
+                })
+                .with_max_rounds(2_000),
+        )
+        .unwrap()
+        .run_one(5);
+        assert!(dirty.properties.total_violations > 0);
+        let back = outcome_from_value(&outcome_to_value(&dirty)).unwrap();
+        assert_eq!(back, dirty);
+    }
+
+    #[test]
+    fn seeds_beyond_i64_survive_the_store_round_trip() {
+        // `Value::from(u64)` falls back to f64 above i64::MAX; the record
+        // codec must not take that path or huge seeds would be dropped as
+        // corrupt on every reopen and recomputed forever.
+        let dir = temp_dir("big-seed");
+        let huge = u64::MAX - 7;
+        let spec = ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random");
+        let outcome = Sim::from_spec(&spec).unwrap().run_one(huge);
+        assert_eq!(outcome.seed, huge);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(3, huge, &outcome).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.dropped_records(), 0);
+        assert_eq!(store.get(3, huge), Some(outcome));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_is_canonical_over_param_order() {
+        let a = ScenarioSpec::new("trapdoor", 8, 8, 2)
+            .with_protocol_param("epoch_constant", 2.0)
+            .with_protocol_param("final_epoch_constant", 6.0);
+        let b = ScenarioSpec::new("trapdoor", 8, 8, 2)
+            .with_protocol_param("final_epoch_constant", 6.0)
+            .with_protocol_param("epoch_constant", 2.0);
+        assert_eq!(spec_digest(&a), spec_digest(&b));
+        let c = ScenarioSpec::new("trapdoor", 8, 8, 3);
+        assert_ne!(spec_digest(&a), spec_digest(&c));
+    }
+
+    #[test]
+    fn put_get_persist_and_reload() {
+        let dir = temp_dir("roundtrip");
+        let outcomes = sample_outcomes(4);
+        let digest = 0xabcdu64;
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            for outcome in &outcomes {
+                store.put(digest, outcome.seed, outcome).unwrap();
+            }
+            // idempotent second put
+            store.put(digest, outcomes[0].seed, &outcomes[0]).unwrap();
+            assert_eq!(store.len(), 4);
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.loaded_records(), 4);
+        assert_eq!(store.dropped_records(), 0);
+        for outcome in &outcomes {
+            assert_eq!(store.get(digest, outcome.seed), Some(outcome.clone()));
+            assert!(store.contains(digest, outcome.seed));
+        }
+        assert_eq!(store.get(digest, 99), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_repaired_even_when_the_line_decodes() {
+        // A kill can cut an append exactly before the trailing '\n',
+        // leaving a fully decodable line with no newline. The record must
+        // survive, and the shard must be rewritten newline-terminated so a
+        // later append cannot concatenate onto it.
+        let dir = temp_dir("no-newline");
+        let outcomes = sample_outcomes(3);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for outcome in &outcomes {
+                store.put(5, outcome.seed, outcome).unwrap();
+            }
+        }
+        let mut clipped = None;
+        for shard in 0..SHARD_COUNT {
+            let path = shard_path(&dir, shard);
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if text.ends_with('\n') && !text.trim().is_empty() {
+                fs::write(&path, text.trim_end_matches('\n')).unwrap();
+                clipped = Some(path);
+                break;
+            }
+        }
+        let clipped = clipped.expect("some shard has records");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            assert_eq!(store.loaded_records(), 3, "no record may be lost");
+            assert_eq!(store.dropped_records(), 0);
+        }
+        let repaired = fs::read_to_string(&clipped).unwrap();
+        assert!(
+            repaired.ends_with('\n'),
+            "open must restore the shard's trailing newline"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_only_that_trial_is_missing() {
+        let dir = temp_dir("torn");
+        let outcomes = sample_outcomes(3);
+        let digest = 7u64;
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for outcome in &outcomes {
+                store.put(digest, outcome.seed, outcome).unwrap();
+            }
+        }
+        // Tear the final line of one shard in half, as a kill mid-append
+        // would. Find a shard holding a record.
+        let mut torn_seed = None;
+        for shard in 0..SHARD_COUNT {
+            let path = shard_path(&dir, shard);
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                continue;
+            }
+            let last = lines[lines.len() - 1];
+            let seed = json::parse(last).unwrap().get("seed").unwrap().as_u64();
+            let mut kept: String = lines[..lines.len() - 1].join("\n");
+            if !kept.is_empty() {
+                kept.push('\n');
+            }
+            kept.push_str(&last[..last.len() / 2]);
+            fs::write(&path, kept).unwrap();
+            torn_seed = seed;
+            break;
+        }
+        let torn_seed = torn_seed.expect("at least one shard has a record");
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.dropped_records(), 1);
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(digest, torn_seed));
+        for outcome in &outcomes {
+            if outcome.seed != torn_seed {
+                assert!(store.contains(digest, outcome.seed));
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

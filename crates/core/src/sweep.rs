@@ -1,0 +1,445 @@
+//! Resumable sweep orchestration: whole experiment grids as one
+//! work-stealing batch, with streaming aggregation and an optional
+//! persistent result cache.
+//!
+//! A [`SweepSpec`] expands into grid points × seeds — potentially far more
+//! trials than fit comfortably in memory as raw outcomes, and far too
+//! expensive to recompute when a long run is interrupted. [`SweepRunner`]
+//! addresses both:
+//!
+//! * **Work stealing across the whole grid.** All `(grid point, seed)`
+//!   pairs form one global index space that the
+//!   [`BatchRunner`]'s worker pool drains through an atomic cursor, so a
+//!   grid point with slow trials cannot leave cores idle while a cheap
+//!   point finishes — unlike running the points one `run_stats` call at a
+//!   time.
+//! * **Streaming folds.** A collector re-orders finished trials back into
+//!   deterministic (point-major, seed-ascending) order and folds each one
+//!   into a [`BatchStatsFold`] the moment it arrives, then drops it.
+//!   Workers stall once they run more than
+//!   [`REORDER_WINDOW`](crate::batch::REORDER_WINDOW) trials ahead of the
+//!   fold cursor, so aggregates hold `O(window)` outcomes regardless of
+//!   sweep size, yet are bit-identical to a serial loop (see
+//!   [`BatchStatsFold`]).
+//! * **Content-addressed resume.** With a [`ResultStore`] attached, every
+//!   completed trial is persisted under `(spec digest, seed)` and already
+//!   stored trials are served from the cache without touching the engine —
+//!   a killed sweep restarted against the same store re-runs only what is
+//!   missing and reproduces the from-scratch aggregates bit for bit.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use wsync_stats::{quantiles, table::fmt_f64, Table};
+
+use crate::batch::{BatchRunner, BatchStats, BatchStatsFold};
+use crate::report::SyncOutcome;
+use crate::sim::Sim;
+use crate::spec::{ScenarioSpec, SpecError, SweepSpec};
+use crate::store::{ResultStore, StoreError};
+
+/// An error raised while orchestrating a sweep: either the spec side
+/// (invalid grid, unknown names) or the persistence side (store I/O).
+#[derive(Debug)]
+pub enum SweepError {
+    /// Spec expansion or validation failed.
+    Spec(SpecError),
+    /// Reading from or appending to the result store failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spec(e) => write!(f, "{e}"),
+            SweepError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Spec(e) => Some(e),
+            SweepError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for SweepError {
+    fn from(e: SpecError) -> Self {
+        SweepError::Spec(e)
+    }
+}
+
+impl From<StoreError> for SweepError {
+    fn from(e: StoreError) -> Self {
+        SweepError::Store(e)
+    }
+}
+
+/// Aggregate result of one grid point.
+#[derive(Debug, Clone)]
+pub struct PointStats {
+    /// The point's `"field=value"` label (empty for a gridless sweep).
+    pub label: String,
+    /// The fully substituted spec the point ran.
+    pub spec: ScenarioSpec,
+    /// The aggregate statistics, bit-identical to a serial
+    /// [`BatchStats::aggregate`] over the point's seed-ordered outcomes.
+    pub stats: BatchStats,
+    /// Trials served from the result store without executing the engine.
+    pub cached: u64,
+    /// Trials executed by the engine in this run.
+    pub executed: u64,
+}
+
+/// The result of a whole sweep: per-point aggregates plus cache totals.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One entry per grid point, in expansion order.
+    pub points: Vec<PointStats>,
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+}
+
+impl SweepReport {
+    /// The seed range every point ran.
+    pub fn seeds(&self) -> Range<u64> {
+        self.seed_start..self.seed_end
+    }
+
+    /// Total trials served from the result store across all points.
+    pub fn cached_trials(&self) -> u64 {
+        self.points.iter().map(|p| p.cached).sum()
+    }
+
+    /// Total trials executed by the engine across all points.
+    pub fn executed_trials(&self) -> u64 {
+        self.points.iter().map(|p| p.executed).sum()
+    }
+
+    /// Total trials (cached + executed).
+    pub fn total_trials(&self) -> u64 {
+        self.cached_trials() + self.executed_trials()
+    }
+}
+
+/// Streams sweep grids through a [`BatchRunner`] worker pool with optional
+/// content-addressed persistence. See the module docs for the execution
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunner {
+    runner: BatchRunner,
+    store: Option<Arc<ResultStore>>,
+    reuse: bool,
+}
+
+impl SweepRunner {
+    /// A runner on the default worker pool, with no store.
+    pub fn new() -> Self {
+        SweepRunner {
+            runner: BatchRunner::new(),
+            store: None,
+            reuse: false,
+        }
+    }
+
+    /// A runner on an explicit worker pool.
+    pub fn with_runner(runner: BatchRunner) -> Self {
+        SweepRunner {
+            runner,
+            store: None,
+            reuse: false,
+        }
+    }
+
+    /// Attaches a result store: completed trials are persisted, and
+    /// already-stored trials are served from the cache without executing
+    /// the engine (the `--resume` behaviour).
+    pub fn store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self.reuse = true;
+        self
+    }
+
+    /// Attaches a result store in record-only mode: completed trials are
+    /// persisted but existing records are *not* reused — every trial
+    /// executes (a fresh `--out` run that still leaves a resumable store
+    /// behind).
+    pub fn record_only(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self.reuse = false;
+        self
+    }
+
+    /// Expands `sweep` and runs every (grid point × seed) trial.
+    pub fn run(&self, sweep: &SweepSpec) -> Result<SweepReport, SweepError> {
+        let seeds = sweep.seeds()?;
+        let points = sweep
+            .expand()?
+            .into_iter()
+            .map(|point| (point.label, point.spec))
+            .collect();
+        self.run_points(points, seeds)
+    }
+
+    /// Runs an explicit list of labelled grid points over a seed range.
+    /// This is the form the experiment modules use for grids that are not
+    /// an axis cross product (paired parameters, per-point protocols).
+    pub fn run_points(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+    ) -> Result<SweepReport, SweepError> {
+        self.run_points_each(points, seeds, |_, _| {})
+    }
+
+    /// Like [`run_points`](Self::run_points), additionally invoking `each`
+    /// for every outcome — in deterministic (point index, seed) order,
+    /// exactly once, before the outcome is dropped. Use this for bespoke
+    /// folds that need more than [`BatchStats`] without collecting
+    /// outcomes.
+    pub fn run_points_each<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        mut each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome),
+    {
+        let sims: Vec<Sim> = points
+            .iter()
+            .map(|(_, spec)| Sim::from_spec(spec))
+            .collect::<Result<_, SpecError>>()?;
+        // Each Sim already computed its canonical spec digest at build time.
+        let digests: Vec<u64> = sims.iter().map(Sim::digest).collect();
+        let seed_count = seeds.end.saturating_sub(seeds.start);
+        let total = points.len() as u64 * seed_count;
+        let mut folds: Vec<BatchStatsFold> = points.iter().map(|_| BatchStatsFold::new()).collect();
+        let mut cached: Vec<u64> = vec![0; points.len()];
+        let mut executed: Vec<u64> = vec![0; points.len()];
+
+        // Every (point, seed) pair is one index in a single queue drained
+        // by the BatchRunner's streaming core: workers steal trials
+        // globally (atomic cursor, bounded reorder window) and the
+        // collector hands results back here in deterministic (point,
+        // seed) order — each outcome is folded and dropped immediately,
+        // so memory stays O(reorder window) regardless of sweep size.
+        let chunk = seed_count.max(1);
+        self.runner
+            .try_map_each(
+                0..total,
+                |idx| -> Result<(SyncOutcome, bool), StoreError> {
+                    let (point, seed) = ((idx / chunk) as usize, seeds.start + idx % chunk);
+                    if self.reuse {
+                        if let Some(store) = &self.store {
+                            if let Some(hit) = store.get(digests[point], seed) {
+                                return Ok((hit, true));
+                            }
+                        }
+                    }
+                    let outcome = sims[point].run_one(seed);
+                    if let Some(store) = &self.store {
+                        store.put(digests[point], seed, &outcome)?;
+                    }
+                    Ok((outcome, false))
+                },
+                |idx, (outcome, hit)| {
+                    let point = (idx / chunk) as usize;
+                    if hit {
+                        cached[point] += 1;
+                    } else {
+                        executed[point] += 1;
+                    }
+                    each(point, &outcome);
+                    folds[point].push(&outcome);
+                },
+            )
+            .map_err(SweepError::Store)?;
+
+        let points = points
+            .into_iter()
+            .zip(folds)
+            .zip(cached.into_iter().zip(executed))
+            .map(|(((label, spec), fold), (cached, executed))| PointStats {
+                label,
+                spec,
+                stats: fold.finish(),
+                cached,
+                executed,
+            })
+            .collect();
+        Ok(SweepReport {
+            points,
+            seed_start: seeds.start,
+            seed_end: seeds.end,
+        })
+    }
+}
+
+/// Renders the sync-time quantile table of a seed-ordered outcome slice:
+/// one row for the worst per-node rounds-to-sync, one for the global
+/// completion round, with the standard quantile columns. Shared by the
+/// statistical golden tests and the wrapper-equivalence tests so both pin
+/// the same rendering.
+pub fn sync_time_quantile_table(title: &str, outcomes: &[SyncOutcome]) -> Table {
+    const PROBS: [f64; 6] = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    let mut table = Table::new(
+        title,
+        &["metric", "trials", "q0", "q25", "q50", "q75", "q90", "q100"],
+    );
+    let rows: [(&str, Vec<f64>); 2] = [
+        (
+            "rounds to sync",
+            outcomes
+                .iter()
+                .filter_map(|o| o.max_rounds_to_sync().map(|r| r as f64))
+                .collect(),
+        ),
+        (
+            "completion round",
+            outcomes
+                .iter()
+                .filter_map(|o| o.completion_round().map(|r| r as f64))
+                .collect(),
+        ),
+    ];
+    for (metric, samples) in rows {
+        let qs = quantiles(&samples, &PROBS);
+        let mut cells = vec![metric.to_string(), samples.len().to_string()];
+        cells.extend(qs.iter().map(|&q| fmt_f64(q)));
+        table.push_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sweep() -> SweepSpec {
+        let base = ScenarioSpec::new("trapdoor", 6, 8, 1).with_adversary("random");
+        SweepSpec::new(base, 0..5).with_axis("disruption_bound", vec![1u64.into(), 3u64.into()])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-sweep-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sweep_runner_matches_per_point_run_stats() {
+        let sweep = sweep();
+        let report = SweepRunner::with_runner(BatchRunner::with_workers(4))
+            .run(&sweep)
+            .unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.seeds(), 0..5);
+        assert_eq!(report.executed_trials(), 10);
+        assert_eq!(report.cached_trials(), 0);
+        for (point, (label, sim)) in report.points.iter().zip(Sim::from_sweep(&sweep).unwrap()) {
+            assert_eq!(point.label, label);
+            assert_eq!(point.stats, sim.run_stats(&BatchRunner::serial()));
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree_bit_for_bit() {
+        let sweep = sweep();
+        let serial = SweepRunner::with_runner(BatchRunner::serial())
+            .run(&sweep)
+            .unwrap();
+        let parallel = SweepRunner::with_runner(BatchRunner::with_workers(8))
+            .run(&sweep)
+            .unwrap();
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn each_callback_sees_every_outcome_in_order() {
+        let sweep = sweep();
+        let points: Vec<(String, ScenarioSpec)> = sweep
+            .expand()
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.label, p.spec))
+            .collect();
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        SweepRunner::with_runner(BatchRunner::with_workers(4))
+            .run_points_each(points, 0..5, |point, outcome| {
+                seen.push((point, outcome.seed));
+            })
+            .unwrap();
+        let expected: Vec<(usize, u64)> = (0..2usize)
+            .flat_map(|p| (0..5u64).map(move |s| (p, s)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn resumed_sweep_executes_nothing_and_reproduces_aggregates() {
+        let dir = temp_dir("resume");
+        let sweep = sweep();
+        let fresh = SweepRunner::new().run(&sweep).unwrap();
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let recorded = SweepRunner::new()
+            .store(Arc::clone(&store))
+            .run(&sweep)
+            .unwrap();
+        assert_eq!(recorded.executed_trials(), 10);
+        // reopen: everything is served from the store, aggregates identical
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        assert_eq!(store.loaded_records(), 10);
+        let resumed = SweepRunner::new().store(store).run(&sweep).unwrap();
+        assert_eq!(resumed.executed_trials(), 0);
+        assert_eq!(resumed.cached_trials(), 10);
+        for ((a, b), c) in fresh
+            .points
+            .iter()
+            .zip(&recorded.points)
+            .zip(&resumed.points)
+        {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.stats, c.stats);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_only_mode_ignores_existing_records() {
+        let dir = temp_dir("record-only");
+        let sweep = sweep();
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        SweepRunner::new()
+            .store(Arc::clone(&store))
+            .run(&sweep)
+            .unwrap();
+        let again = SweepRunner::new().record_only(store).run(&sweep).unwrap();
+        assert_eq!(again.cached_trials(), 0);
+        assert_eq!(again.executed_trials(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quantile_table_has_stable_shape() {
+        let sim = Sim::from_spec(&ScenarioSpec::new("trapdoor", 6, 8, 1).with_adversary("random"))
+            .unwrap();
+        let outcomes: Vec<SyncOutcome> = (0..4).map(|s| sim.run_one(s)).collect();
+        let table = sync_time_quantile_table("demo", &outcomes);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.rows()[0][0], "rounds to sync");
+        assert_eq!(table.rows()[1][0], "completion round");
+    }
+}

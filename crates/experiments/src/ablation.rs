@@ -12,17 +12,12 @@
 //! `trapdoor` factory's declarative parameters — the same knobs a JSON spec
 //! file can sweep via `run_experiments --spec`.
 
-use wsync_core::batch::{BatchRunner, BatchStats};
-use wsync_core::sim::Sim;
 use wsync_core::spec::{ScenarioSpec, SweepSpec};
+use wsync_core::sweep::SweepRunner;
 use wsync_core::trapdoor::TrapdoorConfig;
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
-
-fn measure(sim: &Sim) -> BatchStats {
-    sim.run_stats(&BatchRunner::new())
-}
 
 /// A1 — epoch-length constant sweep.
 pub fn a1_epoch_constant(effort: Effort) -> ExperimentReport {
@@ -48,13 +43,23 @@ pub fn a1_epoch_constant(effort: Effort) -> ExperimentReport {
             "clean rate",
         ],
     );
-    for &c in &constants {
-        // sweep both the regular and the final epoch constant together
-        let spec = ScenarioSpec::new("trapdoor", n_nodes, f, t)
-            .with_adversary("random")
-            .with_protocol_param("epoch_constant", c)
-            .with_protocol_param("final_epoch_constant", c);
-        let stats = measure(&Sim::from_spec(&spec).expect("valid spec").seeds(0..seeds));
+    // The paired (epoch_constant, final_epoch_constant) grid is not an
+    // axis cross product, so it runs as an explicit point list.
+    let points = constants
+        .iter()
+        .map(|&c| {
+            let spec = ScenarioSpec::new("trapdoor", n_nodes, f, t)
+                .with_adversary("random")
+                .with_protocol_param("epoch_constant", c)
+                .with_protocol_param("final_epoch_constant", c);
+            (format!("c={c}"), spec)
+        })
+        .collect();
+    let sweep = SweepRunner::new()
+        .run_points(points, 0..seeds)
+        .expect("valid specs");
+    for (&c, point) in constants.iter().zip(&sweep.points) {
+        let stats = &point.stats;
         table.push_row(vec![
             fmt(c),
             fmt(stats.completion_rounds.mean),
@@ -101,9 +106,9 @@ pub fn a2_frequency_limit(effort: Effort) -> ExperimentReport {
         "protocol.frequency_limit",
         limits.iter().map(|&(_, limit)| limit.into()).collect(),
     );
-    let sims = Sim::from_sweep(&sweep).expect("valid sweep");
-    for ((label, _), (_, sim)) in limits.iter().zip(&sims) {
-        let stats = measure(sim);
+    let result = SweepRunner::new().run(&sweep).expect("valid sweep");
+    for ((label, _), point) in limits.iter().zip(&result.points) {
+        let stats = &point.stats;
         table.push_row(vec![
             label.clone(),
             fmt(stats.completion_rounds.mean),

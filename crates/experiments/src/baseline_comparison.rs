@@ -8,9 +8,9 @@
 //! the wake-up baseline needs a conservative fixed deadline, and the
 //! deterministic hopper is vulnerable to synchronized-collision patterns.
 
-use wsync_core::batch::BatchRunner;
-use wsync_core::sim::Sim;
+use wsync_core::batch::BatchStats;
 use wsync_core::spec::ScenarioSpec;
+use wsync_core::sweep::SweepRunner;
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
@@ -27,15 +27,13 @@ pub struct BaselineRow {
     pub clean_rate: f64,
 }
 
-fn aggregate(runner: &BatchRunner, spec: &ScenarioSpec, seeds: u64) -> BaselineRow {
-    let stats = Sim::from_spec(spec)
-        .expect("valid experiment spec")
-        .seeds(0..seeds)
-        .run_stats(runner);
-    BaselineRow {
-        mean_completion: stats.completion_rounds.mean,
-        sync_rate: stats.sync_rate(),
-        clean_rate: stats.clean_rate(),
+impl BaselineRow {
+    fn from_stats(stats: &BatchStats) -> Self {
+        BaselineRow {
+            mean_completion: stats.completion_rounds.mean,
+            sync_rate: stats.sync_rate(),
+            clean_rate: stats.clean_rate(),
+        }
     }
 }
 
@@ -58,23 +56,33 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
         format!("Protocol comparison (n={n_nodes}, F={f}, random adversary, completion rounds / sync rate / clean rate)"),
         &["t", "protocol", "mean completion", "sync rate", "clean rate"],
     );
+    // The full t × protocol grid runs as one work-stealing sweep, so the
+    // slow starving baselines cannot serialize the experiment.
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
     for &t in &ts {
-        let runner = BatchRunner::new();
         for protocol in protocols {
             // Cap the run length so the starving single-frequency baseline
             // does not dominate the experiment's running time.
             let spec = ScenarioSpec::new(protocol, n_nodes, f, t)
                 .with_adversary("random")
                 .with_max_rounds(60_000);
-            let row = aggregate(&runner, &spec, seeds);
-            table.push_row(vec![
-                t.to_string(),
-                protocol.to_string(),
-                fmt(row.mean_completion),
-                format!("{:.0}%", row.sync_rate * 100.0),
-                format!("{:.0}%", row.clean_rate * 100.0),
-            ]);
+            labels.push((t, protocol));
+            points.push((format!("t={t}/{protocol}"), spec));
         }
+    }
+    let sweep = SweepRunner::new()
+        .run_points(points, 0..seeds)
+        .expect("valid experiment specs");
+    for ((t, protocol), point) in labels.into_iter().zip(&sweep.points) {
+        let row = BaselineRow::from_stats(&point.stats);
+        table.push_row(vec![
+            t.to_string(),
+            protocol.to_string(),
+            fmt(row.mean_completion),
+            format!("{:.0}%", row.sync_rate * 100.0),
+            format!("{:.0}%", row.clean_rate * 100.0),
+        ]);
     }
     report.push_table(table);
     report.note("the Trapdoor Protocol should keep a near-100% clean rate at every t, while the single-frequency baseline degenerates (many self-elected leaders) once t ≥ 1 and the deterministic hopper loses clean runs to repeated collisions");

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p wsync-experiments --bin run_experiments -- <ID|all> [smoke|quick|full] [--markdown]
-//! cargo run --release -p wsync-experiments --bin run_experiments -- --spec <file.json> [smoke|quick|full] [--markdown]
+//! cargo run --release -p wsync-experiments --bin run_experiments -- --spec <file.json> [smoke|quick|full] [--markdown] [--out <dir> [--resume]]
 //! ```
 //!
 //! `<ID>` is an experiment identifier (`FIG1`, `FIG2`, `LB1`, `LB2`, `LB3`,
@@ -17,14 +17,24 @@
 //! or a `SweepSpec`, see `examples/specs/`) with zero recompilation: the
 //! protocol and adversary names resolve against the registry at run time.
 //! For a bare `ScenarioSpec` the effort level picks the seed count.
+//!
+//! `--out <dir>` persists every completed trial of a `--spec` run into a
+//! content-addressed result store (sharded JSONL files under `<dir>`).
+//! `--resume` additionally serves already-stored trials from that store:
+//! a sweep that was killed midway re-runs only the missing trials and
+//! prints tables bit-identical to an uninterrupted run (cache totals go
+//! to stderr). Without `--resume`, `--out` refuses a non-empty store so a
+//! stale cache is never mixed into a run silently.
 
 use std::env;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use wsync_core::store::ResultStore;
 use wsync_experiments::output::{Effort, ExperimentReport};
 use wsync_experiments::{
     ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds, run_all,
-    run_spec_file, samaritan_adaptive, trapdoor_scaling, weight_bound,
+    run_spec_file_stored, samaritan_adaptive, trapdoor_scaling, weight_bound, StoreMode,
 };
 
 fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
@@ -51,21 +61,42 @@ fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
     Some(report)
 }
 
+/// Extracts a value-taking `--flag <value>` pair from the argument list.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(value) if !value.starts_with("--") => Ok(Some(value.clone())),
+            _ => Err(format!("{flag} requires an argument")),
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
-    let spec_path: Option<String> =
-        args.iter()
-            .position(|a| a == "--spec")
-            .map(|i| match args.get(i + 1) {
-                Some(path) if !path.starts_with("--") => path.clone(),
-                _ => String::new(),
-            });
-    if let Some(ref path) = spec_path {
-        if path.is_empty() {
-            eprintln!("--spec requires a file path argument");
+    let resume = args.iter().any(|a| a == "--resume");
+    let spec_path = match flag_value(&args, "--spec") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let out_dir = match flag_value(&args, "--out") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if out_dir.is_some() && spec_path.is_none() {
+        eprintln!("--out is only supported together with --spec");
+        return ExitCode::FAILURE;
+    }
+    if resume && out_dir.is_none() {
+        eprintln!("--resume requires --out <dir>");
+        return ExitCode::FAILURE;
     }
     let positional: Vec<&String> = {
         let mut skip_next = false;
@@ -75,7 +106,7 @@ fn main() -> ExitCode {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--spec" {
+                if *a == "--spec" || *a == "--out" {
                     skip_next = true;
                     return false;
                 }
@@ -103,12 +134,52 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let effort = Effort::from_arg(effort_arg);
-        match run_spec_file(&path, 0..effort.seeds()) {
-            Ok(report) => {
+        let store_mode = match &out_dir {
+            None => StoreMode::None,
+            Some(dir) => {
+                let store = match ResultStore::open(dir) {
+                    Ok(store) => store,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if resume {
+                    if store.dropped_records() > 0 {
+                        eprintln!(
+                            "result store {dir}: dropped {} torn/corrupt record(s); the \
+                             affected trials will be recomputed",
+                            store.dropped_records()
+                        );
+                    }
+                    StoreMode::Resume(Arc::new(store))
+                } else if !store.is_empty() {
+                    eprintln!(
+                        "result store {dir} already holds {} record(s); pass --resume to \
+                         continue the sweep or choose a fresh --out directory",
+                        store.len()
+                    );
+                    return ExitCode::FAILURE;
+                } else {
+                    StoreMode::Record(Arc::new(store))
+                }
+            }
+        };
+        match run_spec_file_stored(&path, 0..effort.seeds(), &store_mode) {
+            Ok((report, totals)) => {
                 if markdown {
                     println!("{}", report.to_markdown());
                 } else {
                     println!("{}", report.to_plain_text());
+                }
+                if let Some(dir) = &out_dir {
+                    // Cache accounting goes to stderr only: stdout must stay
+                    // bit-identical between fresh and resumed runs.
+                    eprintln!(
+                        "result store {dir}: {} trial(s) served from cache, {} executed",
+                        totals.cached_trials(),
+                        totals.executed_trials()
+                    );
                 }
                 return ExitCode::SUCCESS;
             }

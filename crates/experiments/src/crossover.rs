@@ -6,9 +6,8 @@
 //! that — it should win for small `t′` and lose (by roughly a `log N`
 //! factor) when `t′` approaches `t`.
 
-use wsync_core::batch::BatchRunner;
-use wsync_core::sim::Sim;
 use wsync_core::spec::{ComponentSpec, ScenarioSpec};
+use wsync_core::sweep::SweepRunner;
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::Table;
 
@@ -40,28 +39,29 @@ pub fn x1_crossover(effort: Effort) -> ExperimentReport {
             "winner",
         ],
     );
-    let mut gs_wins = 0usize;
+    // Both protocols at every disruption level form one work-stealing
+    // sweep: grid points are interleaved (GS, Trapdoor) per t'.
+    let mut points = Vec::new();
     for &t_actual in &t_actuals {
         let base = ScenarioSpec::new("good-samaritan", n_nodes, f, t)
             .with_adversary(
                 ComponentSpec::named("oblivious-random").with("t_actual", u64::from(t_actual)),
             )
             .with_activation(ActivationSchedule::Simultaneous);
-        let runner = BatchRunner::new();
-        let gs_stats = Sim::from_spec(&base)
-            .expect("valid spec")
-            .seeds(0..seeds)
-            .run_stats(&runner);
         let td_spec = ScenarioSpec {
             protocol: ComponentSpec::named("trapdoor"),
-            ..base
+            ..base.clone()
         };
-        let td_stats = Sim::from_spec(&td_spec)
-            .expect("valid spec")
-            .seeds(0..seeds)
-            .run_stats(&runner);
-        let gs = gs_stats.completion_rounds.mean;
-        let td = td_stats.completion_rounds.mean;
+        points.push((format!("gs t'={t_actual}"), base));
+        points.push((format!("td t'={t_actual}"), td_spec));
+    }
+    let sweep = SweepRunner::new()
+        .run_points(points, 0..seeds)
+        .expect("valid specs");
+    let mut gs_wins = 0usize;
+    for (i, &t_actual) in t_actuals.iter().enumerate() {
+        let gs = sweep.points[2 * i].stats.completion_rounds.mean;
+        let td = sweep.points[2 * i + 1].stats.completion_rounds.mean;
         let winner = if gs < td {
             "good-samaritan"
         } else {

@@ -37,7 +37,9 @@ pub mod trapdoor_scaling;
 pub mod weight_bound;
 
 pub use output::{Effort, ExperimentReport};
-pub use spec_run::{run_spec, run_spec_file, SpecFile};
+pub use spec_run::{
+    run_spec, run_spec_file, run_spec_file_stored, run_spec_stored, SpecFile, StoreMode,
+};
 
 /// Runs every experiment at the given effort level and returns the reports
 /// in EXPERIMENTS.md order.

@@ -3,10 +3,9 @@
 //! adversary disrupting at most `t′ < t` frequencies) and in `O(F·log³N)`
 //! rounds in every execution.
 
-use wsync_core::batch::BatchRunner;
 use wsync_core::good_samaritan::GoodSamaritanConfig;
-use wsync_core::sim::Sim;
 use wsync_core::spec::{ComponentSpec, ScenarioSpec};
+use wsync_core::sweep::SweepRunner;
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
@@ -17,34 +16,38 @@ use crate::output::{fmt, Effort, ExperimentReport};
 /// finishing during the optimistic portion, and the fraction of clean runs.
 /// `config` supplies the schedule thresholds (`fallback_start`) used to
 /// classify an execution as optimistic; it mirrors the spec's parameters.
+///
+/// The bespoke optimistic/clean counters fold through
+/// [`SweepRunner::run_points_each`], which streams every outcome past the
+/// closure in seed order and then drops it — no outcome vector is held.
 pub fn measure_samaritan(
     spec: &ScenarioSpec,
     config: GoodSamaritanConfig,
     seeds: u64,
 ) -> (Summary, f64, f64) {
-    let outcomes = Sim::from_spec(spec)
-        .expect("valid experiment spec")
-        .seeds(0..seeds)
-        .run(&BatchRunner::new());
-    let mut rounds = Vec::new();
     let mut optimistic = 0usize;
     let mut clean = 0usize;
-    for outcome in &outcomes {
-        if let Some(r) = outcome.completion_round() {
-            rounds.push(r as f64);
-            if r < config.fallback_start() {
-                optimistic += 1;
-            }
-        }
-        if outcome.result.all_synchronized
-            && outcome.leaders >= 1
-            && outcome.properties.safety_holds()
-        {
-            clean += 1;
-        }
-    }
+    let report = SweepRunner::new()
+        .run_points_each(
+            vec![(String::new(), spec.clone())],
+            0..seeds,
+            |_, outcome| {
+                if let Some(r) = outcome.completion_round() {
+                    if r < config.fallback_start() {
+                        optimistic += 1;
+                    }
+                }
+                if outcome.result.all_synchronized
+                    && outcome.leaders >= 1
+                    && outcome.properties.safety_holds()
+                {
+                    clean += 1;
+                }
+            },
+        )
+        .expect("valid experiment spec");
     (
-        Summary::from_slice(&rounds),
+        report.points[0].stats.completion_rounds,
         optimistic as f64 / seeds as f64,
         clean as f64 / seeds as f64,
     )

@@ -2,15 +2,25 @@
 //!
 //! A spec file holds either a single [`ScenarioSpec`] or a [`SweepSpec`]
 //! (recognised by its `"base"` key). Either way the file runs with zero
-//! recompilation: names resolve against the registry, trials shard across
-//! cores via [`BatchRunner`], and the aggregate statistics come back as an
+//! recompilation: names resolve against the registry, all (grid point ×
+//! seed) trials stream through a [`SweepRunner`] with work stealing across
+//! cores, and the aggregate statistics come back as an
 //! [`ExperimentReport`] table — the same output path as the built-in
 //! experiments. Example files live under `examples/specs/`.
+//!
+//! With `--out <dir>` the runner persists every completed trial into a
+//! content-addressed [`ResultStore`]; with `--resume` it additionally
+//! serves already-stored trials from that store, so an interrupted sweep
+//! re-runs only what is missing and reproduces the uninterrupted tables
+//! bit for bit (the cache totals go to stderr, never into the report, so
+//! resumed and fresh runs print identical tables).
 
-use wsync_core::batch::BatchRunner;
+use std::sync::Arc;
+
 use wsync_core::json;
-use wsync_core::sim::Sim;
 use wsync_core::spec::{ScenarioSpec, SpecError, SweepSpec};
+use wsync_core::store::ResultStore;
+use wsync_core::sweep::{SweepError, SweepReport, SweepRunner};
 use wsync_stats::Table;
 
 use crate::output::{fmt, ExperimentReport};
@@ -46,6 +56,30 @@ impl SpecFile {
     }
 }
 
+/// How a spec run should use a persistent [`ResultStore`], if at all.
+#[derive(Debug, Clone, Default)]
+pub enum StoreMode {
+    /// No persistence: every trial executes, nothing is written.
+    #[default]
+    None,
+    /// Record every completed trial into the store but execute everything
+    /// (`--out` without `--resume`).
+    Record(Arc<ResultStore>),
+    /// Record trials *and* serve already-stored ones from the cache
+    /// (`--out` with `--resume`).
+    Resume(Arc<ResultStore>),
+}
+
+impl StoreMode {
+    fn runner(&self) -> SweepRunner {
+        match self {
+            StoreMode::None => SweepRunner::new(),
+            StoreMode::Record(store) => SweepRunner::new().record_only(Arc::clone(store)),
+            StoreMode::Resume(store) => SweepRunner::new().store(Arc::clone(store)),
+        }
+    }
+}
+
 /// Runs a parsed spec file and renders one aggregate row per sweep point.
 ///
 /// `source` labels the report (typically the file name); `default_seeds`
@@ -55,9 +89,27 @@ pub fn run_spec(
     source: &str,
     default_seeds: std::ops::Range<u64>,
 ) -> Result<ExperimentReport, SpecError> {
+    match run_spec_stored(file, source, default_seeds, &StoreMode::None) {
+        Ok((report, _)) => Ok(report),
+        Err(SweepError::Spec(e)) => Err(e),
+        Err(SweepError::Store(e)) => unreachable!("storeless run raised a store error: {e}"),
+    }
+}
+
+/// Runs a parsed spec file with optional store persistence, returning both
+/// the rendered report and the [`SweepReport`] (per-point cache/executed
+/// totals). The rendered report is **independent of the store mode** — a
+/// resumed run prints tables bit-identical to an uninterrupted one; cache
+/// accounting lives only in the returned [`SweepReport`].
+pub fn run_spec_stored(
+    file: SpecFile,
+    source: &str,
+    default_seeds: std::ops::Range<u64>,
+    store: &StoreMode,
+) -> Result<(ExperimentReport, SweepReport), SweepError> {
     let sweep = file.into_sweep(default_seeds);
     let seeds = sweep.seeds()?;
-    let sims = Sim::from_sweep(&sweep)?;
+    let result = store.runner().run(&sweep)?;
     let mut report = ExperimentReport::new("SPEC", &format!("declarative scenario run: {source}"));
     let mut table = Table::new(
         format!(
@@ -77,17 +129,16 @@ pub fn run_spec(
             "mean completion",
         ],
     );
-    let runner = BatchRunner::new();
-    for (label, sim) in &sims {
-        let stats = sim.run_stats(&runner);
+    for point in &result.points {
+        let stats = &point.stats;
         table.push_row(vec![
-            if label.is_empty() {
+            if point.label.is_empty() {
                 "(base)".to_string()
             } else {
-                label.clone()
+                point.label.clone()
             },
-            sim.protocol().name().to_string(),
-            sim.scenario().adversary.name().to_string(),
+            point.spec.protocol.name().to_string(),
+            point.spec.adversary.name().to_string(),
             stats.trials.to_string(),
             format!("{:.0}%", stats.sync_rate() * 100.0),
             format!("{:.0}%", stats.single_leader_rate() * 100.0),
@@ -97,11 +148,11 @@ pub fn run_spec(
     }
     report.push_table(table);
     report.note(format!(
-        "{} sweep point(s) × {} seed(s), run via Sim::from_spec with zero recompilation",
-        sims.len(),
+        "{} sweep point(s) × {} seed(s), streamed through SweepRunner with zero recompilation",
+        result.points.len(),
         seeds.end - seeds.start
     ));
-    Ok(report)
+    Ok((report, result))
 }
 
 /// Reads, parses, and runs a spec file from disk.
@@ -109,10 +160,20 @@ pub fn run_spec_file(
     path: &str,
     default_seeds: std::ops::Range<u64>,
 ) -> Result<ExperimentReport, String> {
+    run_spec_file_stored(path, default_seeds, &StoreMode::None).map(|(report, _)| report)
+}
+
+/// Reads, parses, and runs a spec file from disk with optional store
+/// persistence (the `--out` / `--resume` path of `run_experiments`).
+pub fn run_spec_file_stored(
+    path: &str,
+    default_seeds: std::ops::Range<u64>,
+    store: &StoreMode,
+) -> Result<(ExperimentReport, SweepReport), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read spec file {path}: {e}"))?;
     let file = SpecFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    run_spec(file, path, default_seeds).map_err(|e| format!("{path}: {e}"))
+    run_spec_stored(file, path, default_seeds, store).map_err(|e| format!("{path}: {e}"))
 }
 
 #[cfg(test)]
@@ -161,6 +222,41 @@ mod tests {
         assert_eq!(rows[1][0], "disruption_bound=2");
         // the sweep's own seed range wins over the default
         assert_eq!(rows[0][3], "3");
+    }
+
+    #[test]
+    fn stored_spec_runs_resume_with_identical_reports() {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-specrun-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = run_spec(SpecFile::parse(SWEEP_JSON).unwrap(), "inline", 0..1).unwrap();
+
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (recorded, totals) = run_spec_stored(
+            SpecFile::parse(SWEEP_JSON).unwrap(),
+            "inline",
+            0..1,
+            &StoreMode::Record(store),
+        )
+        .unwrap();
+        assert_eq!(totals.executed_trials(), 6);
+        assert_eq!(recorded.to_markdown(), fresh.to_markdown());
+
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (resumed, totals) = run_spec_stored(
+            SpecFile::parse(SWEEP_JSON).unwrap(),
+            "inline",
+            0..1,
+            &StoreMode::Resume(store),
+        )
+        .unwrap();
+        assert_eq!(totals.executed_trials(), 0);
+        assert_eq!(totals.cached_trials(), 6);
+        assert_eq!(resumed.to_markdown(), fresh.to_markdown());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,9 +9,8 @@
 //! claimed shape is reproduced.
 
 use wsync_analysis::formulas::Bounds;
-use wsync_core::batch::BatchRunner;
-use wsync_core::sim::Sim;
 use wsync_core::spec::ScenarioSpec;
+use wsync_core::sweep::SweepRunner;
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
@@ -19,13 +18,14 @@ use crate::output::{fmt, Effort, ExperimentReport};
 
 /// Measures the mean (over seeds) of the worst per-node rounds-to-sync for a
 /// spec, along with the fraction of clean runs (all synced, one leader,
-/// no safety violations). Trials are sharded across cores by
-/// [`BatchRunner`]; the aggregates are identical to a serial seed loop.
+/// no safety violations). Trials stream through a [`SweepRunner`] (sharded
+/// across cores, folded incrementally); the aggregates are identical to a
+/// serial seed loop.
 pub fn measure_trapdoor(spec: &ScenarioSpec, seeds: u64) -> (Summary, f64) {
-    let stats = Sim::from_spec(spec)
-        .expect("valid experiment spec")
-        .seeds(0..seeds)
-        .run_stats(&BatchRunner::new());
+    let report = SweepRunner::new()
+        .run_points(vec![(String::new(), spec.clone())], 0..seeds)
+        .expect("valid experiment spec");
+    let stats = &report.points[0].stats;
     (stats.rounds_to_sync, stats.clean_rate())
 }
 
@@ -51,8 +51,21 @@ fn scaling_report(
     );
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
-    for (label, spec, bounds) in &points {
-        let (summary, clean) = measure_trapdoor(spec, seeds);
+    // One SweepRunner pass over the whole grid: the worker pool steals
+    // (point × seed) trials globally, so a slow sweep point cannot leave
+    // cores idle while a cheap one drains.
+    let sweep = SweepRunner::new()
+        .run_points(
+            points
+                .iter()
+                .map(|(label, spec, _)| (label.clone(), spec.clone()))
+                .collect(),
+            0..seeds,
+        )
+        .expect("valid experiment specs");
+    for ((label, _, bounds), point) in points.iter().zip(&sweep.points) {
+        let summary = point.stats.rounds_to_sync;
+        let clean = point.stats.clean_rate();
         let expr = bounds.theorem10();
         let ratio = if expr > 0.0 { summary.mean / expr } else { 0.0 };
         measured.push(summary.mean);
@@ -187,30 +200,36 @@ pub fn t10d_properties(effort: Effort) -> ExperimentReport {
         ("staggered", ActivationSchedule::Staggered { gap: 11 }),
         ("window", ActivationSchedule::UniformWindow { window: 100 }),
     ];
-    let mut total_runs = 0u64;
-    let mut total_single_leader = 0u64;
+    let mut combos = Vec::new();
+    let mut points = Vec::new();
     for adversary in &adversaries {
         for (act_name, activation) in &activations {
             let spec = ScenarioSpec::new("trapdoor", 24, 16, 6)
                 .with_adversary(*adversary)
                 .with_activation(activation.clone());
-            let stats = Sim::from_spec(&spec)
-                .expect("valid experiment spec")
-                .seeds(1000..1000 + seeds)
-                .run_stats(&BatchRunner::new());
-            let (synced, one_leader, violations) =
-                (stats.synced, stats.single_leader, stats.total_violations);
-            total_runs += seeds;
-            total_single_leader += one_leader;
-            table.push_row(vec![
-                adversary.to_string(),
-                act_name.to_string(),
-                seeds.to_string(),
-                format!("{synced}/{seeds}"),
-                format!("{one_leader}/{seeds}"),
-                violations.to_string(),
-            ]);
+            combos.push((adversary.to_string(), act_name.to_string()));
+            points.push((format!("{adversary}/{act_name}"), spec));
         }
+    }
+    let sweep = SweepRunner::new()
+        .run_points(points, 1000..1000 + seeds)
+        .expect("valid experiment specs");
+    let mut total_runs = 0u64;
+    let mut total_single_leader = 0u64;
+    for ((adversary, act_name), point) in combos.into_iter().zip(&sweep.points) {
+        let stats = &point.stats;
+        let (synced, one_leader, violations) =
+            (stats.synced, stats.single_leader, stats.total_violations);
+        total_runs += seeds;
+        total_single_leader += one_leader;
+        table.push_row(vec![
+            adversary,
+            act_name,
+            seeds.to_string(),
+            format!("{synced}/{seeds}"),
+            format!("{one_leader}/{seeds}"),
+            violations.to_string(),
+        ]);
     }
     report.push_table(table);
     report.note(format!(

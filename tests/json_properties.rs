@@ -1,0 +1,160 @@
+//! Property tests for the dependency-free JSON core (`wsync_core::json`).
+//!
+//! The JSON module is the wire format of the declarative spec layer *and*
+//! of the persistent result store, so two properties must hold
+//! unconditionally:
+//!
+//! 1. **Round trip** — any value tree serializes (pretty and compact) to
+//!    text that parses back to an identical tree; and serialization is
+//!    canonical (serialize → parse → serialize is a fixed point).
+//! 2. **Totality on garbage** — malformed documents (truncated, duplicate
+//!    keys, bad escapes, pathological nesting) are *errors*, never panics
+//!    or stack overflows: a torn store shard or hand-edited spec file must
+//!    degrade into a typed failure.
+
+use proptest::prelude::*;
+use wireless_sync::sync::json::{self, Value, MAX_NESTING_DEPTH};
+
+/// A strategy generating arbitrary JSON value trees up to a given depth.
+#[derive(Clone, Copy)]
+struct ArbValue {
+    depth: u32,
+}
+
+impl Strategy for ArbValue {
+    type Value = Value;
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_value(rng, self.depth)
+    }
+}
+
+/// Characters deliberately including every escape class the writer knows.
+const STRING_POOL: &[char] = &[
+    'a', 'B', '7', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{08}', '\u{0c}', '\u{1b}', 'é', '中',
+    '😀', '\u{0}',
+];
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let len = (rng.next_u64() % 12) as usize;
+    (0..len)
+        .map(|_| STRING_POOL[(rng.next_u64() % STRING_POOL.len() as u64) as usize])
+        .collect()
+}
+
+fn gen_finite_f64(rng: &mut TestRng) -> f64 {
+    // Bit-pattern floats cover subnormals/extremes; redraw non-finite ones
+    // (JSON cannot represent them, the writer encodes them as null).
+    loop {
+        let f = f64::from_bits(rng.next_u64());
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+    let scalar_only = depth == 0;
+    match rng.next_u64() % if scalar_only { 5 } else { 7 } {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 1),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::Float(gen_finite_f64(rng)),
+        4 => Value::Str(gen_string(rng)),
+        5 => {
+            let len = (rng.next_u64() % 4) as usize;
+            Value::Array((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = (rng.next_u64() % 4) as usize;
+            let mut members: Vec<(String, Value)> = Vec::new();
+            for i in 0..len {
+                // unique keys: duplicate keys are (correctly) a parse error
+                let key = format!("{}#{i}", gen_string(rng));
+                members.push((key, gen_value(rng, depth - 1)));
+            }
+            Value::Object(members)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_values_round_trip_pretty_and_compact(v in ArbValue { depth: 3 }) {
+        let pretty = v.to_json();
+        prop_assert_eq!(&json::parse(&pretty).unwrap(), &v);
+        let compact = v.to_json_compact();
+        prop_assert!(!compact.contains('\n'), "JSONL form must be one line");
+        prop_assert_eq!(&json::parse(&compact).unwrap(), &v);
+        // canonical: serialize → parse → serialize is a fixed point
+        prop_assert_eq!(json::parse(&pretty).unwrap().to_json(), pretty);
+        prop_assert_eq!(json::parse(&compact).unwrap().to_json_compact(), compact);
+    }
+
+    #[test]
+    fn truncating_a_valid_document_never_panics(v in ArbValue { depth: 3 }, cut in 0.0f64..1.0) {
+        let text = v.to_json_compact();
+        let mut end = (text.len() as f64 * cut) as usize;
+        while end < text.len() && !text.is_char_boundary(end) {
+            end += 1;
+        }
+        // Either a clean parse of a prefix that happens to be valid JSON
+        // (e.g. a truncated number literal) or an error — never a panic.
+        let _ = json::parse(&text[..end]);
+    }
+}
+
+#[test]
+fn malformed_documents_are_errors_not_panics() {
+    let cases: &[&str] = &[
+        // truncated documents
+        "",
+        "{",
+        "[1, 2",
+        "{\"a\": ",
+        "\"unterminated",
+        "tru",
+        "-",
+        "1e",
+        "{\"a\": 1,",
+        // duplicate keys
+        "{\"a\": 1, \"a\": 2}",
+        "{\"x\": {\"k\": 1, \"k\": 1}}",
+        // bad escapes
+        "\"\\q\"",
+        "\"\\u12\"",
+        "\"\\u12g4\"",
+        "\"\\ud800\"",
+        "\"\\ud800\\u0041\"",
+        "\"\\\"",
+        // structural garbage
+        "[1,,2]",
+        "{1: 2}",
+        "[} ",
+        "nullnull",
+        "1 2",
+    ];
+    for case in cases {
+        assert!(json::parse(case).is_err(), "accepted malformed {case:?}");
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_with_an_error() {
+    for doc in [
+        "[".repeat(1_000_000),
+        "{\"a\":[".repeat(200_000),
+        format!("{}0", "[".repeat(MAX_NESTING_DEPTH + 1)),
+    ] {
+        let err = json::parse(&doc).expect_err("deep nesting must fail");
+        assert!(err.message.contains("nesting depth"), "{err}");
+    }
+    // exactly at the limit still parses
+    let at_limit = format!(
+        "{}0{}",
+        "[".repeat(MAX_NESTING_DEPTH),
+        "]".repeat(MAX_NESTING_DEPTH)
+    );
+    assert!(json::parse(&at_limit).is_ok());
+}

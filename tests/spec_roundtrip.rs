@@ -59,6 +59,7 @@ fn checked_in_example_specs_parse_and_round_trip() {
         "examples/specs/quickstart.json",
         "examples/specs/jamming_sweep.json",
         "examples/specs/samaritan_crossover.json",
+        "examples/specs/resumable_sweep.json",
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let file = wireless_sync::experiments::SpecFile::parse(&text)
@@ -134,6 +135,27 @@ fn protocol_kind_and_batch_runner_wrappers_equal_the_spec_path() {
             .seeds(0..4)
             .run(&BatchRunner::with_workers(2));
         assert_eq!(legacy_batch, modern_batch);
+
+        // …and not just the raw outcomes: the deprecated `run_stats` must
+        // fold into bit-identical aggregates,
+        let legacy_stats = BatchRunner::with_workers(2).run_stats(&scenario, &kind, 0..4);
+        let modern_stats = Sim::from_scenario(&scenario, kind.to_component())
+            .unwrap()
+            .seeds(0..4)
+            .run_stats(&BatchRunner::with_workers(2));
+        assert_eq!(legacy_stats, modern_stats);
+        assert_eq!(legacy_stats, BatchStats::aggregate(&modern_batch));
+
+        // …and the rendered downstream tables must agree cell for cell, so
+        // the deprecation path stays honest all the way to what a report
+        // actually prints.
+        let legacy_table =
+            wireless_sync::sync::sweep::sync_time_quantile_table(kind.name(), &legacy_batch);
+        let modern_table =
+            wireless_sync::sync::sweep::sync_time_quantile_table(kind.name(), &modern_batch);
+        assert_eq!(legacy_table.to_plain_text(), modern_table.to_plain_text());
+        assert_eq!(legacy_table.to_markdown(), modern_table.to_markdown());
+        assert_eq!(legacy_table.to_csv(), modern_table.to_csv());
     }
     // the explicit-config wrapper reproduces run_trapdoor_with
     let legacy = run_trapdoor_with(&scenario, config, 6);

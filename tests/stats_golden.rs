@@ -1,0 +1,118 @@
+//! Statistical golden tests: pinned digests of per-protocol sync-time
+//! quantile tables and aggregate statistics at fixed seeds.
+//!
+//! `tests/engine_golden.rs` pins raw per-trial `SyncOutcome`s; this file
+//! extends the coverage one layer up, through the `stats` aggregation
+//! stack: for every protocol it runs a fixed `(spec, seeds)` batch and
+//! pins FNV-1a digests of
+//!
+//! 1. the rendered sync-time **quantile table** (min/p25/p50/p75/p90/max of
+//!    rounds-to-sync and completion round — exercising sorting,
+//!    linear-interpolation quantiles, and the table renderer), and
+//! 2. the `Debug` rendering of the folded [`BatchStats`] (counts plus the
+//!    Welford mean/std-dev/min/max/sum summaries).
+//!
+//! Any drift anywhere in outcome production, fold order, quantile
+//! arithmetic, or formatting changes a digest. To re-record after an
+//! *intentional* change:
+//!
+//! ```sh
+//! cargo test --test stats_golden -- --ignored --nocapture
+//! ```
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::store::fnv1a;
+use wireless_sync::sync::sweep::sync_time_quantile_table;
+use wsync_stats::Table;
+
+/// The fixed grid: every protocol family on one instance, 8 seeds each.
+/// The starving single-frequency baseline gets a short round cap so the
+/// suite stays fast.
+fn cases() -> Vec<(&'static str, Table, BatchStats)> {
+    let protocols: [(&str, u64); 5] = [
+        ("trapdoor", 2_000_000),
+        ("good-samaritan", 2_000_000),
+        ("wakeup", 2_000_000),
+        ("round-robin", 2_000_000),
+        ("single-frequency", 2_000),
+    ];
+    protocols
+        .into_iter()
+        .map(|(protocol, max_rounds)| {
+            let spec = ScenarioSpec::new(protocol, 8, 8, 2)
+                .with_adversary("random")
+                .with_max_rounds(max_rounds);
+            let sim = Sim::from_spec(&spec).expect("valid golden spec");
+            let outcomes: Vec<SyncOutcome> = (0..8).map(|seed| sim.run_one(seed)).collect();
+            (
+                protocol,
+                sync_time_quantile_table(protocol, &outcomes),
+                BatchStats::aggregate(&outcomes),
+            )
+        })
+        .collect()
+}
+
+/// `(protocol, quantile-table digest, BatchStats digest, synced, clean)`
+/// captured at the introduction of the stats layer golden coverage.
+const GOLDEN: &[(&str, u64, u64, u64, u64)] = &[
+    ("trapdoor", 0x6e765aecf3668dab, 0xc1fc9a9ca02a38c7, 8, 8),
+    (
+        "good-samaritan",
+        0x5d16bd6049c1f2a8,
+        0xbbf73f9e76daa925,
+        8,
+        8,
+    ),
+    ("wakeup", 0xe162b0859baa31cd, 0x90e4e85ba41b9363, 8, 2),
+    ("round-robin", 0x0cd4d6de7f6f6fbf, 0xaa278610db5a3e83, 8, 0),
+    (
+        "single-frequency",
+        0x8f1efc6c42e41867,
+        0x7ad1c09e457dc1cf,
+        8,
+        7,
+    ),
+];
+
+#[test]
+fn per_protocol_quantile_tables_and_aggregates_match_pinned_digests() {
+    let produced = cases();
+    assert_eq!(produced.len(), GOLDEN.len());
+    for ((name, table, stats), &(g_name, g_table, g_stats, g_synced, g_clean)) in
+        produced.iter().zip(GOLDEN)
+    {
+        assert_eq!(*name, g_name, "case order drifted");
+        // side fields first, so a failure names what moved
+        assert_eq!(stats.synced, g_synced, "{name}: synced count moved");
+        assert_eq!(stats.clean, g_clean, "{name}: clean count moved");
+        assert_eq!(
+            fnv1a(table.to_plain_text().as_bytes()),
+            g_table,
+            "{name}: quantile table moved — quantile arithmetic, fold \
+             order, or table rendering changed:\n{}",
+            table.to_plain_text()
+        );
+        assert_eq!(
+            fnv1a(format!("{stats:?}").as_bytes()),
+            g_stats,
+            "{name}: BatchStats digest moved — the stats aggregation is no \
+             longer bit-identical:\n{stats:?}"
+        );
+    }
+}
+
+/// Re-recording helper: prints the `GOLDEN` table for the current code.
+#[test]
+#[ignore = "run with --ignored --nocapture to re-record the golden table"]
+fn print_golden_table() {
+    for (name, table, stats) in cases() {
+        println!(
+            "    (\"{name}\", 0x{:016x}, 0x{:016x}, {}, {}),",
+            fnv1a(table.to_plain_text().as_bytes()),
+            fnv1a(format!("{stats:?}").as_bytes()),
+            stats.synced,
+            stats.clean,
+        );
+    }
+}
