@@ -12,11 +12,12 @@
 //! and set `CRITERION_JSON_OUT=<path>` to append machine-readable results.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsync_core::checker::PropertyChecker;
 use wsync_core::registry;
 use wsync_core::runner::Scenario;
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::engine::Engine;
-use wsync_radio::trace::NullObserver;
+use wsync_radio::metrics::SimMetrics;
 
 fn bench_engine_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_rounds_per_second");
@@ -38,9 +39,8 @@ fn bench_engine_rounds(c: &mut Criterion) {
                     seed,
                 )
                 .unwrap();
-                let mut obs = NullObserver;
                 for _ in 0..ROUNDS {
-                    engine.step(&mut obs);
+                    engine.step();
                 }
                 engine.metrics().deliveries
             })
@@ -84,9 +84,8 @@ fn bench_engine_throughput(c: &mut Criterion) {
                         seed,
                     )
                     .unwrap();
-                    let mut obs = NullObserver;
                     for _ in 0..ROUNDS {
-                        engine.step(&mut obs);
+                        engine.step();
                     }
                     engine.metrics().deliveries
                 })
@@ -96,5 +95,53 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_rounds, bench_engine_throughput);
+/// Observation overhead of the probe pipeline: the N=256/F=32 headline
+/// cell run with an empty probe stack (`none` — the engine's internal
+/// history/metrics probes only, identical workload to
+/// `engine_throughput/N256/F32`) versus with an attached
+/// metrics-plus-checker stack (`metrics+checker` — an independent
+/// `SimMetrics` fold plus the streaming `PropertyChecker`, the default
+/// instrumentation of every `Sim` run). The gap between the two cells is
+/// the marginal cost of observing every resolved round.
+fn bench_observation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_observation_overhead");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    let scenario = Scenario::new(256, 32, 8).with_adversary("random");
+    let config = TrapdoorConfig::new(scenario.upper_bound(), 32, 8);
+    for probed in [false, true] {
+        let id = BenchmarkId::from_parameter(if probed { "metrics+checker" } else { "none" });
+        group.bench_with_input(id, &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| TrapdoorProtocol::new(config),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                if probed {
+                    engine.attach_probe(Box::new(SimMetrics::default()));
+                    engine.attach_probe(Box::new(PropertyChecker::new()));
+                }
+                for _ in 0..ROUNDS {
+                    engine.step();
+                }
+                engine.metrics().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_rounds,
+    bench_engine_throughput,
+    bench_observation_overhead
+);
 criterion_main!(benches);

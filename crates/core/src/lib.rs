@@ -26,8 +26,9 @@
 //!   parallel execution of independent Monte-Carlo trials across a worker
 //!   pool, with seed-ordered results and shared aggregation folds.
 //! * [`registry`] / [`spec`] / [`sim`] — the open, declarative simulation
-//!   API: string-keyed protocol/adversary factories, JSON-serializable
-//!   [`ScenarioSpec`]/[`SweepSpec`] descriptions, and the validated
+//!   API: string-keyed protocol/adversary/probe factories,
+//!   JSON-serializable [`ScenarioSpec`]/[`SweepSpec`] descriptions
+//!   (including the `"probes"` observation stack), and the validated
 //!   [`Sim`] builder every execution flows through.
 //! * [`store`] / [`sweep`] — the persistence and orchestration layer: a
 //!   content-addressed [`ResultStore`] of completed
@@ -83,7 +84,7 @@ pub mod prelude {
     pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
     pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};
     pub use crate::problem::{ProblemInstance, SyncOutput};
-    pub use crate::registry::Registry;
+    pub use crate::registry::{ProbeOutput, Registry, SimProbe};
     pub use crate::report::SyncOutcome;
     pub use crate::runner::{run_protocol, AdversaryKind, Scenario, SyncProtocol};
     // The deprecated shorthands stay importable so pre-registry code keeps
@@ -93,7 +94,7 @@ pub mod prelude {
         run_good_samaritan, run_good_samaritan_with, run_round_robin, run_single_frequency,
         run_trapdoor, run_trapdoor_with, run_wakeup,
     };
-    pub use crate::sim::Sim;
+    pub use crate::sim::{ProbedOutcome, Sim};
     pub use crate::spec::{ComponentSpec, ScenarioSpec, SpecError, SweepSpec};
     pub use crate::store::ResultStore;
     pub use crate::sweep::{SweepReport, SweepRunner};

@@ -36,13 +36,19 @@ use wsync_radio::adversary::{
     AdaptiveGreedyAdversary, Adversary, BurstyAdversary, FixedBandAdversary, NoAdversary,
     ObliviousScheduleAdversary, RandomAdversary, SweepAdversary, TopWeightAdversary,
 };
+use wsync_radio::engine::ExecutionResult;
 use wsync_radio::message::{Feedback, Received};
+use wsync_radio::metrics::SimMetrics;
 use wsync_radio::node::{ActivationInfo, NodeId};
+use wsync_radio::probe::Probe;
 use wsync_radio::protocol::Protocol;
 use wsync_radio::rng::SimRng;
+use wsync_radio::trace::RoundObservation;
 
 use crate::baselines::{RoundRobinConfig, RoundRobinProtocol, WakeupConfig, WakeupProtocol};
+use crate::checker::PropertyChecker;
 use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol};
+use crate::json::Value;
 use crate::runner::{BoxedAdversary, Scenario, SyncProtocol};
 use crate::spec::{ComponentSpec, ParamReader, Params, SpecError};
 use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
@@ -471,14 +477,264 @@ impl AdversaryFactory for TopWeightFactory {
 }
 
 // ---------------------------------------------------------------------------
+// Probe factories
+// ---------------------------------------------------------------------------
+
+/// The output of one declarative probe after a run: the registry name it
+/// was declared under and its finalized JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeOutput {
+    /// The probe's registry name (as written in the spec's `"probes"`
+    /// array).
+    pub name: String,
+    /// The probe's finalized value.
+    pub value: Value,
+}
+
+/// A registry-built probe: a radio-engine [`Probe`] that additionally
+/// finalizes into a JSON value once the execution completes, so declarative
+/// runs can report what it observed.
+pub trait SimProbe: Probe {
+    /// Consumes the probe and produces its output value.
+    fn finish_value(self: Box<Self>, result: &ExecutionResult) -> Value;
+}
+
+/// Builds a probe for a scenario from declarative parameters.
+///
+/// Like the other factories, `build` validates `params` with typed
+/// [`SpecError`]s; [`Sim::from_spec`](crate::sim::Sim::from_spec)
+/// probe-builds once at construction so parameter typos surface before any
+/// trial runs.
+pub trait ProbeFactory: Send + Sync {
+    /// Validates `params` and builds the probe for one execution.
+    fn build(&self, scenario: &Scenario, params: &Params) -> Result<Box<dyn SimProbe>, SpecError>;
+}
+
+/// The adapter that carries a registry-built probe through the engine's
+/// type-erased stack: a known concrete type wrapping the `Box<dyn
+/// SimProbe>`, so the runner can recover it by downcast after the run and
+/// call [`finish`](RegistryProbe::finish).
+pub struct RegistryProbe {
+    name: String,
+    inner: Box<dyn SimProbe>,
+}
+
+impl RegistryProbe {
+    /// Wraps a built probe under its registry name.
+    pub fn new(name: impl Into<String>, inner: Box<dyn SimProbe>) -> Self {
+        RegistryProbe {
+            name: name.into(),
+            inner,
+        }
+    }
+
+    /// The registry name the probe was declared under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Finalizes the probe into its named output.
+    pub fn finish(self, result: &ExecutionResult) -> ProbeOutput {
+        ProbeOutput {
+            name: self.name,
+            value: self.inner.finish_value(result),
+        }
+    }
+}
+
+impl Probe for RegistryProbe {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        self.inner.observe(observation);
+    }
+
+    fn lookback(&self) -> usize {
+        self.inner.lookback()
+    }
+}
+
+/// The `"metrics"` probe: an independently folded [`SimMetrics`] (the same
+/// aggregates the engine computes, reproduced through the probe pipeline;
+/// the equivalence is pinned by `tests/probe_pipeline.rs`).
+struct MetricsProbe(SimMetrics);
+
+impl Probe for MetricsProbe {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        self.0.observe(observation);
+    }
+}
+
+impl SimProbe for MetricsProbe {
+    fn finish_value(self: Box<Self>, _result: &ExecutionResult) -> Value {
+        let m = &self.0;
+        Value::Object(vec![
+            ("rounds".to_string(), m.rounds.into()),
+            ("broadcasts".to_string(), m.broadcasts.into()),
+            ("listens".to_string(), m.listens.into()),
+            ("sleeps".to_string(), m.sleeps.into()),
+            ("deliveries".to_string(), m.deliveries.into()),
+            ("receptions".to_string(), m.receptions.into()),
+            ("collisions".to_string(), m.collisions.into()),
+            (
+                "jammed_solo_broadcasts".to_string(),
+                m.jammed_solo_broadcasts.into(),
+            ),
+            (
+                "disrupted_frequency_rounds".to_string(),
+                m.disrupted_frequency_rounds.into(),
+            ),
+            ("max_active_nodes".to_string(), m.max_active_nodes.into()),
+            (
+                "adversary_budget_violations".to_string(),
+                m.adversary_budget_violations.into(),
+            ),
+        ])
+    }
+}
+
+struct MetricsProbeFactory;
+
+impl ProbeFactory for MetricsProbeFactory {
+    fn build(&self, _scenario: &Scenario, params: &Params) -> Result<Box<dyn SimProbe>, SpecError> {
+        ParamReader::new("metrics", params).finish()?;
+        Ok(Box::new(MetricsProbe(SimMetrics::default())))
+    }
+}
+
+/// The `"checker"` probe: the streaming [`PropertyChecker`], folding
+/// violations (and, redundantly, liveness) round-by-round. Finalization
+/// goes through [`finish`](PropertyChecker::finish) because an
+/// [`ExecutionResult`] is at hand here and that path is the documented
+/// authority — it reflects the engine's own `is_synchronized` verdicts,
+/// so the probe table can never contradict `SyncOutcome.properties`. The
+/// result-free incremental [`report`](PropertyChecker::report) is
+/// property-tested to agree on every engine-produced execution.
+struct CheckerProbe(PropertyChecker);
+
+impl Probe for CheckerProbe {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        self.0.observe(observation);
+    }
+}
+
+impl SimProbe for CheckerProbe {
+    fn finish_value(self: Box<Self>, result: &ExecutionResult) -> Value {
+        let report = self.0.finish(result);
+        Value::Object(vec![
+            (
+                "total_violations".to_string(),
+                report.total_violations.into(),
+            ),
+            ("rounds_observed".to_string(), report.rounds_observed.into()),
+            ("liveness".to_string(), Value::Bool(report.liveness)),
+            (
+                "safety_holds".to_string(),
+                Value::Bool(report.safety_holds()),
+            ),
+            (
+                "completion_round".to_string(),
+                match report.completion_round {
+                    Some(round) => round.into(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+struct CheckerProbeFactory;
+
+impl ProbeFactory for CheckerProbeFactory {
+    fn build(&self, _scenario: &Scenario, params: &Params) -> Result<Box<dyn SimProbe>, SpecError> {
+        let mut reader = ParamReader::new("checker", params);
+        let max_recorded = reader.opt_u64("max_recorded")?;
+        reader.finish()?;
+        let mut checker = PropertyChecker::new();
+        if let Some(max) = max_recorded {
+            checker = checker.with_max_recorded(max as usize);
+        }
+        Ok(Box::new(CheckerProbe(checker)))
+    }
+}
+
+/// The `"trace"` probe: an incremental trace summary — rounds observed,
+/// delivery total, and per-node first-sync rounds, folded in O(n) state.
+/// It deliberately does **not** retain a full trace
+/// (`rounds × nodes` memory just to finalize into three summary fields);
+/// attach a [`FullTrace`](wsync_radio::trace::FullTrace) probe directly
+/// when the raw events themselves are wanted. The optional `max_rounds`
+/// parameter bounds how many rounds contribute to the summary, mirroring
+/// a truncated trace.
+struct TraceProbe {
+    max_rounds: Option<u64>,
+    rounds: u64,
+    deliveries: u64,
+    first_sync: Vec<Option<u64>>,
+}
+
+impl Probe for TraceProbe {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        if let Some(max) = self.max_rounds {
+            if self.rounds >= max {
+                return;
+            }
+        }
+        self.rounds += 1;
+        self.deliveries += observation.deliveries.len() as u64;
+        if self.first_sync.len() < observation.nodes.len() {
+            self.first_sync.resize(observation.nodes.len(), None);
+        }
+        for (slot, view) in self.first_sync.iter_mut().zip(observation.nodes) {
+            if slot.is_none() && matches!(view.output(), Some(Some(_))) {
+                *slot = Some(observation.round);
+            }
+        }
+    }
+}
+
+impl SimProbe for TraceProbe {
+    fn finish_value(self: Box<Self>, _result: &ExecutionResult) -> Value {
+        let sync_rounds: Vec<Value> = self
+            .first_sync
+            .iter()
+            .map(|sync| match sync {
+                Some(round) => (*round).into(),
+                None => Value::Null,
+            })
+            .collect();
+        Value::Object(vec![
+            ("rounds_recorded".to_string(), self.rounds.into()),
+            ("total_deliveries".to_string(), self.deliveries.into()),
+            ("sync_rounds".to_string(), Value::Array(sync_rounds)),
+        ])
+    }
+}
+
+struct TraceProbeFactory;
+
+impl ProbeFactory for TraceProbeFactory {
+    fn build(&self, _scenario: &Scenario, params: &Params) -> Result<Box<dyn SimProbe>, SpecError> {
+        let mut reader = ParamReader::new("trace", params);
+        let max_rounds = reader.opt_u64("max_rounds")?;
+        reader.finish()?;
+        Ok(Box::new(TraceProbe {
+            max_rounds,
+            rounds: 0,
+            deliveries: 0,
+            first_sync: Vec::new(),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
 
-/// A string-keyed catalogue of protocol and adversary factories.
+/// A string-keyed catalogue of protocol, adversary, and probe factories.
 #[derive(Clone)]
 pub struct Registry {
     protocols: BTreeMap<String, Arc<dyn ProtocolFactory>>,
     adversaries: BTreeMap<String, Arc<dyn AdversaryFactory>>,
+    probes: BTreeMap<String, Arc<dyn ProbeFactory>>,
 }
 
 impl fmt::Debug for Registry {
@@ -486,6 +742,7 @@ impl fmt::Debug for Registry {
         f.debug_struct("Registry")
             .field("protocols", &self.protocol_names())
             .field("adversaries", &self.adversary_names())
+            .field("probes", &self.probe_names())
             .finish()
     }
 }
@@ -502,6 +759,7 @@ impl Registry {
         Registry {
             protocols: BTreeMap::new(),
             adversaries: BTreeMap::new(),
+            probes: BTreeMap::new(),
         }
     }
 
@@ -543,6 +801,10 @@ impl Registry {
         registry.register_adversary("bursty", Arc::new(BurstyFactory));
         registry.register_adversary("oblivious-random", Arc::new(ObliviousRandomFactory));
         registry.register_adversary("top-weight", Arc::new(TopWeightFactory));
+
+        registry.register_probe("metrics", Arc::new(MetricsProbeFactory));
+        registry.register_probe("checker", Arc::new(CheckerProbeFactory));
+        registry.register_probe("trace", Arc::new(TraceProbeFactory));
         registry
     }
 
@@ -562,6 +824,11 @@ impl Registry {
         factory: Arc<dyn AdversaryFactory>,
     ) {
         self.adversaries.insert(name.into(), factory);
+    }
+
+    /// Registers (or replaces) a probe factory under `name`.
+    pub fn register_probe(&mut self, name: impl Into<String>, factory: Arc<dyn ProbeFactory>) {
+        self.probes.insert(name.into(), factory);
     }
 
     /// Resolves a protocol factory by name.
@@ -586,6 +853,17 @@ impl Registry {
             })
     }
 
+    /// Resolves a probe factory by name.
+    pub fn probe(&self, name: &str) -> Result<Arc<dyn ProbeFactory>, SpecError> {
+        self.probes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SpecError::UnknownProbe {
+                name: name.to_string(),
+                known: self.probe_names(),
+            })
+    }
+
     /// The registered protocol names, sorted.
     pub fn protocol_names(&self) -> Vec<String> {
         self.protocols.keys().cloned().collect()
@@ -594,6 +872,11 @@ impl Registry {
     /// The registered adversary names, sorted.
     pub fn adversary_names(&self) -> Vec<String> {
         self.adversaries.keys().cloned().collect()
+    }
+
+    /// The registered probe names, sorted.
+    pub fn probe_names(&self) -> Vec<String> {
+        self.probes.keys().cloned().collect()
     }
 }
 
@@ -620,6 +903,14 @@ pub fn register_adversary(name: impl Into<String>, factory: Arc<dyn AdversaryFac
         .register_adversary(name, factory);
 }
 
+/// Registers a probe factory in the process-global registry.
+pub fn register_probe(name: impl Into<String>, factory: Arc<dyn ProbeFactory>) {
+    global()
+        .write()
+        .expect("registry lock poisoned")
+        .register_probe(name, factory);
+}
+
 /// Resolves a protocol factory from the process-global registry.
 pub fn resolve_protocol(name: &str) -> Result<Arc<dyn ProtocolFactory>, SpecError> {
     global()
@@ -636,6 +927,11 @@ pub fn resolve_adversary(name: &str) -> Result<Arc<dyn AdversaryFactory>, SpecEr
         .adversary(name)
 }
 
+/// Resolves a probe factory from the process-global registry.
+pub fn resolve_probe(name: &str) -> Result<Arc<dyn ProbeFactory>, SpecError> {
+    global().read().expect("registry lock poisoned").probe(name)
+}
+
 /// The protocol names in the process-global registry, sorted.
 pub fn protocol_names() -> Vec<String> {
     global()
@@ -650,6 +946,14 @@ pub fn adversary_names() -> Vec<String> {
         .read()
         .expect("registry lock poisoned")
         .adversary_names()
+}
+
+/// The probe names in the process-global registry, sorted.
+pub fn probe_names() -> Vec<String> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .probe_names()
 }
 
 /// Builds the adversary described by `spec` for one `(scenario, seed)`

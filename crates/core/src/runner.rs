@@ -205,6 +205,10 @@ impl Adversary for BoxedAdversary {
         self.inner.budget()
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        self.inner.max_lookback()
+    }
+
     fn disrupt(
         &mut self,
         round: u64,
@@ -334,8 +338,9 @@ impl Scenario {
 }
 
 /// The one engine-invocation path shared by every run in the workspace:
-/// builds the engine, attaches the property checker, executes, and counts
-/// leaders. Both [`run_protocol`] (statically typed) and
+/// builds the engine, composes the probe stack (the property checker plus
+/// any declarative probes), executes, and counts leaders. Both
+/// [`run_protocol`] (statically typed) and
 /// [`Sim::run_one`](crate::sim::Sim::run_one) (registry path) end here.
 pub(crate) fn execute<P, F>(
     scenario: &Scenario,
@@ -343,6 +348,24 @@ pub(crate) fn execute<P, F>(
     adversary: BoxedAdversary,
     seed: u64,
 ) -> SyncOutcome
+where
+    P: SyncProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    execute_probed(scenario, factory, adversary, seed, Vec::new()).0
+}
+
+/// [`execute`] with declarative probes attached to the engine's stack.
+/// Returns the outcome together with each probe's finalized output, in
+/// declaration order. Probes only observe, so the outcome is bit-identical
+/// with and without them (`tests/engine_golden.rs` pins this).
+pub(crate) fn execute_probed<P, F>(
+    scenario: &Scenario,
+    factory: F,
+    adversary: BoxedAdversary,
+    seed: u64,
+    probes: Vec<registry::RegistryProbe>,
+) -> (SyncOutcome, Vec<registry::ProbeOutput>)
 where
     P: SyncProtocol,
     F: FnMut(NodeId) -> P,
@@ -355,16 +378,34 @@ where
         seed,
     )
     .expect("scenario produced an invalid simulation configuration");
-    let mut checker = PropertyChecker::new();
-    let result = engine.run_with_observer(&mut checker);
+    let checker_slot = engine.attach_probe(Box::new(PropertyChecker::new()));
+    let probe_slots: Vec<usize> = probes
+        .into_iter()
+        .map(|probe| engine.attach_probe(Box::new(probe)))
+        .collect();
+    let result = engine.run();
+    let mut stack = engine.take_probes();
+    let checker: PropertyChecker = stack
+        .take(checker_slot)
+        .expect("the checker probe is recoverable from its slot");
+    let outputs: Vec<registry::ProbeOutput> = probe_slots
+        .into_iter()
+        .map(|slot| {
+            stack
+                .take::<registry::RegistryProbe>(slot)
+                .expect("registry probes are recoverable from their slots")
+                .finish(&result)
+        })
+        .collect();
     let leaders = engine.protocols().iter().filter(|p| p.is_leader()).count();
-    SyncOutcome {
+    let outcome = SyncOutcome {
         properties: checker.finish(&result),
         result,
         leaders,
         adversary: scenario.adversary.name().to_string(),
         seed,
-    }
+    };
+    (outcome, outputs)
 }
 
 /// Runs `scenario` with protocol instances produced by `factory`, checking

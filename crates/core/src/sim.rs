@@ -31,20 +31,39 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use crate::batch::{BatchRunner, BatchStats};
-use crate::registry::{AdversaryFactory, ProtocolCtor, Registry};
+use crate::registry::{
+    AdversaryFactory, ProbeFactory, ProbeOutput, ProtocolCtor, Registry, RegistryProbe,
+};
 use crate::report::SyncOutcome;
-use crate::runner::{execute, Scenario};
+use crate::runner::{execute_probed, Scenario};
 use crate::spec::{ComponentSpec, ScenarioSpec, SpecError};
 use crate::store::{spec_digest, ResultStore};
 use crate::{registry, spec};
 
+/// One trial's outcome together with the outputs of the spec's declared
+/// probes (see [`Sim::run_probed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbedOutcome {
+    /// The trial outcome — bit-identical to what [`Sim::run_one`] returns,
+    /// probes or not.
+    pub outcome: SyncOutcome,
+    /// The declared probes' finalized outputs, in declaration order —
+    /// `None` when the trial was served from an attached [`ResultStore`]
+    /// without executing the engine (probes observe live executions only;
+    /// use [`SweepRunner::record_only`](crate::sweep::SweepRunner::record_only)
+    /// semantics to force execution).
+    pub probes: Option<Vec<ProbeOutput>>,
+}
+
 /// A fully validated, runnable simulation: scenario, resolved protocol
-/// constructor, resolved adversary factory, and a seed range.
+/// constructor, resolved adversary factory, resolved probe factories, and
+/// a seed range.
 pub struct Sim {
     scenario: Scenario,
     protocol: ComponentSpec,
     ctor: ProtocolCtor,
     adversary: Arc<dyn AdversaryFactory>,
+    probes: Vec<(ComponentSpec, Arc<dyn ProbeFactory>)>,
     seeds: Range<u64>,
     digest: u64,
     store: Option<Arc<ResultStore>>,
@@ -64,6 +83,10 @@ impl Sim {
             spec,
             registry::resolve_protocol(spec.protocol.name())?,
             registry::resolve_adversary(spec.adversary.name())?,
+            spec.probes
+                .iter()
+                .map(|probe| Ok((probe.clone(), registry::resolve_probe(probe.name())?)))
+                .collect::<Result<_, SpecError>>()?,
         )
     }
 
@@ -74,6 +97,10 @@ impl Sim {
             spec,
             registry.protocol(spec.protocol.name())?,
             registry.adversary(spec.adversary.name())?,
+            spec.probes
+                .iter()
+                .map(|probe| Ok((probe.clone(), registry.probe(probe.name())?)))
+                .collect::<Result<_, SpecError>>()?,
         )
     }
 
@@ -91,19 +118,26 @@ impl Sim {
         spec: &ScenarioSpec,
         protocol_factory: Arc<dyn crate::registry::ProtocolFactory>,
         adversary_factory: Arc<dyn AdversaryFactory>,
+        probe_factories: Vec<(ComponentSpec, Arc<dyn ProbeFactory>)>,
     ) -> Result<Self, SpecError> {
         spec.validate()?;
         let scenario = spec.scenario();
         let ctor = protocol_factory.instantiate(&scenario, &spec.protocol.params)?;
-        // Probe-build the adversary once so parameter errors surface here,
-        // keeping `run_one` infallible. AdversaryFactory's contract requires
-        // validation to be seed-independent, so one probe covers all seeds.
+        // Probe-build the adversary and the probes once so parameter errors
+        // surface here, keeping `run_one`/`run_probed` infallible.
+        // AdversaryFactory's contract requires validation to be
+        // seed-independent, so one probe covers all seeds; probe factories
+        // take no seed at all.
         adversary_factory.build(&scenario, &spec.adversary.params, 0)?;
+        for (component, factory) in &probe_factories {
+            factory.build(&scenario, &component.params)?;
+        }
         Ok(Sim {
             scenario,
             protocol: spec.protocol.clone(),
             ctor,
             adversary: adversary_factory,
+            probes: probe_factories,
             seeds: 0..1,
             digest: spec_digest(spec),
             store: None,
@@ -153,28 +187,95 @@ impl Sim {
     /// `(spec, seed)`; with a [`store`](Self::store) attached, an
     /// already-stored trial is returned without touching the engine.
     ///
+    /// Declared probes are *not* run on this path (their outputs would be
+    /// discarded); use [`run_probed`](Self::run_probed) to carry them. The
+    /// outcome is identical either way — probes only observe.
+    ///
     /// # Panics
     ///
     /// Panics if persisting a fresh outcome to the attached store fails
     /// (`run_one` stays infallible; orchestration layers that need typed
     /// store errors use [`SweepRunner`](crate::sweep::SweepRunner)).
     pub fn run_one(&self, seed: u64) -> SyncOutcome {
+        self.run_inner(seed, false).outcome
+    }
+
+    /// Runs a single trial with the spec's declared probes attached to the
+    /// engine's probe stack, returning the outcome together with each
+    /// probe's finalized output.
+    ///
+    /// With a [`store`](Self::store) attached, an already-stored trial is
+    /// served from the cache with `probes: None` — the engine did not run,
+    /// so there was nothing to observe. The outcome itself is bit-identical
+    /// to [`run_one`](Self::run_one) in every case (probes never perturb an
+    /// execution, and the store digest deliberately excludes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if persisting a fresh outcome to the attached store fails,
+    /// like [`run_one`](Self::run_one).
+    pub fn run_probed(&self, seed: u64) -> ProbedOutcome {
+        self.run_inner(seed, true)
+    }
+
+    /// The one trial path behind [`run_one`](Self::run_one) and
+    /// [`run_probed`](Self::run_probed): cache lookup, adversary (and
+    /// optionally probe) construction, execution, persistence.
+    fn run_inner(&self, seed: u64, probed: bool) -> ProbedOutcome {
         if let Some(store) = &self.store {
             if let Some(hit) = store.get(self.digest, seed) {
-                return hit;
+                return ProbedOutcome {
+                    outcome: hit,
+                    probes: None,
+                };
             }
         }
         let adversary = self
             .adversary
             .build(&self.scenario, &self.scenario.adversary.params, seed)
             .expect("adversary parameters were validated when the Sim was built");
-        let outcome = execute(&self.scenario, |id| (self.ctor)(id), adversary, seed);
+        let probes: Vec<RegistryProbe> = if probed {
+            self.probes
+                .iter()
+                .map(|(component, factory)| {
+                    RegistryProbe::new(
+                        component.name(),
+                        factory
+                            .build(&self.scenario, &component.params)
+                            .expect("probe parameters were validated when the Sim was built"),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (outcome, outputs) = execute_probed(
+            &self.scenario,
+            |id| (self.ctor)(id),
+            adversary,
+            seed,
+            probes,
+        );
         if let Some(store) = &self.store {
             store
                 .put(self.digest, seed, &outcome)
                 .expect("persisting a trial outcome to the result store failed");
         }
-        outcome
+        ProbedOutcome {
+            outcome,
+            probes: probed.then_some(outputs),
+        }
+    }
+
+    /// The spec's declared probes (name-plus-params components), in
+    /// declaration order.
+    pub fn probe_components(&self) -> Vec<&ComponentSpec> {
+        self.probes.iter().map(|(component, _)| component).collect()
+    }
+
+    /// Whether the spec declares any probes.
+    pub fn has_probes(&self) -> bool {
+        !self.probes.is_empty()
     }
 
     /// Runs every seed in the configured range on `runner`'s worker pool

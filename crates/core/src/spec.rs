@@ -45,6 +45,13 @@ pub enum SpecError {
         /// The names the registry does know, sorted.
         known: Vec<String>,
     },
+    /// The spec names a probe the registry does not know.
+    UnknownProbe {
+        /// The unresolvable name.
+        name: String,
+        /// The names the registry does know, sorted.
+        known: Vec<String>,
+    },
     /// A factory requires a parameter the spec does not provide.
     MissingParam {
         /// The component (protocol/adversary name) that needed it.
@@ -114,6 +121,11 @@ impl fmt::Display for SpecError {
             SpecError::UnknownAdversary { name, known } => write!(
                 f,
                 "unknown adversary \"{name}\"; registered adversaries: {}",
+                known.join(", ")
+            ),
+            SpecError::UnknownProbe { name, known } => write!(
+                f,
+                "unknown probe \"{name}\"; registered probes: {}",
                 known.join(", ")
             ),
             SpecError::MissingParam { component, param } => {
@@ -658,6 +670,11 @@ pub struct ScenarioSpec {
     pub protocol: ComponentSpec,
     /// The adversary to run against (registry name + parameters).
     pub adversary: ComponentSpec,
+    /// Probes observing every resolved round (registry names +
+    /// parameters). Probes never perturb the execution: declaring them
+    /// changes neither the outcome nor the trial's store digest — only
+    /// what is reported alongside it.
+    pub probes: Vec<ComponentSpec>,
     /// When devices are activated.
     pub activation: ActivationSchedule,
     /// Actual number of participating devices `n`.
@@ -688,6 +705,7 @@ impl ScenarioSpec {
         ScenarioSpec {
             protocol: protocol.into(),
             adversary: ComponentSpec::named("none"),
+            probes: Vec::new(),
             activation: ActivationSchedule::Simultaneous,
             num_nodes,
             num_frequencies,
@@ -701,6 +719,12 @@ impl ScenarioSpec {
     /// Sets the adversary.
     pub fn with_adversary(mut self, adversary: impl Into<ComponentSpec>) -> Self {
         self.adversary = adversary.into();
+        self
+    }
+
+    /// Appends a probe (registry name or name-plus-params component).
+    pub fn with_probe(mut self, probe: impl Into<ComponentSpec>) -> Self {
+        self.probes.push(probe.into());
         self
     }
 
@@ -760,6 +784,7 @@ impl ScenarioSpec {
         ScenarioSpec {
             protocol: protocol.into(),
             adversary: scenario.adversary.clone(),
+            probes: Vec::new(),
             activation: scenario.activation.clone(),
             num_nodes: scenario.num_nodes,
             num_frequencies: scenario.num_frequencies,
@@ -778,11 +803,21 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Serializes to a JSON [`Value`].
+    /// Serializes to a JSON [`Value`]. The `"probes"` key is emitted only
+    /// when probes are declared, so probe-less specs keep their historical
+    /// wire form (and store digests) byte for byte.
     pub fn to_value(&self) -> Value {
         let mut members = vec![
             ("protocol".to_string(), self.protocol.to_value()),
             ("adversary".to_string(), self.adversary.to_value()),
+        ];
+        if !self.probes.is_empty() {
+            members.push((
+                "probes".to_string(),
+                Value::Array(self.probes.iter().map(ComponentSpec::to_value).collect()),
+            ));
+        }
+        members.extend([
             (
                 "activation".to_string(),
                 activation_to_value(&self.activation),
@@ -790,7 +825,7 @@ impl ScenarioSpec {
             ("num_nodes".to_string(), self.num_nodes.into()),
             ("num_frequencies".to_string(), self.num_frequencies.into()),
             ("disruption_bound".to_string(), self.disruption_bound.into()),
-        ];
+        ]);
         if let Some(n) = self.upper_bound_n {
             members.push(("upper_bound_n".to_string(), n.into()));
         }
@@ -820,6 +855,19 @@ impl ScenarioSpec {
                     saw_protocol = true;
                 }
                 "adversary" => spec.adversary = ComponentSpec::from_value(v, "adversary")?,
+                "probes" => {
+                    let items = v.as_array().ok_or_else(|| SpecError::Malformed {
+                        context: "probes".to_string(),
+                        message: format!(
+                            "expected an array of probe components, found {}",
+                            v.type_name()
+                        ),
+                    })?;
+                    spec.probes = items
+                        .iter()
+                        .map(|item| ComponentSpec::from_value(item, "probes"))
+                        .collect::<Result<Vec<_>, SpecError>>()?;
+                }
                 "activation" => spec.activation = activation_from_value(v)?,
                 "num_nodes" => {
                     spec.num_nodes = field_usize(v, "num_nodes")?;

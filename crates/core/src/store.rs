@@ -111,8 +111,17 @@ pub fn canonicalize(value: &Value) -> Value {
 
 /// The canonical digest of a resolved scenario spec: FNV-1a over the
 /// key-sorted compact JSON encoding.
+///
+/// The `"probes"` field is excluded: probes are pure observers that cannot
+/// perturb an execution, so specs that differ only in their declared probes
+/// share cache entries (a trial recorded by an instrumented run is served
+/// to an outcome-only sweep and vice versa).
 pub fn spec_digest(spec: &ScenarioSpec) -> u64 {
-    fnv1a(canonicalize(&spec.to_value()).to_json_compact().as_bytes())
+    let mut value = spec.to_value();
+    if let Value::Object(members) = &mut value {
+        members.retain(|(key, _)| key != "probes");
+    }
+    fnv1a(canonicalize(&value).to_json_compact().as_bytes())
 }
 
 /// A persistent map from `(spec digest, seed)` to the trial's

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use wsync_stats::{quantiles, table::fmt_f64, Table};
 
 use crate::batch::{BatchRunner, BatchStats, BatchStatsFold};
+use crate::registry::ProbeOutput;
 use crate::report::SyncOutcome;
 use crate::sim::Sim;
 use crate::spec::{ScenarioSpec, SpecError, SweepSpec};
@@ -127,6 +128,18 @@ impl SweepReport {
     }
 }
 
+/// Which trials of a sweep run with their spec's declared probes
+/// attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeSeeds {
+    /// No trial is probed.
+    None,
+    /// Every executed trial is probed.
+    All,
+    /// Only each point's first seed is probed.
+    FirstOnly,
+}
+
 /// Streams sweep grids through a [`BatchRunner`] worker pool with optional
 /// content-addressed persistence. See the module docs for the execution
 /// model.
@@ -201,7 +214,9 @@ impl SweepRunner {
     /// for every outcome — in deterministic (point index, seed) order,
     /// exactly once, before the outcome is dropped. Use this for bespoke
     /// folds that need more than [`BatchStats`] without collecting
-    /// outcomes.
+    /// outcomes. Declared probes are not run on this path; use
+    /// [`run_points_probed_each`](Self::run_points_probed_each) to carry
+    /// their outputs.
     pub fn run_points_each<F>(
         &self,
         points: Vec<(String, ScenarioSpec)>,
@@ -211,12 +226,87 @@ impl SweepRunner {
     where
         F: FnMut(usize, &SyncOutcome),
     {
+        self.run_points_inner(points, seeds, ProbeSeeds::None, |point, outcome, _| {
+            each(point, outcome)
+        })
+    }
+
+    /// Like [`run_points_each`](Self::run_points_each), but every executed
+    /// trial runs with its spec's declared probes attached; `each`
+    /// additionally receives the probes' finalized outputs. Trials served
+    /// from an attached store skip the engine — and therefore the probes —
+    /// and are reported with `None` (the outcome stream itself is
+    /// bit-identical either way).
+    pub fn run_points_probed_each<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome, Option<&[ProbeOutput]>),
+    {
+        self.run_points_inner(points, seeds, ProbeSeeds::All, each)
+    }
+
+    /// Like [`run_points_probed_each`](Self::run_points_probed_each), but
+    /// only each point's first *executed* seed runs with probes attached —
+    /// the cheap sampling mode for reports that show one probe output per
+    /// point (the `--spec` probe table): the remaining trials skip the
+    /// probe overhead entirely, and the outcome stream stays identical.
+    /// With a resume store attached, the sampled seed is the first one not
+    /// already cached (probes observe live executions), so a partially
+    /// resumed sweep still reports probe output as long as anything
+    /// executes. Caveat: two points whose specs canonicalize to the same
+    /// store digest (identical cells, or cells differing only in probes)
+    /// share cache entries, so with a store attached one such point's
+    /// freshly persisted trial can serve the other's sampled seed from
+    /// cache and cost it its probe sample — give duplicate points distinct
+    /// parameters if each must report probe output.
+    pub fn run_points_probed_first_each<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome, Option<&[ProbeOutput]>),
+    {
+        self.run_points_inner(points, seeds, ProbeSeeds::FirstOnly, each)
+    }
+
+    fn run_points_inner<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        probed: ProbeSeeds,
+        mut each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome, Option<&[ProbeOutput]>),
+    {
         let sims: Vec<Sim> = points
             .iter()
             .map(|(_, spec)| Sim::from_spec(spec))
             .collect::<Result<_, SpecError>>()?;
         // Each Sim already computed its canonical spec digest at build time.
         let digests: Vec<u64> = sims.iter().map(Sim::digest).collect();
+        // For first-only sampling, pick each point's probe seed up front:
+        // the first seed the store cannot serve (cache hits skip the
+        // engine, and probes observe live executions only). The scan sees
+        // the store as it was before the run; a point sharing its digest
+        // with another point can still lose its sample to the other's
+        // mid-run put (see run_points_probed_first_each docs).
+        let probe_seed: Vec<Option<u64>> = match probed {
+            ProbeSeeds::FirstOnly => digests
+                .iter()
+                .map(|&digest| match (&self.store, self.reuse) {
+                    (Some(store), true) => seeds.clone().find(|&s| !store.contains(digest, s)),
+                    _ => Some(seeds.start),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         let seed_count = seeds.end.saturating_sub(seeds.start);
         let total = points.len() as u64 * seed_count;
         let mut folds: Vec<BatchStatsFold> = points.iter().map(|_| BatchStatsFold::new()).collect();
@@ -229,33 +319,44 @@ impl SweepRunner {
         // collector hands results back here in deterministic (point,
         // seed) order — each outcome is folded and dropped immediately,
         // so memory stays O(reorder window) regardless of sweep size.
+        type Trial = (SyncOutcome, Option<Vec<ProbeOutput>>, bool);
         let chunk = seed_count.max(1);
         self.runner
             .try_map_each(
                 0..total,
-                |idx| -> Result<(SyncOutcome, bool), StoreError> {
+                |idx| -> Result<Trial, StoreError> {
                     let (point, seed) = ((idx / chunk) as usize, seeds.start + idx % chunk);
                     if self.reuse {
                         if let Some(store) = &self.store {
                             if let Some(hit) = store.get(digests[point], seed) {
-                                return Ok((hit, true));
+                                return Ok((hit, None, true));
                             }
                         }
                     }
-                    let outcome = sims[point].run_one(seed);
+                    let probe_this = match probed {
+                        ProbeSeeds::None => false,
+                        ProbeSeeds::All => true,
+                        ProbeSeeds::FirstOnly => probe_seed[point] == Some(seed),
+                    };
+                    let (outcome, probes) = if probe_this && sims[point].has_probes() {
+                        let probed_outcome = sims[point].run_probed(seed);
+                        (probed_outcome.outcome, probed_outcome.probes)
+                    } else {
+                        (sims[point].run_one(seed), None)
+                    };
                     if let Some(store) = &self.store {
                         store.put(digests[point], seed, &outcome)?;
                     }
-                    Ok((outcome, false))
+                    Ok((outcome, probes, false))
                 },
-                |idx, (outcome, hit)| {
+                |idx, (outcome, probes, hit)| {
                     let point = (idx / chunk) as usize;
                     if hit {
                         cached[point] += 1;
                     } else {
                         executed[point] += 1;
                     }
-                    each(point, &outcome);
+                    each(point, &outcome, probes.as_deref());
                     folds[point].push(&outcome);
                 },
             )

@@ -14,10 +14,18 @@
 //! re-runs only what is missing and reproduces the uninterrupted tables
 //! bit for bit (the cache totals go to stderr, never into the report, so
 //! resumed and fresh runs print identical tables).
+//!
+//! A spec that declares `"probes": [...]` runs every executed trial with
+//! those probes attached to the engine's probe stack; the report gains one
+//! probe table showing each probe's finalized output on the first executed
+//! seed of every sweep point (probes observe live executions, so trials
+//! served wholly from a resume cache contribute no probe rows — the
+//! outcome tables themselves stay bit-identical either way).
 
 use std::sync::Arc;
 
 use wsync_core::json;
+use wsync_core::registry::ProbeOutput;
 use wsync_core::spec::{ScenarioSpec, SpecError, SweepSpec};
 use wsync_core::store::ResultStore;
 use wsync_core::sweep::{SweepError, SweepReport, SweepRunner};
@@ -98,9 +106,13 @@ pub fn run_spec(
 
 /// Runs a parsed spec file with optional store persistence, returning both
 /// the rendered report and the [`SweepReport`] (per-point cache/executed
-/// totals). The rendered report is **independent of the store mode** — a
-/// resumed run prints tables bit-identical to an uninterrupted one; cache
-/// accounting lives only in the returned [`SweepReport`].
+/// totals). The rendered **outcome tables** are independent of the store
+/// mode — a resumed run prints them bit-identical to an uninterrupted one;
+/// cache accounting lives only in the returned [`SweepReport`]. The probe
+/// table (present only when the spec declares `"probes"`) is the one
+/// store-dependent section: probes observe live executions, so a point
+/// whose trials were all served from the cache reports a placeholder row
+/// instead of probe output.
 pub fn run_spec_stored(
     file: SpecFile,
     source: &str,
@@ -109,7 +121,26 @@ pub fn run_spec_stored(
 ) -> Result<(ExperimentReport, SweepReport), SweepError> {
     let sweep = file.into_sweep(default_seeds);
     let seeds = sweep.seeds()?;
-    let result = store.runner().run(&sweep)?;
+    let points: Vec<(String, ScenarioSpec)> = sweep
+        .expand()
+        .map_err(SweepError::Spec)?
+        .into_iter()
+        .map(|point| (point.label, point.spec))
+        .collect();
+    // One probe-output sample per point: each point's first seed runs
+    // probed, the remaining trials skip the probe overhead entirely.
+    let mut probe_samples: Vec<Option<Vec<ProbeOutput>>> = vec![None; points.len()];
+    let result = store.runner().run_points_probed_first_each(
+        points,
+        seeds.clone(),
+        |point, _outcome, probes| {
+            if probe_samples[point].is_none() {
+                if let Some(outputs) = probes {
+                    probe_samples[point] = Some(outputs.to_vec());
+                }
+            }
+        },
+    )?;
     let mut report = ExperimentReport::new("SPEC", &format!("declarative scenario run: {source}"));
     let mut table = Table::new(
         format!(
@@ -147,6 +178,39 @@ pub fn run_spec_stored(
         ]);
     }
     report.push_table(table);
+    if !sweep.base.probes.is_empty() {
+        let mut probe_table = Table::new(
+            "probe outputs (first executed seed per point)",
+            &["point", "probe", "output"],
+        );
+        for (point, sample) in result.points.iter().zip(&probe_samples) {
+            let label = if point.label.is_empty() {
+                "(base)".to_string()
+            } else {
+                point.label.clone()
+            };
+            match sample {
+                Some(outputs) => {
+                    for output in outputs {
+                        probe_table.push_row(vec![
+                            label.clone(),
+                            output.name.clone(),
+                            output.value.to_json_compact(),
+                        ]);
+                    }
+                }
+                None => {
+                    probe_table.push_row(vec![
+                        label,
+                        "-".to_string(),
+                        "(all trials served from cache; probes observe live executions only)"
+                            .to_string(),
+                    ]);
+                }
+            }
+        }
+        report.push_table(probe_table);
+    }
     report.note(format!(
         "{} sweep point(s) × {} seed(s), streamed through SweepRunner with zero recompilation",
         result.points.len(),

@@ -12,7 +12,6 @@ use wsync_core::registry;
 use wsync_core::runner::Scenario;
 use wsync_core::trapdoor::{TrapdoorConfig, TrapdoorProtocol};
 use wsync_radio::engine::Engine;
-use wsync_radio::trace::NullObserver;
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
@@ -36,11 +35,10 @@ pub fn max_broadcast_weight(scenario: &Scenario, seed: u64) -> (f64, u64) {
     )
     .expect("valid scenario");
     let activation_rounds = engine.activation_rounds().to_vec();
-    let mut observer = NullObserver;
     let mut max_weight: f64 = 0.0;
     let mut round = 0u64;
     while round < scenario.max_rounds {
-        engine.step(&mut observer);
+        engine.step();
         round += 1;
         let weight: f64 = engine
             .protocols()

@@ -26,13 +26,39 @@ pub enum GreedyTarget {
 ///
 /// This is the strongest *history-based* jammer in the suite and is used to
 /// stress-test the protocols beyond the specific adversaries appearing in
-/// the paper's proofs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// the paper's proofs. It queries the history every round, so it holds
+/// reusable count/weight buffers and goes through the buffer-reusing
+/// [`History::listener_counts_into`] /
+/// [`History::broadcaster_counts_into`] accessors — no per-round
+/// allocation beyond the returned [`DisruptionSet`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdaptiveGreedyAdversary {
     t: u32,
     lookback: usize,
     target: GreedyTarget,
+    /// Reusable per-frequency count buffer (listeners, or broadcasters for
+    /// the broadcaster target). Skipped by serde: scratch is per-run
+    /// state, not configuration, and keeping it out of the wire form
+    /// matches the config-only `PartialEq` below.
+    #[serde(skip)]
+    counts: Vec<u64>,
+    /// Second count buffer for the combined-activity target.
+    #[serde(skip)]
+    counts_b: Vec<u64>,
+    /// Reusable weight buffer fed to the top-`k` selection.
+    #[serde(skip)]
+    weights: Vec<f64>,
 }
+
+/// Equality is over the adversary's *configuration* (budget, lookback,
+/// target) — the reusable scratch buffers are incidental state.
+impl PartialEq for AdaptiveGreedyAdversary {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.lookback == other.lookback && self.target == other.target
+    }
+}
+
+impl Eq for AdaptiveGreedyAdversary {}
 
 impl AdaptiveGreedyAdversary {
     /// Creates a greedy adversary with budget `t`, a default lookback of 8
@@ -42,6 +68,9 @@ impl AdaptiveGreedyAdversary {
             t,
             lookback: 8,
             target: GreedyTarget::Listeners,
+            counts: Vec::new(),
+            counts_b: Vec::new(),
+            weights: Vec::new(),
         }
     }
 
@@ -63,6 +92,10 @@ impl Adversary for AdaptiveGreedyAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(self.lookback)
+    }
+
     fn disrupt(
         &mut self,
         _round: u64,
@@ -78,24 +111,28 @@ impl Adversary for AdaptiveGreedyAdversary {
             // No information yet: fall back to a random choice.
             return super::RandomAdversary::new(self.t).disrupt(0, band, history, rng);
         }
-        let weights: Vec<f64> = match self.target {
-            GreedyTarget::Listeners => history
-                .listener_counts(band, self.lookback)
-                .into_iter()
-                .map(|c| c as f64)
-                .collect(),
-            GreedyTarget::Broadcasters => history
-                .broadcaster_counts(band, self.lookback)
-                .into_iter()
-                .map(|c| c as f64)
-                .collect(),
-            GreedyTarget::Activity => {
-                let l = history.listener_counts(band, self.lookback);
-                let b = history.broadcaster_counts(band, self.lookback);
-                l.into_iter().zip(b).map(|(x, y)| (x + y) as f64).collect()
+        self.weights.clear();
+        match self.target {
+            GreedyTarget::Listeners => {
+                history.listener_counts_into(band, self.lookback, &mut self.counts);
+                self.weights.extend(self.counts.iter().map(|&c| c as f64));
             }
-        };
-        top_k_weights(&weights, k, band.count())
+            GreedyTarget::Broadcasters => {
+                history.broadcaster_counts_into(band, self.lookback, &mut self.counts);
+                self.weights.extend(self.counts.iter().map(|&c| c as f64));
+            }
+            GreedyTarget::Activity => {
+                history.listener_counts_into(band, self.lookback, &mut self.counts);
+                history.broadcaster_counts_into(band, self.lookback, &mut self.counts_b);
+                self.weights.extend(
+                    self.counts
+                        .iter()
+                        .zip(&self.counts_b)
+                        .map(|(&x, &y)| (x + y) as f64),
+                );
+            }
+        }
+        top_k_weights(&self.weights, k, band.count())
     }
 
     fn name(&self) -> &'static str {

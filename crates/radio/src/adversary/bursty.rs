@@ -52,6 +52,10 @@ impl Adversary for BurstyAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         round: u64,

@@ -29,6 +29,10 @@ impl Adversary for FixedBandAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         _round: u64,

@@ -142,6 +142,25 @@ pub trait Adversary {
     /// bound, so returning a larger number here cannot break the model.
     fn budget(&self) -> u32;
 
+    /// How many completed rounds of [`History`] this adversary inspects at
+    /// most per [`disrupt`](Adversary::disrupt) call (its maximum
+    /// lookback).
+    ///
+    /// The engine derives its history retention window from this demand
+    /// plus the attached probes' (see
+    /// [`HistoryRetention::Demand`](crate::engine::HistoryRetention)):
+    /// `Some(0)` — the right answer for an adversary that never reads the
+    /// history — lets outcome-only runs hold O(1) round state. The default
+    /// is `None`, meaning "unknown": the engine then retains the *full*
+    /// history, which is always behaviour-safe but grows with
+    /// `max_rounds × F` — implement this honestly (or configure an
+    /// explicit retention window) before running such an adversary for
+    /// millions of rounds. An implementation that overrides this must
+    /// never read further back than it declares.
+    fn max_lookback(&self) -> Option<usize> {
+        None
+    }
+
     /// Chooses the set of frequencies to disrupt in `round`, given the
     /// completed execution `history` (through round `round − 1`).
     fn disrupt(

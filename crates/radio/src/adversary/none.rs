@@ -24,6 +24,10 @@ impl Adversary for NoAdversary {
         0
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         _round: u64,

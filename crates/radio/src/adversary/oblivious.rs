@@ -95,6 +95,10 @@ impl Adversary for ObliviousScheduleAdversary {
         self.budget
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         round: u64,

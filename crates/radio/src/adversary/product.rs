@@ -63,6 +63,10 @@ impl Adversary for TopWeightAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         _round: u64,

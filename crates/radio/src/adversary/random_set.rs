@@ -28,6 +28,10 @@ impl Adversary for RandomAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         _round: u64,

@@ -48,6 +48,10 @@ impl Adversary for SweepAdversary {
         self.t
     }
 
+    fn max_lookback(&self) -> Option<usize> {
+        Some(0)
+    }
+
     fn disrupt(
         &mut self,
         round: u64,

@@ -9,9 +9,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::frequency::{Frequency, FrequencyBand};
+use crate::probe::Probe;
+use crate::trace::RoundObservation;
 
 /// Per-frequency activity observed in one completed round.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrequencyActivity {
     /// Number of nodes that broadcast on the frequency.
     pub broadcasters: u32,
@@ -101,6 +103,25 @@ impl History {
         }
     }
 
+    /// The retention window, if bounded.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Raises the retention window so that at least `window` rounds are
+    /// retained from here on (a no-op when the history already retains that
+    /// much, or everything). The engine calls this when a newly attached
+    /// probe registers a larger lookback than the window derived so far;
+    /// rounds already evicted are not resurrected, so demand should be
+    /// registered before the first round runs.
+    pub fn widen_window(&mut self, window: usize) {
+        if let Some(w) = self.window {
+            if w < window.max(1) {
+                self.window = Some(window.max(1));
+            }
+        }
+    }
+
     /// Evicts the oldest record if the retention window is full, returning
     /// its cleared per-frequency buffer for reuse.
     fn evict_for_push(&mut self) -> Option<Vec<FrequencyActivity>> {
@@ -148,6 +169,33 @@ impl History {
         });
     }
 
+    /// Appends a completed round by copying a borrowed per-frequency slice
+    /// into the evicted record's recycled buffer (a memcpy of `F` small
+    /// `Copy` records — no steady-state allocation once the retention
+    /// window has filled).
+    ///
+    /// This is the [`Probe`] append path: probe observations borrow the
+    /// engine's scratch, so the activity cannot be taken by swap the way
+    /// [`push_recycled`](History::push_recycled) does.
+    pub fn push_copied(
+        &mut self,
+        round: u64,
+        activity: &[FrequencyActivity],
+        active_nodes: u32,
+        newly_activated: u32,
+    ) {
+        let mut storage = self
+            .evict_for_push()
+            .unwrap_or_else(|| Vec::with_capacity(activity.len()));
+        storage.extend_from_slice(activity);
+        self.records.push_back(RoundRecord {
+            round,
+            activity: storage,
+            active_nodes,
+            newly_activated,
+        });
+    }
+
     /// Number of rounds recorded (and still retained).
     pub fn len(&self) -> usize {
         self.records.len()
@@ -182,26 +230,78 @@ impl History {
     /// Sums, per frequency, the number of listeners over the last
     /// `lookback` retained rounds. Useful for adversaries that target the
     /// historically busiest frequencies.
+    ///
+    /// Allocates a fresh vector per call; callers that query every round
+    /// (adaptive adversaries) should hold a buffer and use
+    /// [`listener_counts_into`](History::listener_counts_into) instead.
     pub fn listener_counts(&self, band: FrequencyBand, lookback: usize) -> Vec<u64> {
-        let mut counts = vec![0u64; band.count() as usize];
+        let mut counts = Vec::new();
+        self.listener_counts_into(band, lookback, &mut counts);
+        counts
+    }
+
+    /// Buffer-reusing variant of [`listener_counts`](History::listener_counts):
+    /// clears `counts` and fills it with one per-frequency sum, reusing its
+    /// allocation.
+    pub fn listener_counts_into(
+        &self,
+        band: FrequencyBand,
+        lookback: usize,
+        counts: &mut Vec<u64>,
+    ) {
+        counts.clear();
+        counts.resize(band.count() as usize, 0);
         for rec in self.records.iter().rev().take(lookback) {
             for (i, act) in rec.activity.iter().enumerate().take(counts.len()) {
                 counts[i] += u64::from(act.listeners);
             }
         }
-        counts
     }
 
     /// Sums, per frequency, the number of broadcasters over the last
     /// `lookback` retained rounds.
+    ///
+    /// Allocates a fresh vector per call; callers that query every round
+    /// should hold a buffer and use
+    /// [`broadcaster_counts_into`](History::broadcaster_counts_into) instead.
     pub fn broadcaster_counts(&self, band: FrequencyBand, lookback: usize) -> Vec<u64> {
-        let mut counts = vec![0u64; band.count() as usize];
+        let mut counts = Vec::new();
+        self.broadcaster_counts_into(band, lookback, &mut counts);
+        counts
+    }
+
+    /// Buffer-reusing variant of
+    /// [`broadcaster_counts`](History::broadcaster_counts): clears `counts`
+    /// and fills it with one per-frequency sum, reusing its allocation.
+    pub fn broadcaster_counts_into(
+        &self,
+        band: FrequencyBand,
+        lookback: usize,
+        counts: &mut Vec<u64>,
+    ) {
+        counts.clear();
+        counts.resize(band.count() as usize, 0);
         for rec in self.records.iter().rev().take(lookback) {
             for (i, act) in rec.activity.iter().enumerate().take(counts.len()) {
                 counts[i] += u64::from(act.broadcasters);
             }
         }
-        counts
+    }
+}
+
+/// A [`History`] is itself a probe: it folds each observed round into its
+/// ring through [`push_copied`](History::push_copied). The engine composes
+/// one ahead of the user stack to maintain the adversary-visible history;
+/// attaching an *additional* `History` probe with its own window is how a
+/// caller records a private retained view of the execution.
+impl Probe for History {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        self.push_copied(
+            observation.round,
+            observation.activity,
+            observation.tally.active_nodes,
+            observation.tally.newly_activated,
+        );
     }
 }
 

@@ -25,8 +25,11 @@
 //!   in the paper's Theorem 1 and oblivious adversaries as assumed by the
 //!   Good Samaritan analysis),
 //! * pluggable [`activation`] schedules,
-//! * execution [`trace`]s, [`metrics`], and an [`Observer`]
-//!   hook for online property checking.
+//! * one streaming observation pipeline — the [`probe`] module's
+//!   [`Probe`] trait and owned [`ProbeStack`] — through which execution
+//!   [`trace`]s, [`metrics`], the adversary-visible [`history`], and
+//!   online property checking all consume the same per-round event
+//!   stream (the legacy [`Observer`] hook remains as a thin adapter).
 //!
 //! # Example
 //!
@@ -90,6 +93,7 @@ pub mod history;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod probe;
 pub mod protocol;
 pub mod rng;
 pub mod trace;
@@ -103,16 +107,17 @@ pub mod prelude {
         NoAdversary, ObliviousScheduleAdversary, RandomAdversary, SweepAdversary,
         TopWeightAdversary,
     };
-    pub use crate::engine::{Engine, ExecutionResult, NodeSummary, SimConfig};
+    pub use crate::engine::{Engine, ExecutionResult, HistoryRetention, NodeSummary, SimConfig};
     pub use crate::error::{ConfigError, Result};
     pub use crate::frequency::{Frequency, FrequencyBand};
     pub use crate::history::{History, RoundRecord};
     pub use crate::message::{Feedback, Received};
     pub use crate::metrics::SimMetrics;
     pub use crate::node::{ActivationInfo, NodeId};
+    pub use crate::probe::{Probe, ProbeStack};
     pub use crate::protocol::Protocol;
     pub use crate::rng::SimRng;
-    pub use crate::trace::{FullTrace, Observer, RoundObservation, TraceEvent};
+    pub use crate::trace::{FullTrace, Observer, RoundObservation, RoundTally, TraceEvent};
 }
 
 pub use prelude::*;

@@ -1,17 +1,22 @@
-//! Execution observation: the [`Observer`] hook and an in-memory
-//! [`FullTrace`] recorder.
+//! Execution observation views: [`RoundObservation`], the legacy
+//! [`Observer`] hook, and the in-memory [`FullTrace`] recorder.
 //!
-//! The engine can report every round to an observer. The `wsync-core`
-//! property checker implements [`Observer`] to verify the five requirements
-//! of the wireless synchronization problem online with O(n) memory;
-//! [`FullTrace`] records everything and is intended for tests and debugging
-//! of small executions.
+//! The engine reports every resolved round — through the
+//! [`Probe`] pipeline and, for backwards
+//! compatibility, through [`Observer`] — as one borrowed
+//! [`RoundObservation`] over its reusable structure-of-arrays scratch.
+//! The `wsync-core` property checker consumes the same stream to verify
+//! the five requirements of the wireless synchronization problem online
+//! with O(n) memory; [`FullTrace`] records everything and is intended for
+//! tests and debugging of small executions.
 
 use serde::{Deserialize, Serialize};
 
 use crate::adversary::DisruptionSet;
 use crate::frequency::Frequency;
+use crate::history::FrequencyActivity;
 use crate::node::NodeId;
+use crate::probe::Probe;
 
 /// A node's externally visible state in one round, as seen by observers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,11 +70,42 @@ pub struct Delivery {
     pub receivers: u32,
 }
 
-/// Everything an observer sees about one completed round.
+/// Flat per-round counters computed by the engine while it resolves the
+/// round — the structure-of-arrays passes tally these for free, so probes
+/// that only fold aggregates (like [`SimMetrics`](crate::metrics::SimMetrics))
+/// never re-scan the per-node or per-frequency slices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTally {
+    /// Number of active nodes this round.
+    pub active_nodes: u32,
+    /// Number of nodes newly activated at the beginning of the round.
+    pub newly_activated: u32,
+    /// Broadcast actions this round.
+    pub broadcasts: u32,
+    /// Listen actions this round.
+    pub listens: u32,
+    /// Sleep actions this round.
+    pub sleeps: u32,
+    /// Frequencies on which a message was delivered.
+    pub deliveries: u32,
+    /// Successful receptions (listeners on delivering frequencies).
+    pub receptions: u32,
+    /// Frequencies with two or more broadcasters.
+    pub collisions: u32,
+    /// Frequencies where a solitary broadcast was suppressed by disruption.
+    pub jammed_solo_broadcasts: u32,
+    /// Number of frequencies the adversary disrupted (after clamping).
+    pub disrupted_frequencies: u32,
+    /// Whether the adversary exceeded the bound `t` and was clamped.
+    pub adversary_clamped: bool,
+}
+
+/// Everything a probe or observer sees about one completed round.
 ///
 /// The slices borrow the engine's reusable per-round buffers and are valid
-/// only for the duration of the [`Observer::on_round`] call — an observer
-/// that retains data across rounds must copy it (as [`FullTrace`] does).
+/// only for the duration of the [`Probe::observe`] /
+/// [`Observer::on_round`] call — a consumer that retains data across
+/// rounds must copy it (as [`FullTrace`] does).
 #[derive(Debug)]
 pub struct RoundObservation<'a> {
     /// The global round number (0-based).
@@ -84,6 +120,12 @@ pub struct RoundObservation<'a> {
     pub disrupted: &'a DisruptionSet,
     /// Messages delivered this round.
     pub deliveries: &'a [Delivery],
+    /// Per-frequency resolution of the round, indexed by 0-based frequency
+    /// index — the same record shape the adversary-visible
+    /// [`History`](crate::history::History) retains.
+    pub activity: &'a [FrequencyActivity],
+    /// Flat aggregate counters of the round.
+    pub tally: RoundTally,
 }
 
 /// Receives a callback after every simulated round.
@@ -174,8 +216,8 @@ impl FullTrace {
     }
 }
 
-impl Observer for FullTrace {
-    fn on_round(&mut self, observation: &RoundObservation<'_>) {
+impl FullTrace {
+    fn record(&mut self, observation: &RoundObservation<'_>) {
         self.events.push(TraceEvent {
             round: observation.round,
             newly_activated: observation.newly_activated.to_vec(),
@@ -187,11 +229,34 @@ impl Observer for FullTrace {
     }
 }
 
-/// Fans one observation out to several observers.
+impl Observer for FullTrace {
+    fn on_round(&mut self, observation: &RoundObservation<'_>) {
+        self.record(observation);
+    }
+}
+
+impl Probe for FullTrace {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        self.record(observation);
+    }
+}
+
+/// Fans one observation out to several borrowed observers.
+///
+/// Deprecated: the borrowed `Vec<&'a mut dyn Observer>` composition cannot
+/// be built by registries or stored across calls without lifetime
+/// gymnastics. Use the owned [`ProbeStack`](crate::probe::ProbeStack)
+/// instead and recover the probes with
+/// [`ProbeStack::take`](crate::probe::ProbeStack::take) after the run.
+#[deprecated(
+    since = "0.3.0",
+    note = "compose owned probes in a `ProbeStack` instead of borrowing observers"
+)]
 pub struct MultiObserver<'a> {
     observers: Vec<&'a mut dyn Observer>,
 }
 
+#[allow(deprecated)]
 impl<'a> MultiObserver<'a> {
     /// Creates a multiplexer over the given observers.
     pub fn new(observers: Vec<&'a mut dyn Observer>) -> Self {
@@ -199,6 +264,7 @@ impl<'a> MultiObserver<'a> {
     }
 }
 
+#[allow(deprecated)]
 impl Observer for MultiObserver<'_> {
     fn on_round(&mut self, observation: &RoundObservation<'_>) {
         for obs in self.observers.iter_mut() {
@@ -226,6 +292,8 @@ mod tests {
             nodes,
             disrupted,
             deliveries,
+            activity: &[],
+            tally: RoundTally::default(),
         }
     }
 
@@ -288,6 +356,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn multi_observer_fans_out() {
         let mut a = FullTrace::new();
         let mut b = FullTrace::new();

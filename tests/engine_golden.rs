@@ -55,81 +55,72 @@ fn run_spec(spec: ScenarioSpec, seed: u64) -> SyncOutcome {
         .run_one(seed)
 }
 
-/// The fixed scenario grid: six protocol/adversary/activation combinations
-/// spanning every protocol family, adaptive and oblivious adversaries,
-/// staggered and randomized activation, and one known-dirty execution.
-fn cases() -> Vec<(&'static str, SyncOutcome)> {
+/// The fixed scenario grid: `(name, spec, seed)` for eight
+/// protocol/adversary/activation combinations spanning every protocol
+/// family, adaptive and oblivious adversaries, staggered and randomized
+/// activation, and one known-dirty execution.
+fn golden_specs() -> Vec<(&'static str, ScenarioSpec, u64)> {
     vec![
         (
             "trapdoor/random/n8",
-            run_spec(
-                ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random"),
-                42,
-            ),
+            ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random"),
+            42,
         ),
         (
             "trapdoor/fixed-band/staggered/n16",
-            run_spec(
-                ScenarioSpec::new("trapdoor", 16, 8, 3)
-                    .with_adversary("fixed-band")
-                    .with_activation(ActivationSchedule::Staggered { gap: 2 }),
-                7,
-            ),
+            ScenarioSpec::new("trapdoor", 16, 8, 3)
+                .with_adversary("fixed-band")
+                .with_activation(ActivationSchedule::Staggered { gap: 2 }),
+            7,
         ),
         (
             "trapdoor/adaptive-greedy/uniform/n12",
-            run_spec(
-                ScenarioSpec::new("trapdoor", 12, 16, 5)
-                    .with_adversary("adaptive-greedy")
-                    .with_activation(ActivationSchedule::UniformWindow { window: 8 }),
-                13,
-            ),
+            ScenarioSpec::new("trapdoor", 12, 16, 5)
+                .with_adversary("adaptive-greedy")
+                .with_activation(ActivationSchedule::UniformWindow { window: 8 }),
+            13,
         ),
         (
             "good-samaritan/oblivious/n8",
-            run_spec(
-                ScenarioSpec::new("good-samaritan", 8, 8, 4).with_adversary(
-                    ComponentSpec::named("oblivious-random").with("t_actual", 2u64),
-                ),
-                11,
-            ),
+            ScenarioSpec::new("good-samaritan", 8, 8, 4)
+                .with_adversary(ComponentSpec::named("oblivious-random").with("t_actual", 2u64)),
+            11,
         ),
         (
             "good-samaritan/bursty/n10",
-            run_spec(
-                ScenarioSpec::new("good-samaritan", 10, 16, 5).with_adversary(
-                    ComponentSpec::named("bursty")
-                        .with("period", 16u64)
-                        .with("burst_len", 4u64),
-                ),
-                3,
+            ScenarioSpec::new("good-samaritan", 10, 16, 5).with_adversary(
+                ComponentSpec::named("bursty")
+                    .with("period", 16u64)
+                    .with("burst_len", 4u64),
             ),
+            3,
         ),
         (
             "wakeup/sweep/n6",
-            run_spec(
-                ScenarioSpec::new("wakeup", 6, 8, 2).with_adversary("sweep"),
-                9,
-            ),
+            ScenarioSpec::new("wakeup", 6, 8, 2).with_adversary("sweep"),
+            9,
         ),
         (
             "round-robin/random/n6",
-            run_spec(
-                ScenarioSpec::new("round-robin", 6, 8, 2).with_adversary("random"),
-                21,
-            ),
+            ScenarioSpec::new("round-robin", 6, 8, 2).with_adversary("random"),
+            21,
         ),
         (
             "single-frequency/fixed-band/late-joiner/n4",
-            run_spec(
-                ScenarioSpec::new("single-frequency", 4, 4, 1)
-                    .with_adversary("fixed-band")
-                    .with_activation(ActivationSchedule::LateJoiner { late: 3 })
-                    .with_max_rounds(2_000),
-                5,
-            ),
+            ScenarioSpec::new("single-frequency", 4, 4, 1)
+                .with_adversary("fixed-band")
+                .with_activation(ActivationSchedule::LateJoiner { late: 3 })
+                .with_max_rounds(2_000),
+            5,
         ),
     ]
+}
+
+fn cases() -> Vec<(&'static str, SyncOutcome)> {
+    golden_specs()
+        .into_iter()
+        .map(|(name, spec, seed)| (name, run_spec(spec, seed)))
+        .collect()
 }
 
 /// `(name, digest, rounds_executed, leaders, all_synchronized,
@@ -207,6 +198,79 @@ fn spec_driven_outcomes_match_pre_refactor_golden_digests() {
             "{name}: full-outcome digest moved — the spec-driven registry \
              path is no longer observationally identical to the pre-refactor \
              statically-typed engine"
+        );
+    }
+}
+
+/// The probe pipeline must be invisible to outcomes: running every pinned
+/// case with the full declarative probe stack attached (`metrics`,
+/// `checker`, `trace` — the three registry probes, exercising an
+/// independent metrics fold, the incremental property checker, and a full
+/// trace copy) reproduces the identical golden digests, and the trial's
+/// store digest is unchanged by the probes (instrumented and outcome-only
+/// runs share cache entries).
+#[test]
+fn probe_stack_runs_reproduce_the_golden_digests() {
+    for ((name, spec, seed), &(g_name, g_digest, ..)) in golden_specs().iter().zip(GOLDEN) {
+        assert_eq!(*name, g_name, "case order drifted");
+        let probed_spec = spec
+            .clone()
+            .with_probe("metrics")
+            .with_probe("checker")
+            .with_probe("trace");
+        assert_eq!(
+            wireless_sync::sync::store::spec_digest(&probed_spec),
+            wireless_sync::sync::store::spec_digest(spec),
+            "{name}: declaring probes must not move the spec's store digest"
+        );
+        let sim = Sim::from_spec(&probed_spec).expect("probed golden specs are valid");
+        let probed = sim.run_probed(*seed);
+        assert_eq!(
+            digest(&probed.outcome),
+            g_digest,
+            "{name}: attaching the metrics+checker+trace probe stack changed \
+             the outcome digest — probes must never perturb an execution"
+        );
+        let outputs = probed
+            .probes
+            .expect("executed trials produce probe outputs");
+        assert_eq!(outputs.len(), 3, "{name}: one output per declared probe");
+        assert_eq!(outputs[0].name, "metrics");
+        assert_eq!(outputs[1].name, "checker");
+        assert_eq!(outputs[2].name, "trace");
+        // The independent metrics fold reproduces the engine's counters.
+        assert_eq!(
+            outputs[0].value.get("rounds").and_then(|v| v.as_u64()),
+            Some(probed.outcome.result.metrics.rounds),
+            "{name}: the metrics probe's independent fold disagrees with the engine"
+        );
+        assert_eq!(
+            outputs[0].value.get("deliveries").and_then(|v| v.as_u64()),
+            Some(probed.outcome.result.metrics.deliveries),
+            "{name}: the metrics probe's delivery count disagrees with the engine"
+        );
+        // The incremental checker's verdict matches the post-hoc one.
+        assert_eq!(
+            outputs[1].value.get("liveness").and_then(|v| v.as_bool()),
+            Some(probed.outcome.properties.liveness),
+            "{name}: the incremental checker's liveness verdict disagrees"
+        );
+        assert_eq!(
+            outputs[1]
+                .value
+                .get("total_violations")
+                .and_then(|v| v.as_u64()),
+            Some(probed.outcome.properties.total_violations),
+            "{name}: the incremental checker's violation count disagrees"
+        );
+        // The trace probe saw every executed round.
+        assert_eq!(
+            outputs[2]
+                .value
+                .get("rounds_recorded")
+                .and_then(|v| v.as_u64()),
+            Some(probed.outcome.result.rounds_executed),
+            "{name}: the trace probe missed rounds"
         );
     }
 }

@@ -1,0 +1,519 @@
+//! Integration tests of the streaming probe pipeline: equivalence of the
+//! probe-composed observation channels with the engine's own accounting,
+//! the incremental property checker against the legacy post-hoc finish,
+//! demand-driven history retention, the declarative `"probes"` spec field,
+//! and probe outputs flowing through `Sim`, `SweepRunner`, and the store.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use wireless_sync::prelude::*;
+use wireless_sync::radio::activation::ActivationSchedule;
+use wireless_sync::radio::adversary::{Adversary, DisruptionSet};
+use wireless_sync::radio::engine::{Engine, HistoryRetention};
+use wireless_sync::sync::registry;
+use wireless_sync::sync::runner::BoxedAdversary;
+use wireless_sync::sync::spec::Params;
+use wireless_sync::sync::store::spec_digest;
+
+/// Builds a registry-resolved engine for `(spec, seed)` — the same wiring
+/// `Sim::run_one` uses, exposed so tests can attach probes and inspect the
+/// engine afterwards.
+fn engine_for(
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Engine<wireless_sync::sync::registry::BoxedProtocol, BoxedAdversary> {
+    let scenario = spec.scenario();
+    let ctor = registry::resolve_protocol(spec.protocol.name())
+        .unwrap()
+        .instantiate(&scenario, &spec.protocol.params)
+        .unwrap();
+    let adversary = registry::build_adversary(&spec.adversary, &scenario, seed).unwrap();
+    Engine::new(
+        scenario.sim_config(),
+        &*ctor,
+        adversary,
+        scenario.activation.clone(),
+        seed,
+    )
+    .unwrap()
+}
+
+const PROTOCOLS: [&str; 5] = [
+    "trapdoor",
+    "good-samaritan",
+    "wakeup",
+    "round-robin",
+    "single-frequency",
+];
+const ADVERSARIES: [&str; 5] = ["none", "random", "fixed-band", "sweep", "adaptive-greedy"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incremental `PropertyChecker::report` (liveness and completion
+    /// round folded round-by-round from the observation stream) agrees
+    /// with the legacy post-hoc `finish(&ExecutionResult)` on random
+    /// scenarios — including runs that hit the round cap and the
+    /// known-dirty single-frequency configurations.
+    #[test]
+    fn incremental_checker_report_matches_legacy_finish(
+        protocol_idx in 0usize..5,
+        adversary_idx in 0usize..5,
+        n in 2usize..9,
+        f_extra in 0u32..7,
+        seed in 0u64..1000,
+        staggered in any::<bool>(),
+    ) {
+        let f = 2 + f_extra;
+        let t = f / 2;
+        let mut spec = ScenarioSpec::new(PROTOCOLS[protocol_idx], n, f, t)
+            .with_adversary(ADVERSARIES[adversary_idx])
+            .with_max_rounds(4_000);
+        if staggered {
+            spec = spec.with_activation(ActivationSchedule::Staggered { gap: 3 });
+        }
+        let mut engine = engine_for(&spec, seed);
+        let slot = engine.attach_probe(Box::new(PropertyChecker::new()));
+        let result = engine.run();
+        let checker: PropertyChecker = engine
+            .take_probes()
+            .take(slot)
+            .expect("the checker probe is recoverable");
+        let incremental = checker.report();
+        let legacy = checker.finish(&result);
+        prop_assert_eq!(incremental, legacy);
+    }
+
+    /// An independently attached `SimMetrics` probe folds the identical
+    /// aggregates the engine accumulates internally — the per-round tally
+    /// stream carries everything the four-channel engine used to count in
+    /// place.
+    #[test]
+    fn attached_metrics_probe_matches_engine_metrics(
+        protocol_idx in 0usize..5,
+        adversary_idx in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let spec = ScenarioSpec::new(PROTOCOLS[protocol_idx], 6, 8, 2)
+            .with_adversary(ADVERSARIES[adversary_idx])
+            .with_max_rounds(2_000);
+        let mut engine = engine_for(&spec, seed);
+        let slot = engine.attach_probe(Box::new(SimMetrics::default()));
+        engine.run();
+        let engine_metrics = *engine.metrics();
+        let probe_metrics: SimMetrics = engine
+            .take_probes()
+            .take(slot)
+            .expect("the metrics probe is recoverable");
+        prop_assert_eq!(probe_metrics, engine_metrics);
+    }
+}
+
+/// A probe that declares a lookback demand and records how much history it
+/// could actually see each round.
+struct WindowWatcher {
+    lookback: usize,
+    rounds: u64,
+}
+
+impl Probe for WindowWatcher {
+    fn observe(&mut self, _observation: &RoundObservation<'_>) {
+        self.rounds += 1;
+    }
+    fn lookback(&self) -> usize {
+        self.lookback
+    }
+}
+
+#[test]
+fn history_retention_is_derived_from_adversary_and_probe_demand() {
+    let base = |adversary: &str| {
+        ScenarioSpec::new("trapdoor", 6, 8, 2)
+            .with_adversary(adversary)
+            .with_max_rounds(500)
+    };
+
+    // History-free adversary: O(1) retained round state.
+    let mut engine = engine_for(&base("random"), 1);
+    assert_eq!(engine.history().window(), Some(1));
+    engine.run();
+    assert!(
+        engine.history().len() <= 1,
+        "outcome-only runs hold O(1) rounds"
+    );
+
+    // The adaptive adversary registers its 8-round lookback.
+    let engine = engine_for(&base("adaptive-greedy"), 1);
+    assert_eq!(engine.history().window(), Some(8));
+
+    // A probe's declared lookback widens the derived window.
+    let mut engine = engine_for(&base("random"), 1);
+    engine.attach_probe(Box::new(WindowWatcher {
+        lookback: 21,
+        rounds: 0,
+    }));
+    assert_eq!(engine.history().window(), Some(21));
+    engine.run();
+    assert!(engine.history().len() <= 21);
+
+    // Explicit retention policies override the demand derivation.
+    let scenario = base("random").scenario();
+    let make = |retention: HistoryRetention, seed: u64| {
+        let ctor = registry::resolve_protocol("trapdoor")
+            .unwrap()
+            .instantiate(&scenario, &Params::new())
+            .unwrap();
+        let adversary = registry::build_adversary(&scenario.adversary, &scenario, seed).unwrap();
+        Engine::new(
+            scenario.sim_config().with_history_retention(retention),
+            &*ctor,
+            adversary,
+            scenario.activation.clone(),
+            seed,
+        )
+        .unwrap()
+    };
+    assert_eq!(
+        make(HistoryRetention::Window(17), 1).history().window(),
+        Some(17)
+    );
+    assert_eq!(make(HistoryRetention::Full, 1).history().window(), None);
+
+    // An adversary with an unknown (default) lookback gets full retention.
+    struct OpaqueAdversary;
+    impl Adversary for OpaqueAdversary {
+        fn budget(&self) -> u32 {
+            0
+        }
+        fn disrupt(
+            &mut self,
+            _round: u64,
+            band: wireless_sync::radio::frequency::FrequencyBand,
+            _history: &wireless_sync::radio::history::History,
+            _rng: &mut SimRng,
+        ) -> DisruptionSet {
+            DisruptionSet::empty(band.count())
+        }
+    }
+    let ctor = registry::resolve_protocol("trapdoor")
+        .unwrap()
+        .instantiate(&scenario, &Params::new())
+        .unwrap();
+    let mut engine = Engine::new(
+        scenario.sim_config(),
+        &*ctor,
+        OpaqueAdversary,
+        scenario.activation.clone(),
+        3,
+    )
+    .unwrap();
+    assert_eq!(engine.history().window(), None);
+    let result = engine.run();
+    assert_eq!(engine.history().len() as u64, result.rounds_executed);
+}
+
+#[test]
+fn probe_lookback_never_widens_an_explicit_window() {
+    // Under an explicit Window policy the caller pinned the adversary's
+    // view (here: starving adaptive-greedy's 8-round lookback down to 2).
+    // A probe demanding more lookback must NOT widen that window — doing
+    // so would change what the adversary sees and let a probe perturb the
+    // outcome. It merely observes the starved history.
+    let spec = ScenarioSpec::new("trapdoor", 8, 8, 2)
+        .with_adversary("adaptive-greedy")
+        .with_max_rounds(2_000);
+    let scenario = spec.scenario();
+    let run = |attach_probe: bool| {
+        let ctor = registry::resolve_protocol("trapdoor")
+            .unwrap()
+            .instantiate(&scenario, &Params::new())
+            .unwrap();
+        let adversary = registry::build_adversary(&scenario.adversary, &scenario, 9).unwrap();
+        let mut engine = Engine::new(
+            scenario
+                .sim_config()
+                .with_history_retention(HistoryRetention::Window(2)),
+            &*ctor,
+            adversary,
+            scenario.activation.clone(),
+            9,
+        )
+        .unwrap();
+        if attach_probe {
+            engine.attach_probe(Box::new(WindowWatcher {
+                lookback: 8,
+                rounds: 0,
+            }));
+        }
+        assert_eq!(engine.history().window(), Some(2), "window stays pinned");
+        engine.run()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn retention_policy_never_changes_outcomes() {
+    // The same (spec, seed) under demand-derived, generous-window, and
+    // full retention resolves to bit-identical outcomes: retention is
+    // invisible as long as it covers every declared lookback.
+    for adversary in ["random", "adaptive-greedy", "sweep"] {
+        let spec = ScenarioSpec::new("trapdoor", 8, 8, 2)
+            .with_adversary(adversary)
+            .with_max_rounds(2_000);
+        let scenario = spec.scenario();
+        let run = |retention: HistoryRetention| {
+            let ctor = registry::resolve_protocol("trapdoor")
+                .unwrap()
+                .instantiate(&scenario, &Params::new())
+                .unwrap();
+            let adversary = registry::build_adversary(&scenario.adversary, &scenario, 7).unwrap();
+            Engine::new(
+                scenario.sim_config().with_history_retention(retention),
+                &*ctor,
+                adversary,
+                scenario.activation.clone(),
+                7,
+            )
+            .unwrap()
+            .run()
+        };
+        let demand = run(HistoryRetention::Demand);
+        assert_eq!(demand, run(HistoryRetention::Window(64)), "{adversary}");
+        assert_eq!(demand, run(HistoryRetention::Full), "{adversary}");
+    }
+}
+
+#[test]
+fn buffer_reusing_counts_match_the_allocating_variants() {
+    let band = wireless_sync::radio::frequency::FrequencyBand::new(5);
+    let spec = ScenarioSpec::new("trapdoor", 8, 5, 1)
+        .with_adversary("random")
+        .with_max_rounds(300);
+    let mut engine = engine_for(&spec, 11);
+    // Retain plenty of history so the lookback sums are non-trivial.
+    let mut history = wireless_sync::radio::history::History::with_window(64);
+    // Drive the engine and mirror its history through the probe interface.
+    for _ in 0..200 {
+        engine.step();
+    }
+    for record in engine.history().iter() {
+        history.push(record.clone());
+    }
+    let mut listeners = vec![99u64; 17]; // junk shape: must be cleared+resized
+    let mut broadcasters = Vec::new();
+    for lookback in [0usize, 1, 3, 64, 1000] {
+        history.listener_counts_into(band, lookback, &mut listeners);
+        assert_eq!(listeners, history.listener_counts(band, lookback));
+        history.broadcaster_counts_into(band, lookback, &mut broadcasters);
+        assert_eq!(broadcasters, history.broadcaster_counts(band, lookback));
+    }
+    // The buffers were reused, not reallocated, across iterations.
+    assert_eq!(listeners.len(), 5);
+}
+
+#[test]
+fn probed_specs_round_trip_and_validate() {
+    let spec = ScenarioSpec::new("trapdoor", 8, 8, 2)
+        .with_adversary("random")
+        .with_probe("metrics")
+        .with_probe(ComponentSpec::named("trace").with("max_rounds", 32u64));
+    let text = spec.to_json();
+    assert!(text.contains("\"probes\""));
+    let back = ScenarioSpec::from_json(&text).expect("probed specs round-trip");
+    assert_eq!(back, spec);
+
+    // Probe-less specs keep their historical wire form: no "probes" key.
+    let plain = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+    assert!(!plain.to_json().contains("probes"));
+
+    // Probes are excluded from the store digest: instrumented and
+    // outcome-only runs of the same cell share cache entries.
+    assert_eq!(spec_digest(&spec), spec_digest(&plain));
+
+    // Unknown probe names and bad probe parameters fail at build time.
+    let unknown = plain.clone().with_probe("oscilloscope");
+    match Sim::from_spec(&unknown) {
+        Err(SpecError::UnknownProbe { name, known }) => {
+            assert_eq!(name, "oscilloscope");
+            assert_eq!(known, vec!["checker", "metrics", "trace"]);
+        }
+        other => panic!("expected UnknownProbe, got {other:?}", other = other.err()),
+    }
+    let mistyped = plain
+        .clone()
+        .with_probe(ComponentSpec::named("trace").with("max_rounds", "lots"));
+    assert!(matches!(
+        Sim::from_spec(&mistyped),
+        Err(SpecError::BadParam { .. })
+    ));
+    let typo = plain.with_probe(ComponentSpec::named("checker").with("max_recroded", 5u64));
+    assert!(matches!(
+        Sim::from_spec(&typo),
+        Err(SpecError::UnknownParam { .. })
+    ));
+}
+
+#[test]
+fn run_probed_carries_outputs_and_cache_hits_skip_probes() {
+    let dir = std::env::temp_dir().join(format!(
+        "wsync-probe-store-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let plain_spec = ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random");
+    let probed_spec = plain_spec
+        .clone()
+        .with_probe("checker")
+        .with_probe("metrics");
+    let baseline = Sim::from_spec(&plain_spec).unwrap().run_one(5);
+
+    // Fresh probed run: outcome identical, outputs present in order.
+    let sim = Sim::from_spec(&probed_spec).unwrap();
+    let probed = sim.run_probed(5);
+    assert_eq!(probed.outcome, baseline);
+    let outputs = probed.probes.expect("fresh runs produce probe outputs");
+    assert_eq!(outputs.len(), 2);
+    assert_eq!(outputs[0].name, "checker");
+    assert_eq!(outputs[1].name, "metrics");
+
+    // Store-backed: the outcome-only run records the trial; the probed
+    // Sim's cache hit serves it without executing (probes: None).
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let recorder = Sim::from_spec(&plain_spec).unwrap().store(&store);
+    assert_eq!(recorder.run_one(5), baseline);
+    let probed_sim = Sim::from_spec(&probed_spec).unwrap().store(&store);
+    assert_eq!(
+        probed_sim.digest(),
+        recorder.digest(),
+        "probed and outcome-only sims share the content digest"
+    );
+    let hit = probed_sim.run_probed(5);
+    assert_eq!(hit.outcome, baseline);
+    assert!(
+        hit.probes.is_none(),
+        "cache hits skip the engine and probes"
+    );
+    // A seed that is not cached executes, probes and persists.
+    let miss = probed_sim.run_probed(6);
+    assert!(miss.probes.is_some());
+    assert!(store.contains(probed_sim.digest(), 6));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn probed_sweep_streams_outputs_per_trial() {
+    let base = ScenarioSpec::new("trapdoor", 6, 8, 1)
+        .with_adversary("random")
+        .with_probe("checker");
+    let points: Vec<(String, ScenarioSpec)> = vec![
+        ("t=1".to_string(), base.clone()),
+        ("t=3".to_string(), {
+            let mut p = base.clone();
+            p.disruption_bound = 3;
+            p
+        }),
+    ];
+
+    // Outcome stream and aggregates are identical to the unprobed path.
+    let mut unprobed: Vec<(usize, SyncOutcome)> = Vec::new();
+    let plain_report = SweepRunner::new()
+        .run_points_each(points.clone(), 0..4, |point, outcome| {
+            unprobed.push((point, outcome.clone()));
+        })
+        .unwrap();
+    let mut probed: Vec<(usize, SyncOutcome)> = Vec::new();
+    let mut outputs_seen = 0usize;
+    let probed_report = SweepRunner::new()
+        .run_points_probed_each(points, 0..4, |point, outcome, outputs| {
+            probed.push((point, outcome.clone()));
+            let outputs = outputs.expect("storeless probed sweeps execute every trial");
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(outputs[0].name, "checker");
+            assert_eq!(
+                outputs[0].value.get("liveness").and_then(|v| v.as_bool()),
+                Some(outcome.properties.liveness)
+            );
+            outputs_seen += 1;
+        })
+        .unwrap();
+    assert_eq!(unprobed, probed);
+    assert_eq!(outputs_seen, 8);
+    for (a, b) in plain_report.points.iter().zip(&probed_report.points) {
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn first_only_probing_samples_one_seed_per_point() {
+    // The sampling mode behind the --spec probe table: only each point's
+    // first seed carries probe outputs; the outcome stream and aggregates
+    // are unchanged.
+    let base = ScenarioSpec::new("trapdoor", 6, 8, 1)
+        .with_adversary("random")
+        .with_probe("metrics");
+    // Distinct specs per point: the points must not share a store digest,
+    // or one point's executed trials would satisfy the other's cache.
+    let points = vec![
+        ("t=1".to_string(), base.clone()),
+        ("t=3".to_string(), {
+            let mut p = base.clone();
+            p.disruption_bound = 3;
+            p
+        }),
+    ];
+    let mut probed_seeds: Vec<(usize, u64)> = Vec::new();
+    let mut outcomes: Vec<SyncOutcome> = Vec::new();
+    let report = SweepRunner::new()
+        .run_points_probed_first_each(points.clone(), 2..6, |point, outcome, outputs| {
+            outcomes.push(outcome.clone());
+            if outputs.is_some() {
+                probed_seeds.push((point, outcome.seed));
+            }
+        })
+        .unwrap();
+    assert_eq!(probed_seeds, vec![(0, 2), (1, 2)]);
+    let mut plain: Vec<SyncOutcome> = Vec::new();
+    let plain_report = SweepRunner::new()
+        .run_points_each(points.clone(), 2..6, |_, outcome| {
+            plain.push(outcome.clone())
+        })
+        .unwrap();
+    assert_eq!(outcomes, plain);
+    for (a, b) in report.points.iter().zip(&plain_report.points) {
+        assert_eq!(a.stats, b.stats);
+    }
+
+    // With a resume store that already holds the first seed, the sample
+    // moves to the first seed that actually executes.
+    let dir = std::env::temp_dir().join(format!(
+        "wsync-probe-first-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    for (_, spec) in &points {
+        let sim = Sim::from_spec(spec).unwrap().store(&store);
+        sim.run_one(2); // pre-cache seed 2 for both points
+    }
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let mut probed_seeds: Vec<(usize, u64)> = Vec::new();
+    SweepRunner::new()
+        .store(store)
+        .run_points_probed_first_each(points, 2..6, |point, outcome, outputs| {
+            if outputs.is_some() {
+                probed_seeds.push((point, outcome.seed));
+            }
+        })
+        .unwrap();
+    assert_eq!(
+        probed_seeds,
+        vec![(0, 3), (1, 3)],
+        "the probe sample lands on the first seed the cache cannot serve"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,14 @@ use wireless_sync::sync::trapdoor::TrapdoorConfig;
 
 #[test]
 fn registry_names_are_stable() {
+    assert_eq!(
+        wireless_sync::sync::registry::probe_names(),
+        vec![
+            "checker".to_string(),
+            "metrics".to_string(),
+            "trace".to_string(),
+        ]
+    );
     // These strings are serialized into spec files; changing one is a
     // breaking API change and must be deliberate (update this test AND
     // provide a migration note in README.md).
@@ -60,6 +68,7 @@ fn checked_in_example_specs_parse_and_round_trip() {
         "examples/specs/jamming_sweep.json",
         "examples/specs/samaritan_crossover.json",
         "examples/specs/resumable_sweep.json",
+        "examples/specs/probed_run.json",
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let file = wireless_sync::experiments::SpecFile::parse(&text)
