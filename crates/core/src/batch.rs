@@ -39,6 +39,7 @@
 //! # Ok::<(), wsync_core::spec::SpecError>(())
 //! ```
 
+// lint:allow(nondeterministic-iteration): the reorder buffer below is drained by keyed remove(&expected) in ascending seed order; its iteration order is never observed
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -202,6 +203,7 @@ impl BatchRunner {
         F: Fn(u64) -> T + Sync,
     {
         let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
+            // lint:allow(panicky-library): a seed range longer than the address space cannot be collected into a Vec anyway; failing at the cast beats a capacity overflow later
             .expect("seed range length exceeds addressable memory");
         let mut out: Vec<T> = Vec::with_capacity(count);
         let result: Result<(), std::convert::Infallible> =
@@ -243,6 +245,7 @@ impl BatchRunner {
         G: FnMut(u64, T),
     {
         let count = usize::try_from(seeds.end.saturating_sub(seeds.start))
+            // lint:allow(panicky-library): on 64-bit targets this cast cannot fail, and a >usize::MAX trial count could never finish; a precise panic beats silent truncation
             .expect("seed range length exceeds addressable memory");
         let workers = self.workers.min(count);
         if workers <= 1 {
@@ -318,7 +321,11 @@ impl BatchRunner {
                             if stop.load(Ordering::Relaxed) {
                                 return;
                             }
-                            let guard = stall.0.lock().expect("stall gate poisoned");
+                            // The gate guards `()` — a panicking holder
+                            // cannot leave it inconsistent, so poisoning
+                            // is recovered rather than propagated (the
+                            // PanicGuard already re-raises the panic).
+                            let guard = stall.0.lock().unwrap_or_else(|e| e.into_inner());
                             // re-check under the lock so a cursor advance
                             // between the check and the wait is not missed
                             if behind(seed) < REORDER_WINDOW || stop.load(Ordering::Relaxed) {
@@ -327,7 +334,7 @@ impl BatchRunner {
                             let _ = stall
                                 .1
                                 .wait_timeout(guard, std::time::Duration::from_millis(20))
-                                .expect("stall gate poisoned");
+                                .unwrap_or_else(|e| e.into_inner());
                         }
                         match trial(seed) {
                             Ok(value) => {
@@ -338,13 +345,16 @@ impl BatchRunner {
                             Err(e) => {
                                 stop.store(true, Ordering::Relaxed);
                                 {
-                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    // The slot write is a single assignment;
+                                    // a poisoned lock cannot hide a torn one.
+                                    let mut slot =
+                                        first_error.lock().unwrap_or_else(|e| e.into_inner());
                                     if slot.is_none() {
                                         *slot = Some(e);
                                     }
                                 }
                                 // wake any stalled workers so they observe stop
-                                let _guard = stall.0.lock().expect("stall gate poisoned");
+                                let _guard = stall.0.lock().unwrap_or_else(|e| e.into_inner());
                                 stall.1.notify_all();
                                 break;
                             }
@@ -356,7 +366,10 @@ impl BatchRunner {
 
             // Re-order results back into seed order, handing each to the
             // caller the moment its turn comes; only the out-of-order
-            // window is ever held.
+            // window is ever held. The map is drained strictly by
+            // `remove(&expected)` with `expected` counting up, so hashing
+            // gives O(1) hot-loop ops without any order ever leaking out.
+            // lint:allow(nondeterministic-iteration): drained by keyed remove(&expected) in ascending seed order; iteration order is never observed
             let mut pending: HashMap<u64, T> = HashMap::new();
             let mut expected = seeds.start;
             for (seed, value) in rx {
@@ -369,14 +382,14 @@ impl BatchRunner {
                     }
                     cursor.store(expected, Ordering::Release);
                     // wake workers stalled on the window
-                    let _guard = stall.0.lock().expect("stall gate poisoned");
+                    let _guard = stall.0.lock().unwrap_or_else(|e| e.into_inner());
                     stall.1.notify_all();
                 } else {
                     pending.insert(seed, value);
                 }
             }
         });
-        match first_error.into_inner().expect("error slot poisoned") {
+        match first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(e) => Err(e),
             None => Ok(()),
         }

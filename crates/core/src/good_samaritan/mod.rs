@@ -28,7 +28,7 @@ pub use config::{GoodSamaritanConfig, Phase};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsync_radio::action::Action;
 use wsync_radio::frequency::{Frequency, FrequencyBand};
@@ -131,8 +131,11 @@ pub struct GoodSamaritanProtocol {
     /// `choose_action`, consumed in `on_feedback`).
     current_round_special: bool,
     /// Per-contender success counts recorded while acting as a samaritan,
-    /// reset at the start of every super-epoch.
-    success_counts: HashMap<u64, u64>,
+    /// reset at the start of every super-epoch. An ordered map: the
+    /// best-report scan iterates it, and its result feeds broadcast
+    /// payloads (and through them the pinned outcome digests), so
+    /// iteration order must be deterministic by construction.
+    success_counts: BTreeMap<u64, u64>,
     /// Super-epoch for which `success_counts` is currently being collected.
     counts_super_epoch: u32,
 }
@@ -148,7 +151,7 @@ impl GoodSamaritanProtocol {
             output: None,
             band: FrequencyBand::new(config.num_frequencies.max(1)),
             current_round_special: false,
-            success_counts: HashMap::new(),
+            success_counts: BTreeMap::new(),
             counts_super_epoch: 0,
         }
     }

@@ -30,12 +30,12 @@
 //! [`SweepRunner`](crate::sweep::SweepRunner): the in-memory index is
 //! behind an `RwLock` and each shard file behind its own `Mutex`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wsync_radio::engine::{ExecutionResult, NodeSummary};
 use wsync_radio::metrics::SimMetrics;
@@ -139,7 +139,10 @@ pub fn spec_digest(spec: &ScenarioSpec) -> u64 {
 /// behind this same API.
 pub struct ResultStore {
     dir: PathBuf,
-    index: RwLock<HashMap<(u64, u64), SyncOutcome>>,
+    // Ordered map: the index is lookup-only today, but anything that ever
+    // iterates it (a stats endpoint, an export) must see a deterministic
+    // order — keys are trial identities feeding resumable aggregates.
+    index: RwLock<BTreeMap<(u64, u64), SyncOutcome>>,
     shards: Vec<Mutex<Option<File>>>,
     dropped: u64,
     loaded: usize,
@@ -170,7 +173,7 @@ impl ResultStore {
             path: dir.clone(),
             source,
         })?;
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         let mut dropped = 0u64;
         for shard in 0..SHARD_COUNT {
             let path = shard_path(&dir, shard);
@@ -249,9 +252,25 @@ impl ResultStore {
         &self.dir
     }
 
+    /// Read access to the index. A poisoned lock means another thread
+    /// panicked mid-insert; the index may then be missing a record whose
+    /// line was already appended, so no recovery keeps memory and disk
+    /// coherent.
+    fn index_read(&self) -> RwLockReadGuard<'_, BTreeMap<(u64, u64), SyncOutcome>> {
+        // lint:allow(panicky-library): poisoned index = a writer panicked mid-insert; propagating the panic is the only sound option
+        self.index.read().expect("store index poisoned")
+    }
+
+    /// Write access to the index; same poisoning policy as
+    /// [`index_read`](Self::index_read).
+    fn index_write(&self) -> RwLockWriteGuard<'_, BTreeMap<(u64, u64), SyncOutcome>> {
+        // lint:allow(panicky-library): poisoned index = a writer panicked mid-insert; propagating the panic is the only sound option
+        self.index.write().expect("store index poisoned")
+    }
+
     /// Number of records currently held (loaded plus appended).
     pub fn len(&self) -> usize {
-        self.index.read().expect("store index poisoned").len()
+        self.index_read().len()
     }
 
     /// Whether the store holds no records.
@@ -272,19 +291,12 @@ impl ResultStore {
 
     /// Looks up the stored outcome of trial `(digest, seed)`.
     pub fn get(&self, digest: u64, seed: u64) -> Option<SyncOutcome> {
-        self.index
-            .read()
-            .expect("store index poisoned")
-            .get(&(digest, seed))
-            .cloned()
+        self.index_read().get(&(digest, seed)).cloned()
     }
 
     /// Whether trial `(digest, seed)` is already stored.
     pub fn contains(&self, digest: u64, seed: u64) -> bool {
-        self.index
-            .read()
-            .expect("store index poisoned")
-            .contains_key(&(digest, seed))
+        self.index_read().contains_key(&(digest, seed))
     }
 
     /// Records a completed trial, appending one JSONL line to the
@@ -293,7 +305,7 @@ impl ResultStore {
     /// never duplicate lines.
     pub fn put(&self, digest: u64, seed: u64, outcome: &SyncOutcome) -> Result<(), StoreError> {
         {
-            let mut index = self.index.write().expect("store index poisoned");
+            let mut index = self.index_write();
             if index.contains_key(&(digest, seed)) {
                 return Ok(());
             }
@@ -308,6 +320,11 @@ impl ResultStore {
         line.push('\n');
         let shard = shard_for(digest, seed);
         let path = shard_path(&self.dir, shard);
+        // A poisoned shard lock means a thread panicked between buffering
+        // and flushing a line; the file position is unknowable, so appends
+        // must stop. Recovering via into_inner would risk interleaving
+        // half-written records.
+        // lint:allow(panicky-library): poisoned shard writer = a panic mid-append left the file position unknowable; stop instead of corrupting
         let mut guard = self.shards[shard].lock().expect("shard writer poisoned");
         if guard.is_none() {
             let file = OpenOptions::new()
@@ -320,6 +337,7 @@ impl ResultStore {
                 })?;
             *guard = Some(file);
         }
+        // lint:allow(panicky-library): the None branch directly above just filled the slot, so as_mut cannot fail
         let file = guard.as_mut().expect("writer opened above");
         file.write_all(line.as_bytes())
             .and_then(|()| file.flush())

@@ -1,0 +1,435 @@
+//! A hand-rolled, comment- and string-aware Rust token scanner.
+//!
+//! The rules in this crate only need to know *which identifiers appear in
+//! executable positions* — an `unsafe` inside a string literal or a
+//! `HashMap` inside a doc comment must never trigger a finding. A full
+//! Rust parser would be wildly out of proportion; instead this module
+//! scans source text into a flat [`Token`] stream, skipping:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * block comments with arbitrary nesting (`/* /* */ */`),
+//! * string literals with escapes (`"…\"…"`, plus `b"…"` / `c"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * character literals (`'x'`, `'\n'`, `'\''`) while still stepping
+//!   over lifetimes (`'a`, `'static`) and raw identifiers (`r#type`).
+//!
+//! Comments are not discarded entirely: they are mined for the inline
+//! suppression markers of the form
+//! `// lint:allow(rule-a, rule-b): reason text` that scope a finding out
+//! (see [`Suppression`]). Everything else — identifiers and single-char
+//! punctuation — lands in the token stream with a 1-based line number, in
+//! the same spirit as the hand-rolled JSON layer in `wsync-core`.
+
+/// One lexed token: an identifier (including keywords and numeric
+/// literals' alphanumeric tails) or a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text; single character for punctuation.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Whether the token is an identifier/keyword (as opposed to
+    /// punctuation).
+    pub ident: bool,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        !self.ident && self.text == text
+    }
+}
+
+/// An inline suppression marker mined from a comment:
+/// `lint:allow(rule-a, rule-b): reason`.
+///
+/// A marker scopes the named rules out on **its own line and the line
+/// immediately below it** (so it can sit either as a trailing comment on
+/// the offending line or on its own line directly above). The reason text
+/// after the closing `):` is mandatory — a marker without one does *not*
+/// suppress anything and is itself reported (the `unexplained-suppression`
+/// meta finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule names listed inside `lint:allow(…)`.
+    pub rules: Vec<String>,
+    /// 1-based line the marker appears on.
+    pub line: u32,
+    /// The justification after `):` — `None` when missing or empty.
+    pub reason: Option<String>,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Every suppression marker found in comments, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexes `source` into tokens and suppression markers. Never fails:
+/// malformed input (an unterminated string, say) simply ends the stream
+/// at the point the scanner runs out of characters.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                _ if c.is_ascii_digit() => self.numeric_literal(),
+                _ => {
+                    self.out.tokens.push(Token {
+                        text: c.to_string(),
+                        line: self.line,
+                        ident: false,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// …` to end of line; the newline itself is left for `run`.
+    ///
+    /// Doc comments (`///`, `//!`) are documentation, not directives —
+    /// markers are only mined from regular comments, so prose *about*
+    /// `lint:allow` never acts as a suppression.
+    fn line_comment(&mut self) {
+        let is_doc = matches!(self.peek(2), Some('/' | '!'));
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.chars.len() && self.chars[end] != '\n' {
+            end += 1;
+        }
+        if !is_doc {
+            let text: String = self.chars[start..end].iter().collect();
+            let line = self.line;
+            self.mine_suppressions(&text, line);
+        }
+        self.pos = end;
+    }
+
+    /// `/* … */` with nesting; suppression markers keep their exact line.
+    /// Doc blocks (`/** */`, `/*! */`) are skipped for mining, like line
+    /// doc comments.
+    fn block_comment(&mut self) {
+        let is_doc = matches!(self.peek(2), Some('*' | '!')) && self.peek(3) != Some('/');
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut line_text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some('\n'), _) => {
+                    if !is_doc {
+                        let line = self.line;
+                        self.mine_suppressions(&line_text, line);
+                    }
+                    line_text.clear();
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(c), _) => {
+                    line_text.push(c);
+                    self.pos += 1;
+                }
+                (None, _) => break, // unterminated: end of input
+            }
+        }
+        if !is_doc {
+            let line = self.line;
+            self.mine_suppressions(&line_text, line);
+        }
+    }
+
+    /// `"…"` with backslash escapes; multi-line strings keep the line
+    /// counter honest.
+    fn string_literal(&mut self) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    // An escape's payload can't contain an unescaped quote.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                '"' => {
+                    self.pos += 1;
+                    return;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `r"…"` / `r#"…"#` / `br##"…"##`: consume until `"` followed by
+    /// `hashes` hash marks.
+    fn raw_string(&mut self, hashes: usize) {
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => return, // unterminated
+                Some('\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some('"') => {
+                    let mut matched = 0;
+                    while matched < hashes && self.peek(1 + matched) == Some('#') {
+                        matched += 1;
+                    }
+                    self.pos += 1 + matched;
+                    if matched == hashes {
+                        return;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// A character literal (`'x'`, `'\n'`) or a lifetime/label (`'a`,
+    /// `'static`). Disambiguation: a backslash or a `<char>'` pair means
+    /// a literal; otherwise it is a lifetime and only the quote plus the
+    /// identifier are consumed.
+    fn char_or_lifetime(&mut self) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: skip until the closing quote.
+            self.pos += 2; // quote + backslash
+            self.pos += 1; // escaped char (or the 'u' of \u{…})
+            while let Some(c) = self.peek(0) {
+                self.pos += 1;
+                if c == '\'' {
+                    break;
+                }
+            }
+        } else if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            if self.peek(1) == Some('\n') {
+                self.line += 1;
+            }
+            self.pos += 3;
+        } else {
+            // Lifetime or loop label: consume the identifier after the quote.
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// An identifier — unless it turns out to be the prefix of a (raw)
+    /// string literal (`r"…"`, `br#"…"#`, `b"…"`, `c"…"`) or a raw
+    /// identifier (`r#type`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match text.as_str() {
+            "r" | "br" | "cr" => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.pos += hashes; // step onto the opening quote
+                    self.raw_string(hashes);
+                    return;
+                }
+                if text == "r" && hashes == 1 {
+                    // Raw identifier `r#ident`: emit the identifier itself.
+                    self.pos += 1; // the hash
+                    let id_start = self.pos;
+                    while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                        self.pos += 1;
+                    }
+                    let ident: String = self.chars[id_start..self.pos].iter().collect();
+                    if !ident.is_empty() {
+                        self.out.tokens.push(Token {
+                            text: ident,
+                            line: self.line,
+                            ident: true,
+                        });
+                        return;
+                    }
+                }
+                self.push_ident(text);
+            }
+            "b" | "c" if self.peek(0) == Some('"') => self.string_literal(),
+            "b" if self.peek(0) == Some('\'') => self.char_or_lifetime(),
+            _ => self.push_ident(text),
+        }
+    }
+
+    fn push_ident(&mut self, text: String) {
+        self.out.tokens.push(Token {
+            text,
+            line: self.line,
+            ident: true,
+        });
+    }
+
+    /// Numeric literals (including type suffixes like `1u32` and hex
+    /// bodies) carry no signal for any rule; consume and drop them. Dots
+    /// are *not* consumed, so `0..n` and `1.5` still lex predictably.
+    fn numeric_literal(&mut self) {
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Extracts every `lint:allow(rules): reason` marker from one line of
+    /// comment text.
+    fn mine_suppressions(&mut self, text: &str, line: u32) {
+        const MARKER: &str = "lint:allow(";
+        let mut rest = text;
+        while let Some(at) = rest.find(MARKER) {
+            let after = &rest[at + MARKER.len()..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let rules: Vec<String> = after[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = after[close + 1..].trim_start();
+            let reason = tail
+                .strip_prefix(':')
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(str::to_string);
+            self.out.suppressions.push(Suppression {
+                rules,
+                line,
+                reason,
+            });
+            rest = &after[close + 1..];
+        }
+    }
+}
+
+/// Marks the tokens that belong to `#[cfg(test)]` items (conventionally
+/// the in-file test module at the bottom of a source file), so rules that
+/// only audit shipping code can skip them.
+///
+/// The heuristic: a `#[cfg(…)]` attribute whose argument tokens mention
+/// `test` marks the *next item* — every token through the matching `}` of
+/// the item's first brace, or through the first `;` for brace-less items
+/// (`#[cfg(test)] use …;`). Nested braces are tracked, attribute stacking
+/// is supported, and anything unmatched degrades to "not test code"
+/// (strictness wins on malformed input).
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let Some(close) = matching(tokens, i + 1, "[", "]") else {
+                i += 1;
+                continue;
+            };
+            let attr = &tokens[i + 2..close];
+            let is_cfg_test =
+                attr.iter().any(|t| t.is_ident("cfg")) && attr.iter().any(|t| t.is_ident("test"));
+            if !is_cfg_test {
+                i = close + 1;
+                continue;
+            }
+            // Skip any further stacked attributes before the item.
+            let mut j = close + 1;
+            while j < tokens.len()
+                && tokens[j].is_punct("#")
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+            {
+                match matching(tokens, j + 1, "[", "]") {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+            }
+            // The item extends to its first brace's match, or the first
+            // semicolon if one comes sooner.
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                k += 1;
+            }
+            let end = if k < tokens.len() && tokens[k].is_punct("{") {
+                matching(tokens, k, "{", "}").unwrap_or(tokens.len() - 1)
+            } else {
+                k.min(tokens.len() - 1)
+            };
+            for flag in &mut mask[i..=end] {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Index of the token matching the opener at `open_idx`, tracking nesting.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,183 @@
+//! Edge cases of the hand-rolled Rust lexer: the rules only ever see
+//! identifiers in executable positions, so everything comment- and
+//! string-shaped must vanish — while line numbers and suppression
+//! markers stay exact.
+
+use wsync_lint::lexer::{lex, test_regions};
+
+fn ident_texts(source: &str) -> Vec<String> {
+    lex(source)
+        .tokens
+        .into_iter()
+        .filter(|t| t.ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    let src = "a /* one /* two /* three */ still two */ back */ b";
+    assert_eq!(ident_texts(src), ["a", "b"]);
+}
+
+#[test]
+fn unterminated_block_comment_consumes_the_rest() {
+    let src = "a /* unsafe HashMap thread_rng";
+    assert_eq!(ident_texts(src), ["a"]);
+}
+
+#[test]
+fn unsafe_inside_strings_is_not_a_token() {
+    let src = r##"let x = "unsafe { HashMap }"; let y = r#"unsafe " still a string"#; safe"##;
+    let idents = ident_texts(src);
+    assert!(!idents.contains(&"unsafe".to_string()), "{idents:?}");
+    assert!(!idents.contains(&"HashMap".to_string()), "{idents:?}");
+    assert!(idents.contains(&"safe".to_string()));
+}
+
+#[test]
+fn raw_strings_with_hashes_terminate_on_matching_depth() {
+    // The `"#` inside the r##"…"## body must not end the literal.
+    let src = r####"let s = r##"body with "# inside"##; tail"####;
+    assert_eq!(ident_texts(src), ["let", "s", "tail"].map(String::from));
+}
+
+#[test]
+fn raw_string_prefix_is_not_emitted_as_identifier() {
+    let src = r####"let a = r"plain raw"; let b = br#"byte raw"#; end"####;
+    let idents = ident_texts(src);
+    assert!(!idents.contains(&"r".to_string()), "{idents:?}");
+    assert!(!idents.contains(&"br".to_string()), "{idents:?}");
+    assert!(idents.contains(&"end".to_string()));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let src = r#"let s = "he said \"unsafe\" loudly"; done"#;
+    let idents = ident_texts(src);
+    assert!(!idents.contains(&"unsafe".to_string()));
+    assert!(idents.contains(&"done".to_string()));
+}
+
+#[test]
+fn char_literals_and_lifetimes_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) { let q = 'q'; let nl = '\\n'; let quote = '\\''; }";
+    let idents = ident_texts(src);
+    // Lifetime names are consumed, not emitted; char bodies vanish — so
+    // `q` appears once (the binding), never twice (the 'q' literal).
+    assert!(!idents.contains(&"a".to_string()), "{idents:?}");
+    assert_eq!(idents.iter().filter(|t| *t == "q").count(), 1, "{idents:?}");
+    assert!(idents.contains(&"str".to_string()));
+}
+
+#[test]
+fn raw_identifiers_emit_the_inner_name() {
+    let src = "let r#type = 1; let r#unsafe = 2;";
+    let idents = ident_texts(src);
+    assert!(idents.contains(&"type".to_string()));
+    assert!(idents.contains(&"unsafe".to_string()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_constructs() {
+    let src = "first\n/* two\nlines */\n\"str\ning\"\nlast";
+    let lexed = lex(src);
+    let first = lexed.tokens.iter().find(|t| t.is_ident("first")).unwrap();
+    let last = lexed.tokens.iter().find(|t| t.is_ident("last")).unwrap();
+    assert_eq!(first.line, 1);
+    assert_eq!(last.line, 6);
+}
+
+#[test]
+fn suppression_markers_parse_rules_and_reason() {
+    let src = "// lint:allow(wall-clock, ambient-rng): bench-only scaffolding\nlet x = 1;";
+    let lexed = lex(src);
+    assert_eq!(lexed.suppressions.len(), 1);
+    let s = &lexed.suppressions[0];
+    assert_eq!(s.rules, ["wall-clock", "ambient-rng"]);
+    assert_eq!(s.line, 1);
+    assert_eq!(s.reason.as_deref(), Some("bench-only scaffolding"));
+}
+
+#[test]
+fn suppression_without_reason_is_recorded_reasonless() {
+    for src in [
+        "// lint:allow(wall-clock)",
+        "// lint:allow(wall-clock):",
+        "// lint:allow(wall-clock):   ",
+        "// lint:allow(wall-clock) no colon",
+    ] {
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 1, "{src}");
+        assert_eq!(lexed.suppressions[0].reason, None, "{src}");
+    }
+}
+
+#[test]
+fn doc_comments_never_carry_suppressions() {
+    let src = "/// lint:allow(wall-clock): prose about the marker\n\
+               //! lint:allow(wall-clock): module prose\n\
+               /** lint:allow(wall-clock): block prose */\n\
+               // lint:allow(wall-clock): a real marker\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.suppressions.len(), 1);
+    assert_eq!(lexed.suppressions[0].line, 4);
+}
+
+#[test]
+fn block_comment_markers_keep_their_exact_line() {
+    let src = "/*\nline two\nlint:allow(wall-clock): inside a block\n*/";
+    let lexed = lex(src);
+    assert_eq!(lexed.suppressions.len(), 1);
+    assert_eq!(lexed.suppressions[0].line, 3);
+}
+
+#[test]
+fn cfg_test_modules_are_masked() {
+    let src = "fn shipping() { a.unwrap(); }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t() { b.unwrap(); }\n\
+               }\n\
+               fn also_shipping() {}\n";
+    let lexed = lex(src);
+    let mask = test_regions(&lexed.tokens);
+    let flagged: Vec<(&str, bool)> = lexed
+        .tokens
+        .iter()
+        .zip(&mask)
+        .filter(|(t, _)| t.ident)
+        .map(|(t, &m)| (t.text.as_str(), m))
+        .collect();
+    let lookup = |name: &str| {
+        flagged
+            .iter()
+            .find(|(t, _)| *t == name)
+            .unwrap_or_else(|| panic!("{name} not lexed"))
+            .1
+    };
+    assert!(!lookup("shipping"));
+    assert!(lookup("tests"));
+    assert!(lookup("t"));
+    assert!(lookup("b"));
+    assert!(!lookup("also_shipping"));
+}
+
+#[test]
+fn cfg_test_on_braceless_item_masks_through_the_semicolon() {
+    let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+    let lexed = lex(src);
+    let mask = test_regions(&lexed.tokens);
+    let hashmap = lexed
+        .tokens
+        .iter()
+        .position(|t| t.is_ident("HashMap"))
+        .unwrap();
+    let live = lexed
+        .tokens
+        .iter()
+        .position(|t| t.is_ident("live"))
+        .unwrap();
+    assert!(mask[hashmap]);
+    assert!(!mask[live]);
+}

@@ -1,0 +1,37 @@
+//! The gate the CI `lint` job enforces, as a test: the workspace itself
+//! must be clean under `--deny-all`, and every suppression in the tree
+//! must carry a reason.
+
+use std::path::Path;
+
+use wsync_lint::lint_workspace;
+use wsync_lint::rules::RuleRegistry;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let report = lint_workspace(workspace_root(), &RuleRegistry::with_defaults())
+        .expect("workspace walk failed");
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings:\n{}",
+        report.render_human(true)
+    );
+    assert_eq!(report.exit_code(true), 0);
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small walk: {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed > 0,
+        "the tree carries reasoned lint:allow markers; zero suppressions means they stopped matching"
+    );
+}

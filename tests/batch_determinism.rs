@@ -77,6 +77,194 @@ fn generic_map_is_order_and_schedule_independent() {
     assert_eq!(serial, parallel);
 }
 
+// ---------------------------------------------------------------------------
+// Schedule perturbation: the claims above must hold not just across worker
+// counts but across *adversarial schedules*. Each trial below injects a
+// seed-derived yield/sleep before running, so workers finish out of order,
+// stall against the reorder window, and race the collector — and the
+// ordered stream, the folds, and the store contents still may not move.
+// ---------------------------------------------------------------------------
+
+/// A seed-derived scheduling perturbation: scrambles `(seed, salt)` with a
+/// splitmix-style mix and spends the result as nothing / a yield / a sleep
+/// of up to 200µs. Different salts exercise different slow-seed patterns;
+/// the perturbation must be invisible in every observable result.
+fn perturb(seed: u64, salt: u64) {
+    let mut z = seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    match z % 4 {
+        0 => {}
+        1 => std::thread::yield_now(),
+        2 => std::thread::sleep(std::time::Duration::from_micros(z % 200)),
+        _ => {
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_micros(z % 50));
+        }
+    }
+}
+
+#[test]
+fn perturbed_schedules_keep_the_each_stream_bit_identical() {
+    let spec = ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+    let sim = Sim::from_spec(&spec).expect("valid spec");
+    let seeds = 0u64..48;
+
+    // Serial, unperturbed reference stream.
+    let mut reference: Vec<(u64, SyncOutcome)> = Vec::new();
+    BatchRunner::serial()
+        .try_map_each::<_, std::convert::Infallible, _, _>(
+            seeds.clone(),
+            |s| Ok(sim.run_one(s)),
+            |s, o| reference.push((s, o)),
+        )
+        .expect("infallible");
+
+    for workers in 1..=8usize {
+        for salt in [1u64, 2, 3] {
+            let mut got: Vec<(u64, SyncOutcome)> = Vec::new();
+            BatchRunner::with_workers(workers)
+                .try_map_each::<_, std::convert::Infallible, _, _>(
+                    seeds.clone(),
+                    |s| {
+                        perturb(s, salt ^ workers as u64);
+                        Ok(sim.run_one(s))
+                    },
+                    |s, o| got.push((s, o)),
+                )
+                .expect("infallible");
+            assert_eq!(
+                reference, got,
+                "workers={workers} salt={salt}: injected yields/sleeps leaked into the stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn perturbed_schedules_keep_aggregates_bit_identical() {
+    let spec = ScenarioSpec::new("good-samaritan", 10, 8, 3).with_adversary("adaptive-greedy");
+    let sim = Sim::from_spec(&spec).expect("valid spec");
+    let seeds = 200u64..240;
+
+    let fold_under = |workers: usize, salt: u64| -> BatchStats {
+        let mut fold = BatchStatsFold::new();
+        BatchRunner::with_workers(workers)
+            .try_map_each::<_, std::convert::Infallible, _, _>(
+                seeds.clone(),
+                |s| {
+                    perturb(s, salt);
+                    Ok(sim.run_one(s))
+                },
+                |_, o| fold.push(&o),
+            )
+            .expect("infallible");
+        fold.finish()
+    };
+
+    // BatchStats carries floating-point summaries whose folds are
+    // order-sensitive in general; the in-order stream makes them exact.
+    let reference = fold_under(1, 0);
+    for workers in 2..=8usize {
+        assert_eq!(
+            reference,
+            fold_under(workers, workers as u64),
+            "workers={workers}: perturbed schedule changed an aggregate"
+        );
+    }
+    assert_eq!(reference.trials, 40);
+}
+
+/// Everything observable about one sweep run: the worker count, the ordered
+/// `each` stream, the sorted on-disk shard lines, and the per-point stats.
+struct SweepObservation {
+    workers: usize,
+    stream: Vec<(usize, SyncOutcome)>,
+    lines: Vec<String>,
+    stats: Vec<BatchStats>,
+}
+
+#[test]
+fn sweeps_are_schedule_independent_down_to_the_store_bytes() {
+    use std::sync::Arc;
+
+    let points = vec![
+        (
+            "n=6".to_string(),
+            ScenarioSpec::new("trapdoor", 6, 8, 2).with_adversary("random"),
+        ),
+        (
+            "n=10".to_string(),
+            ScenarioSpec::new("good-samaritan", 10, 8, 3).with_adversary("random"),
+        ),
+    ];
+    let seeds = 0u64..12;
+
+    // One fresh record-only store per worker count; every run executes all
+    // trials and persists them, so the shard files must agree byte-for-byte
+    // up to append order.
+    let mut runs: Vec<SweepObservation> = Vec::new();
+    for workers in 1..=8usize {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-perturb-{workers}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+
+        let mut stream: Vec<(usize, SyncOutcome)> = Vec::new();
+        let report = SweepRunner::with_runner(BatchRunner::with_workers(workers))
+            .record_only(Arc::clone(&store))
+            .run_points_each(points.clone(), seeds.clone(), |point, outcome| {
+                stream.push((point, outcome.clone()));
+            })
+            .expect("sweep runs");
+
+        assert_eq!(report.executed_trials(), 24, "record-only reuses nothing");
+
+        // Snapshot the on-disk shard lines, sorted: append order is
+        // schedule-dependent (workers race for the shard mutex), the line
+        // *set* may not be.
+        let mut lines: Vec<String> = Vec::new();
+        for shard in 0..8 {
+            let path = dir.join(format!("shard-{shard:02}.jsonl"));
+            if let Ok(content) = std::fs::read_to_string(&path) {
+                lines.extend(content.lines().map(str::to_string));
+            }
+        }
+        lines.sort_unstable();
+        let stats: Vec<BatchStats> = report.points.iter().map(|p| p.stats.clone()).collect();
+
+        let _ = std::fs::remove_dir_all(&dir);
+        runs.push(SweepObservation {
+            workers,
+            stream,
+            lines,
+            stats,
+        });
+    }
+
+    let reference = &runs[0];
+    assert_eq!(reference.stream.len(), 24);
+    assert!(!reference.lines.is_empty(), "store persisted nothing");
+    for run in &runs[1..] {
+        let workers = run.workers;
+        assert_eq!(
+            reference.stream, run.stream,
+            "workers={workers}: each-stream moved"
+        );
+        assert_eq!(
+            reference.lines, run.lines,
+            "workers={workers}: store bytes moved"
+        );
+        assert_eq!(
+            reference.stats, run.stats,
+            "workers={workers}: point aggregates moved"
+        );
+    }
+}
+
 #[test]
 fn experiment_tables_are_reproducible() {
     // The experiment harness runs its trials through BatchRunner::new(),
