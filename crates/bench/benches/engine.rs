@@ -138,10 +138,66 @@ fn bench_observation_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-hook overhead on the N=256/F=32 headline cell: `none` runs with
+/// an empty fault stack (the `has_faults` fast path — identical workload
+/// to `engine_throughput/N256/F32`, pinning that the hooks cost ≈0 when no
+/// layers are attached), `zero-intensity` attaches all four built-in
+/// layers at zero intensity (per-round stack dispatch but no RNG draws and
+/// no behaviour change), and `active-drop` attaches a single 25% loss
+/// layer (one RNG draw per delivery) for scale.
+fn bench_fault_overhead(c: &mut Criterion) {
+    use wsync_radio::fault::{CaptureLayer, ChurnLayer, DropLayer, FaultLayer, PartitionLayer};
+
+    let mut group = c.benchmark_group("engine_fault_overhead");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    let scenario = Scenario::new(256, 32, 8).with_adversary("random");
+    let config = TrapdoorConfig::new(scenario.upper_bound(), 32, 8);
+    type StackBuilder = fn(usize) -> Vec<Box<dyn FaultLayer>>;
+    let stacks: [(&str, StackBuilder); 3] = [
+        ("none", |_| Vec::new()),
+        ("zero-intensity", |n| {
+            vec![
+                Box::new(DropLayer::new(0.0)),
+                Box::new(CaptureLayer::new(0.0)),
+                Box::new(PartitionLayer::new(n, &[], None)),
+                Box::new(ChurnLayer::new(0.0, 8)),
+            ]
+        }),
+        ("active-drop", |_| vec![Box::new(DropLayer::new(0.25))]),
+    ];
+    for (label, make_stack) in stacks {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| TrapdoorProtocol::new(config),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                for layer in make_stack(s.num_nodes) {
+                    engine.attach_fault(layer);
+                }
+                for _ in 0..ROUNDS {
+                    engine.step();
+                }
+                engine.metrics().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_rounds,
     bench_engine_throughput,
-    bench_observation_overhead
+    bench_observation_overhead,
+    bench_fault_overhead
 );
 criterion_main!(benches);

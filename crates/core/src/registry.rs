@@ -37,6 +37,7 @@ use wsync_radio::adversary::{
     ObliviousScheduleAdversary, RandomAdversary, SweepAdversary, TopWeightAdversary,
 };
 use wsync_radio::engine::ExecutionResult;
+use wsync_radio::fault::{CaptureLayer, ChurnLayer, DropLayer, FaultLayer, PartitionLayer};
 use wsync_radio::message::{Feedback, Received};
 use wsync_radio::metrics::SimMetrics;
 use wsync_radio::node::{ActivationInfo, NodeId};
@@ -726,15 +727,246 @@ impl ProbeFactory for TraceProbeFactory {
 }
 
 // ---------------------------------------------------------------------------
+// Fault factories
+// ---------------------------------------------------------------------------
+
+/// Builds a network-fault layer for a scenario from declarative parameters.
+///
+/// Like the other factories, `build` validates `params` with typed
+/// [`SpecError`]s; [`Sim::from_spec`](crate::sim::Sim::from_spec)
+/// probe-builds once at construction so parameter typos surface before any
+/// trial runs. There is no seed parameter: layers draw randomness only from
+/// the private per-layer stream the engine derives when the layer is
+/// attached ([`Engine::attach_fault`](wsync_radio::engine::Engine)), which
+/// is what keeps a layer's draws independent of every other stream.
+pub trait FaultFactory: Send + Sync {
+    /// Validates `params` and builds the fault layer for one execution.
+    fn build(&self, scenario: &Scenario, params: &Params)
+        -> Result<Box<dyn FaultLayer>, SpecError>;
+}
+
+/// Validates that an already-read `f64` parameter is a probability.
+fn require_probability(component: &str, param: &str, value: Option<f64>) -> Result<f64, SpecError> {
+    let rate = value.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(SpecError::BadParam {
+            component: component.to_string(),
+            param: param.to_string(),
+            expected: "a probability in [0, 1]",
+            found: format!("{rate}"),
+        });
+    }
+    Ok(rate)
+}
+
+/// The `"drop"` fault: whole-delivery loss with probability `drop_rate`
+/// (default `0.0`, which changes nothing).
+struct DropFaultFactory;
+
+impl FaultFactory for DropFaultFactory {
+    fn build(
+        &self,
+        _scenario: &Scenario,
+        params: &Params,
+    ) -> Result<Box<dyn FaultLayer>, SpecError> {
+        let mut reader = ParamReader::new("drop", params);
+        let rate = reader.opt_f64("drop_rate")?;
+        reader.finish()?;
+        Ok(Box::new(DropLayer::new(require_probability(
+            "drop",
+            "drop_rate",
+            rate,
+        )?)))
+    }
+}
+
+/// The `"capture"` fault: per-receiver fading loss with probability
+/// `miss_rate` (default `0.0`, which changes nothing).
+struct CaptureFaultFactory;
+
+impl FaultFactory for CaptureFaultFactory {
+    fn build(
+        &self,
+        _scenario: &Scenario,
+        params: &Params,
+    ) -> Result<Box<dyn FaultLayer>, SpecError> {
+        let mut reader = ParamReader::new("capture", params);
+        let rate = reader.opt_f64("miss_rate")?;
+        reader.finish()?;
+        Ok(Box::new(CaptureLayer::new(require_probability(
+            "capture",
+            "miss_rate",
+            rate,
+        )?)))
+    }
+}
+
+/// The `"partition"` fault: `groups` is an array of arrays of node indices
+/// (nodes left out share one implicit remainder group; an omitted or empty
+/// map changes nothing); optional `heal_at` is the round from which
+/// cross-group deliveries flow again.
+struct PartitionFaultFactory;
+
+impl PartitionFaultFactory {
+    fn parse_groups(scenario: &Scenario, value: &Value) -> Result<Vec<Vec<u32>>, SpecError> {
+        let bad = |found: String| SpecError::BadParam {
+            component: "partition".to_string(),
+            param: "groups".to_string(),
+            expected: "an array of arrays of node indices",
+            found,
+        };
+        let outer = value
+            .as_array()
+            .ok_or_else(|| bad(value.type_name().to_string()))?;
+        let mut groups: Vec<Vec<u32>> = Vec::with_capacity(outer.len());
+        let mut seen = vec![false; scenario.num_nodes];
+        for item in outer {
+            let members = item
+                .as_array()
+                .ok_or_else(|| bad(format!("a group of type {}", item.type_name())))?;
+            let mut group = Vec::with_capacity(members.len());
+            for member in members {
+                let index = member
+                    .as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| bad(format!("group member {:?}", member)))?;
+                if index as usize >= scenario.num_nodes {
+                    return Err(bad(format!(
+                        "node index {index} (the network has {} nodes)",
+                        scenario.num_nodes
+                    )));
+                }
+                if seen[index as usize] {
+                    return Err(bad(format!("node {index} listed in more than one group")));
+                }
+                seen[index as usize] = true;
+                group.push(index);
+            }
+            groups.push(group);
+        }
+        Ok(groups)
+    }
+}
+
+impl FaultFactory for PartitionFaultFactory {
+    fn build(
+        &self,
+        scenario: &Scenario,
+        params: &Params,
+    ) -> Result<Box<dyn FaultLayer>, SpecError> {
+        let mut reader = ParamReader::new("partition", params);
+        let groups = match reader.opt_value("groups") {
+            Some(value) => Self::parse_groups(scenario, value)?,
+            None => Vec::new(),
+        };
+        let heal_at = reader.opt_u64("heal_at")?;
+        reader.finish()?;
+        Ok(Box::new(PartitionLayer::new(
+            scenario.num_nodes,
+            &groups,
+            heal_at,
+        )))
+    }
+}
+
+/// The `"churn"` fault: per-round crash probability `churn_rate` (default
+/// `0.0`, which changes nothing) and per-crash `downtime` in rounds
+/// (default 8, must be positive).
+struct ChurnFaultFactory;
+
+impl FaultFactory for ChurnFaultFactory {
+    fn build(
+        &self,
+        _scenario: &Scenario,
+        params: &Params,
+    ) -> Result<Box<dyn FaultLayer>, SpecError> {
+        let mut reader = ParamReader::new("churn", params);
+        let rate = reader.opt_f64("churn_rate")?;
+        let downtime = reader.opt_u64("downtime")?;
+        reader.finish()?;
+        let rate = require_probability("churn", "churn_rate", rate)?;
+        let downtime = downtime.unwrap_or(8);
+        if downtime == 0 {
+            return Err(SpecError::BadParam {
+                component: "churn".to_string(),
+                param: "downtime".to_string(),
+                expected: "a positive number of rounds",
+                found: "0".to_string(),
+            });
+        }
+        Ok(Box::new(ChurnLayer::new(rate, downtime)))
+    }
+}
+
+/// The `"fault-counters"` probe: sums the per-round fault counters the
+/// engine reports in [`RoundTally`](wsync_radio::trace::RoundTally), so a
+/// spec-driven run can report how many deliveries its fault layers dropped,
+/// suppressed, or severed, and how much churn it injected.
+#[derive(Default)]
+struct FaultCountersProbe {
+    dropped_deliveries: u64,
+    suppressed_receptions: u64,
+    severed_receptions: u64,
+    crashed_node_rounds: u64,
+    restarts: u64,
+}
+
+impl Probe for FaultCountersProbe {
+    fn observe(&mut self, observation: &RoundObservation<'_>) {
+        let tally = &observation.tally;
+        self.dropped_deliveries += u64::from(tally.dropped_deliveries);
+        self.suppressed_receptions += u64::from(tally.suppressed_receptions);
+        self.severed_receptions += u64::from(tally.severed_receptions);
+        self.crashed_node_rounds += u64::from(tally.crashed_nodes);
+        self.restarts += u64::from(tally.restarted_nodes);
+    }
+}
+
+impl SimProbe for FaultCountersProbe {
+    fn finish_value(self: Box<Self>, _result: &ExecutionResult) -> Value {
+        Value::Object(vec![
+            (
+                "dropped_deliveries".to_string(),
+                self.dropped_deliveries.into(),
+            ),
+            (
+                "suppressed_receptions".to_string(),
+                self.suppressed_receptions.into(),
+            ),
+            (
+                "severed_receptions".to_string(),
+                self.severed_receptions.into(),
+            ),
+            (
+                "crashed_node_rounds".to_string(),
+                self.crashed_node_rounds.into(),
+            ),
+            ("restarts".to_string(), self.restarts.into()),
+        ])
+    }
+}
+
+struct FaultCountersProbeFactory;
+
+impl ProbeFactory for FaultCountersProbeFactory {
+    fn build(&self, _scenario: &Scenario, params: &Params) -> Result<Box<dyn SimProbe>, SpecError> {
+        ParamReader::new("fault-counters", params).finish()?;
+        Ok(Box::new(FaultCountersProbe::default()))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
 
-/// A string-keyed catalogue of protocol, adversary, and probe factories.
+/// A string-keyed catalogue of protocol, adversary, probe, and fault-layer
+/// factories.
 #[derive(Clone)]
 pub struct Registry {
     protocols: BTreeMap<String, Arc<dyn ProtocolFactory>>,
     adversaries: BTreeMap<String, Arc<dyn AdversaryFactory>>,
     probes: BTreeMap<String, Arc<dyn ProbeFactory>>,
+    faults: BTreeMap<String, Arc<dyn FaultFactory>>,
 }
 
 impl fmt::Debug for Registry {
@@ -743,6 +975,7 @@ impl fmt::Debug for Registry {
             .field("protocols", &self.protocol_names())
             .field("adversaries", &self.adversary_names())
             .field("probes", &self.probe_names())
+            .field("faults", &self.fault_names())
             .finish()
     }
 }
@@ -760,6 +993,7 @@ impl Registry {
             protocols: BTreeMap::new(),
             adversaries: BTreeMap::new(),
             probes: BTreeMap::new(),
+            faults: BTreeMap::new(),
         }
     }
 
@@ -805,6 +1039,12 @@ impl Registry {
         registry.register_probe("metrics", Arc::new(MetricsProbeFactory));
         registry.register_probe("checker", Arc::new(CheckerProbeFactory));
         registry.register_probe("trace", Arc::new(TraceProbeFactory));
+        registry.register_probe("fault-counters", Arc::new(FaultCountersProbeFactory));
+
+        registry.register_fault("drop", Arc::new(DropFaultFactory));
+        registry.register_fault("capture", Arc::new(CaptureFaultFactory));
+        registry.register_fault("partition", Arc::new(PartitionFaultFactory));
+        registry.register_fault("churn", Arc::new(ChurnFaultFactory));
         registry
     }
 
@@ -829,6 +1069,11 @@ impl Registry {
     /// Registers (or replaces) a probe factory under `name`.
     pub fn register_probe(&mut self, name: impl Into<String>, factory: Arc<dyn ProbeFactory>) {
         self.probes.insert(name.into(), factory);
+    }
+
+    /// Registers (or replaces) a fault-layer factory under `name`.
+    pub fn register_fault(&mut self, name: impl Into<String>, factory: Arc<dyn FaultFactory>) {
+        self.faults.insert(name.into(), factory);
     }
 
     /// Resolves a protocol factory by name.
@@ -864,6 +1109,17 @@ impl Registry {
             })
     }
 
+    /// Resolves a fault-layer factory by name.
+    pub fn fault(&self, name: &str) -> Result<Arc<dyn FaultFactory>, SpecError> {
+        self.faults
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SpecError::UnknownFault {
+                name: name.to_string(),
+                known: self.fault_names(),
+            })
+    }
+
     /// The registered protocol names, sorted.
     pub fn protocol_names(&self) -> Vec<String> {
         self.protocols.keys().cloned().collect()
@@ -877,6 +1133,11 @@ impl Registry {
     /// The registered probe names, sorted.
     pub fn probe_names(&self) -> Vec<String> {
         self.probes.keys().cloned().collect()
+    }
+
+    /// The registered fault-layer names, sorted.
+    pub fn fault_names(&self) -> Vec<String> {
+        self.faults.keys().cloned().collect()
     }
 }
 
@@ -932,6 +1193,19 @@ pub fn resolve_probe(name: &str) -> Result<Arc<dyn ProbeFactory>, SpecError> {
     global().read().expect("registry lock poisoned").probe(name)
 }
 
+/// Registers a fault-layer factory in the process-global registry.
+pub fn register_fault(name: impl Into<String>, factory: Arc<dyn FaultFactory>) {
+    global()
+        .write()
+        .expect("registry lock poisoned")
+        .register_fault(name, factory);
+}
+
+/// Resolves a fault-layer factory from the process-global registry.
+pub fn resolve_fault(name: &str) -> Result<Arc<dyn FaultFactory>, SpecError> {
+    global().read().expect("registry lock poisoned").fault(name)
+}
+
 /// The protocol names in the process-global registry, sorted.
 pub fn protocol_names() -> Vec<String> {
     global()
@@ -956,6 +1230,14 @@ pub fn probe_names() -> Vec<String> {
         .probe_names()
 }
 
+/// The fault-layer names in the process-global registry, sorted.
+pub fn fault_names() -> Vec<String> {
+    global()
+        .read()
+        .expect("registry lock poisoned")
+        .fault_names()
+}
+
 /// Builds the adversary described by `spec` for one `(scenario, seed)`
 /// execution, resolving the name against the process-global registry.
 pub fn build_adversary(
@@ -964,6 +1246,16 @@ pub fn build_adversary(
     seed: u64,
 ) -> Result<BoxedAdversary, SpecError> {
     resolve_adversary(spec.name())?.build(scenario, &spec.params, seed)
+}
+
+/// Builds the fault layer described by `spec` for one scenario, resolving
+/// the name against the process-global registry. Seedless by design: the
+/// engine pairs the layer with its private random stream on attachment.
+pub fn build_fault(
+    spec: &ComponentSpec,
+    scenario: &Scenario,
+) -> Result<Box<dyn FaultLayer>, SpecError> {
+    resolve_fault(spec.name())?.build(scenario, &spec.params)
 }
 
 #[cfg(test)]

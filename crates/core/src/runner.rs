@@ -23,6 +23,7 @@
 use wsync_radio::activation::ActivationSchedule;
 use wsync_radio::adversary::{Adversary, DisruptionSet};
 use wsync_radio::engine::{Engine, SimConfig};
+use wsync_radio::fault::FaultLayer;
 use wsync_radio::frequency::FrequencyBand;
 use wsync_radio::history::History;
 use wsync_radio::node::NodeId;
@@ -270,6 +271,10 @@ pub struct Scenario {
     /// Extra rounds to simulate after everyone synchronized (lets the
     /// checker observe that outputs keep incrementing).
     pub extra_rounds_after_sync: u64,
+    /// Network-fault layers applied between resolution and delivery
+    /// (registry names plus parameters), stacked in declaration order.
+    /// Empty means the classic fault-free execution.
+    pub faults: Vec<ComponentSpec>,
 }
 
 impl Scenario {
@@ -285,6 +290,7 @@ impl Scenario {
             activation: ActivationSchedule::Simultaneous,
             max_rounds: 2_000_000,
             extra_rounds_after_sync: 8,
+            faults: Vec::new(),
         }
     }
 
@@ -310,6 +316,13 @@ impl Scenario {
     /// Sets the round cap.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Appends a network-fault layer — a registry name (`"drop"`) or a
+    /// [`ComponentSpec`] with parameters. Layers stack in the order added.
+    pub fn with_fault(mut self, fault: impl Into<ComponentSpec>) -> Self {
+        self.faults.push(fault.into());
         self
     }
 
@@ -352,7 +365,23 @@ where
     P: SyncProtocol,
     F: FnMut(NodeId) -> P,
 {
-    execute_probed(scenario, factory, adversary, seed, Vec::new()).0
+    let faults = build_scenario_faults(scenario);
+    execute_probed(scenario, factory, adversary, seed, Vec::new(), faults).0
+}
+
+/// Builds the fault layers a scenario declares, resolving names against the
+/// process-global registry. Panics on an unknown name or bad parameters —
+/// callers on the validated [`Sim`] path build layers from factories
+/// resolved at construction instead.
+pub(crate) fn build_scenario_faults(scenario: &Scenario) -> Vec<Box<dyn FaultLayer>> {
+    scenario
+        .faults
+        .iter()
+        .map(|fault| {
+            registry::build_fault(fault, scenario)
+                .unwrap_or_else(|e| panic!("scenario fault failed to build: {e}"))
+        })
+        .collect()
 }
 
 /// [`execute`] with declarative probes attached to the engine's stack.
@@ -365,6 +394,7 @@ pub(crate) fn execute_probed<P, F>(
     adversary: BoxedAdversary,
     seed: u64,
     probes: Vec<registry::RegistryProbe>,
+    faults: Vec<Box<dyn FaultLayer>>,
 ) -> (SyncOutcome, Vec<registry::ProbeOutput>)
 where
     P: SyncProtocol,
@@ -378,6 +408,9 @@ where
         seed,
     )
     .expect("scenario produced an invalid simulation configuration");
+    for layer in faults {
+        engine.attach_fault(layer);
+    }
     let checker_slot = engine.attach_probe(Box::new(PropertyChecker::new()));
     let probe_slots: Vec<usize> = probes
         .into_iter()

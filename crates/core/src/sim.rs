@@ -32,7 +32,8 @@ use std::sync::Arc;
 
 use crate::batch::{BatchRunner, BatchStats};
 use crate::registry::{
-    AdversaryFactory, ProbeFactory, ProbeOutput, ProtocolCtor, Registry, RegistryProbe,
+    AdversaryFactory, FaultFactory, ProbeFactory, ProbeOutput, ProtocolCtor, Registry,
+    RegistryProbe,
 };
 use crate::report::SyncOutcome;
 use crate::runner::{execute_probed, Scenario};
@@ -64,6 +65,7 @@ pub struct Sim {
     ctor: ProtocolCtor,
     adversary: Arc<dyn AdversaryFactory>,
     probes: Vec<(ComponentSpec, Arc<dyn ProbeFactory>)>,
+    faults: Vec<(ComponentSpec, Arc<dyn FaultFactory>)>,
     seeds: Range<u64>,
     digest: u64,
     store: Option<Arc<ResultStore>>,
@@ -87,6 +89,10 @@ impl Sim {
                 .iter()
                 .map(|probe| Ok((probe.clone(), registry::resolve_probe(probe.name())?)))
                 .collect::<Result<_, SpecError>>()?,
+            spec.faults
+                .iter()
+                .map(|fault| Ok((fault.clone(), registry::resolve_fault(fault.name())?)))
+                .collect::<Result<_, SpecError>>()?,
         )
     }
 
@@ -100,6 +106,10 @@ impl Sim {
             spec.probes
                 .iter()
                 .map(|probe| Ok((probe.clone(), registry.probe(probe.name())?)))
+                .collect::<Result<_, SpecError>>()?,
+            spec.faults
+                .iter()
+                .map(|fault| Ok((fault.clone(), registry.fault(fault.name())?)))
                 .collect::<Result<_, SpecError>>()?,
         )
     }
@@ -119,17 +129,21 @@ impl Sim {
         protocol_factory: Arc<dyn crate::registry::ProtocolFactory>,
         adversary_factory: Arc<dyn AdversaryFactory>,
         probe_factories: Vec<(ComponentSpec, Arc<dyn ProbeFactory>)>,
+        fault_factories: Vec<(ComponentSpec, Arc<dyn FaultFactory>)>,
     ) -> Result<Self, SpecError> {
         spec.validate()?;
         let scenario = spec.scenario();
         let ctor = protocol_factory.instantiate(&scenario, &spec.protocol.params)?;
-        // Probe-build the adversary and the probes once so parameter errors
-        // surface here, keeping `run_one`/`run_probed` infallible.
-        // AdversaryFactory's contract requires validation to be
-        // seed-independent, so one probe covers all seeds; probe factories
-        // take no seed at all.
+        // Probe-build the adversary, the probes, and the fault layers once
+        // so parameter errors surface here, keeping `run_one`/`run_probed`
+        // infallible. AdversaryFactory's contract requires validation to be
+        // seed-independent, so one probe covers all seeds; probe and fault
+        // factories take no seed at all.
         adversary_factory.build(&scenario, &spec.adversary.params, 0)?;
         for (component, factory) in &probe_factories {
+            factory.build(&scenario, &component.params)?;
+        }
+        for (component, factory) in &fault_factories {
             factory.build(&scenario, &component.params)?;
         }
         Ok(Sim {
@@ -138,6 +152,7 @@ impl Sim {
             ctor,
             adversary: adversary_factory,
             probes: probe_factories,
+            faults: fault_factories,
             seeds: 0..1,
             digest: spec_digest(spec),
             store: None,
@@ -249,12 +264,22 @@ impl Sim {
         } else {
             Vec::new()
         };
+        let faults: Vec<_> = self
+            .faults
+            .iter()
+            .map(|(component, factory)| {
+                factory
+                    .build(&self.scenario, &component.params)
+                    .expect("fault parameters were validated when the Sim was built")
+            })
+            .collect();
         let (outcome, outputs) = execute_probed(
             &self.scenario,
             |id| (self.ctor)(id),
             adversary,
             seed,
             probes,
+            faults,
         );
         if let Some(store) = &self.store {
             store
@@ -276,6 +301,17 @@ impl Sim {
     /// Whether the spec declares any probes.
     pub fn has_probes(&self) -> bool {
         !self.probes.is_empty()
+    }
+
+    /// The spec's declared fault layers (name-plus-params components), in
+    /// declaration (stack) order.
+    pub fn fault_components(&self) -> Vec<&ComponentSpec> {
+        self.faults.iter().map(|(component, _)| component).collect()
+    }
+
+    /// Whether the spec declares any fault layers.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
     }
 
     /// Runs every seed in the configured range on `runner`'s worker pool

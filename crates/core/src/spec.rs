@@ -52,6 +52,13 @@ pub enum SpecError {
         /// The names the registry does know, sorted.
         known: Vec<String>,
     },
+    /// The spec names a fault layer the registry does not know.
+    UnknownFault {
+        /// The unresolvable name.
+        name: String,
+        /// The names the registry does know, sorted.
+        known: Vec<String>,
+    },
     /// A factory requires a parameter the spec does not provide.
     MissingParam {
         /// The component (protocol/adversary name) that needed it.
@@ -128,6 +135,11 @@ impl fmt::Display for SpecError {
                 "unknown probe \"{name}\"; registered probes: {}",
                 known.join(", ")
             ),
+            SpecError::UnknownFault { name, known } => write!(
+                f,
+                "unknown fault layer \"{name}\"; registered fault layers: {}",
+                known.join(", ")
+            ),
             SpecError::MissingParam { component, param } => {
                 write!(f, "{component}: required parameter \"{param}\" is missing")
             }
@@ -162,8 +174,8 @@ impl fmt::Display for SpecError {
             SpecError::UnknownSweepField { field } => write!(
                 f,
                 "sweep axis \"{field}\" is not sweepable; use num_nodes, num_frequencies, \
-                 disruption_bound, upper_bound_n, max_rounds, protocol.<param>, or \
-                 adversary.<param>"
+                 disruption_bound, upper_bound_n, max_rounds, protocol.<param>, \
+                 adversary.<param>, or fault.<name>.<param>"
             ),
             SpecError::InvalidSeedRange { start, end } => {
                 write!(
@@ -338,6 +350,15 @@ impl<'a> ParamReader<'a> {
             component: self.component.to_string(),
             param: key.to_string(),
         })
+    }
+
+    /// An optional raw-[`Value`] parameter, for factories whose parameter
+    /// shapes the typed accessors cannot express (e.g. the partition fault
+    /// layer's array-of-arrays `groups`). The factory validates the shape
+    /// itself; reading through this method still marks the key as allowed
+    /// for [`finish`](ParamReader::finish).
+    pub fn opt_value(&mut self, key: &'static str) -> Option<&'a Value> {
+        self.lookup(key)
     }
 
     /// An optional list-of-`f64` parameter.
@@ -675,6 +696,11 @@ pub struct ScenarioSpec {
     /// changes neither the outcome nor the trial's store digest — only
     /// what is reported alongside it.
     pub probes: Vec<ComponentSpec>,
+    /// Network-fault layers (registry names + parameters), stacked in
+    /// declaration order between the engine's resolution pass and delivery.
+    /// The `"faults"` key is emitted only when layers are declared, so
+    /// fault-free specs keep their historical wire form byte for byte.
+    pub faults: Vec<ComponentSpec>,
     /// When devices are activated.
     pub activation: ActivationSchedule,
     /// Actual number of participating devices `n`.
@@ -706,6 +732,7 @@ impl ScenarioSpec {
             protocol: protocol.into(),
             adversary: ComponentSpec::named("none"),
             probes: Vec::new(),
+            faults: Vec::new(),
             activation: ActivationSchedule::Simultaneous,
             num_nodes,
             num_frequencies,
@@ -725,6 +752,13 @@ impl ScenarioSpec {
     /// Appends a probe (registry name or name-plus-params component).
     pub fn with_probe(mut self, probe: impl Into<ComponentSpec>) -> Self {
         self.probes.push(probe.into());
+        self
+    }
+
+    /// Appends a network-fault layer (registry name or name-plus-params
+    /// component). Layers stack in declaration order.
+    pub fn with_fault(mut self, fault: impl Into<ComponentSpec>) -> Self {
+        self.faults.push(fault.into());
         self
     }
 
@@ -776,6 +810,7 @@ impl ScenarioSpec {
             activation: self.activation.clone(),
             max_rounds: self.max_rounds,
             extra_rounds_after_sync: self.extra_rounds_after_sync,
+            faults: self.faults.clone(),
         }
     }
 
@@ -785,6 +820,7 @@ impl ScenarioSpec {
             protocol: protocol.into(),
             adversary: scenario.adversary.clone(),
             probes: Vec::new(),
+            faults: scenario.faults.clone(),
             activation: scenario.activation.clone(),
             num_nodes: scenario.num_nodes,
             num_frequencies: scenario.num_frequencies,
@@ -815,6 +851,12 @@ impl ScenarioSpec {
             members.push((
                 "probes".to_string(),
                 Value::Array(self.probes.iter().map(ComponentSpec::to_value).collect()),
+            ));
+        }
+        if !self.faults.is_empty() {
+            members.push((
+                "faults".to_string(),
+                Value::Array(self.faults.iter().map(ComponentSpec::to_value).collect()),
             ));
         }
         members.extend([
@@ -866,6 +908,19 @@ impl ScenarioSpec {
                     spec.probes = items
                         .iter()
                         .map(|item| ComponentSpec::from_value(item, "probes"))
+                        .collect::<Result<Vec<_>, SpecError>>()?;
+                }
+                "faults" => {
+                    let items = v.as_array().ok_or_else(|| SpecError::Malformed {
+                        context: "faults".to_string(),
+                        message: format!(
+                            "expected an array of fault components, found {}",
+                            v.type_name()
+                        ),
+                    })?;
+                    spec.faults = items
+                        .iter()
+                        .map(|item| ComponentSpec::from_value(item, "faults"))
                         .collect::<Result<Vec<_>, SpecError>>()?;
                 }
                 "activation" => spec.activation = activation_from_value(v)?,
@@ -1159,6 +1214,24 @@ fn apply_sweep_value(spec: &mut ScenarioSpec, field: &str, value: &Value) -> Res
     }
     if let Some(param) = field.strip_prefix("adversary.") {
         spec.adversary.params.set(param, value.clone());
+        return Ok(());
+    }
+    if let Some(rest) = field.strip_prefix("fault.") {
+        // "fault.<name>.<param>" targets the declared layer named <name>,
+        // declaring it (parameterless) first if the base spec does not.
+        let (name, param) = rest
+            .split_once('.')
+            .ok_or_else(|| SpecError::UnknownSweepField {
+                field: field.to_string(),
+            })?;
+        let idx = match spec.faults.iter().position(|f| f.name() == name) {
+            Some(idx) => idx,
+            None => {
+                spec.faults.push(ComponentSpec::named(name));
+                spec.faults.len() - 1
+            }
+        };
+        spec.faults[idx].params.set(param, value.clone());
         return Ok(());
     }
     match field {

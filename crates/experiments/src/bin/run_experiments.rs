@@ -8,8 +8,8 @@
 //! ```
 //!
 //! `<ID>` is an experiment identifier (`FIG1`, `FIG2`, `LB1`, `LB2`, `LB3`,
-//! `T10a`–`T10d`, `L9`, `T18a`, `T18b`, `X1`, `X2`, `A1`, `A2`, `FT1`) or
-//! `all`. The default effort is `quick`; `full` reproduces the settings
+//! `T10a`–`T10d`, `L9`, `T18a`, `T18b`, `X1`, `X2`, `A1`, `A2`, `FT1`,
+//! `NF1`, `NF2`) or `all`. The default effort is `quick`; `full` reproduces the settings
 //! recorded in EXPERIMENTS.md. With `--markdown` the tables are emitted as
 //! GitHub-flavoured Markdown instead of aligned plain text.
 //!
@@ -33,8 +33,9 @@ use std::sync::Arc;
 use wsync_core::store::ResultStore;
 use wsync_experiments::output::{Effort, ExperimentReport};
 use wsync_experiments::{
-    ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds, run_all,
-    run_spec_file_stored, samaritan_adaptive, trapdoor_scaling, weight_bound, StoreMode,
+    ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds,
+    network_faults, run_all, run_spec_file_stored, samaritan_adaptive, trapdoor_scaling,
+    weight_bound, StoreMode,
 };
 
 fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
@@ -56,6 +57,8 @@ fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
         "A1" => ablation::a1_epoch_constant(effort),
         "A2" => ablation::a2_frequency_limit(effort),
         "FT1" => fault_tolerance::ft1_leader_crash(effort),
+        "NF1" => network_faults::nf1_drop_rate(effort),
+        "NF2" => network_faults::nf2_partition_healing(effort),
         _ => return None,
     };
     Some(report)
@@ -200,7 +203,7 @@ fn main() -> ExitCode {
             Some(r) => vec![r],
             None => {
                 eprintln!(
-                    "unknown experiment id '{id}'; expected FIG1, FIG2, LB1-LB3, T10a-T10d, L9, T18a, T18b, X1, X2, A1, A2, FT1, or 'all' (or --spec <file.json>)"
+                    "unknown experiment id '{id}'; expected FIG1, FIG2, LB1-LB3, T10a-T10d, L9, T18a, T18b, X1, X2, A1, A2, FT1, NF1, NF2, or 'all' (or --spec <file.json>)"
                 );
                 return ExitCode::FAILURE;
             }

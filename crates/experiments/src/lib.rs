@@ -20,6 +20,7 @@
 //! | [`baseline_comparison`] | X2 | baselines under jamming |
 //! | [`ablation`] | A1, A2 | epoch-constant and `F′` ablations |
 //! | [`fault_tolerance`] | FT1 | Section 8 leader-crash discussion |
+//! | [`network_faults`] | NF1, NF2 | robustness beyond the model: loss and partition faults |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +31,7 @@ pub mod crossover;
 pub mod fault_tolerance;
 pub mod figures;
 pub mod lower_bounds;
+pub mod network_faults;
 pub mod output;
 pub mod samaritan_adaptive;
 pub mod spec_run;
@@ -63,6 +65,8 @@ pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
     reports.push(ablation::a1_epoch_constant(effort));
     reports.push(ablation::a2_frequency_limit(effort));
     reports.push(fault_tolerance::ft1_leader_crash(effort));
+    reports.push(network_faults::nf1_drop_rate(effort));
+    reports.push(network_faults::nf2_partition_healing(effort));
     reports
 }
 
@@ -73,7 +77,7 @@ mod tests {
     #[test]
     fn run_all_smoke_produces_every_report() {
         let reports = run_all(Effort::Smoke);
-        assert_eq!(reports.len(), 17);
+        assert_eq!(reports.len(), 19);
         for r in &reports {
             assert!(!r.id.is_empty());
             assert!(!r.tables.is_empty(), "{} has no tables", r.id);

@@ -1,0 +1,718 @@
+//! Composable network-fault layers: loss, capture/fading, partitions, and
+//! crash/restart churn.
+//!
+//! The paper's adversary model disrupts *frequencies*; real deployments also
+//! lose individual messages, fade individual receivers, partition the
+//! network, and reboot nodes. A [`FaultLayer`] injects exactly those
+//! effects between the engine's resolution pass and delivery: after a round
+//! is resolved (exactly one broadcaster, not jammed), the attached layers
+//! may still drop the delivery outright, suppress individual receivers, or
+//! sever receivers across a partition boundary — and independently force
+//! nodes into a crashed state that resets their protocol state on wake.
+//!
+//! Layers compose in a [`FaultStack`], stacking with any jamming adversary:
+//! the adversary removes frequencies, the fault layers then thin the
+//! surviving deliveries. Each layer draws from its own random stream,
+//! derived from the trial's master seed and the layer's stack index
+//! ([`StreamId::Fault`](crate::rng::StreamId::Fault)), so attaching,
+//! removing, or reordering layers never perturbs the node, adversary, or
+//! activation streams — and a layer at zero intensity draws nothing at all,
+//! leaving the execution bit-identical to a fault-free run (pinned by
+//! `tests/fault_properties.rs`).
+
+use rand::Rng;
+
+use crate::frequency::Frequency;
+use crate::node::NodeId;
+use crate::rng::SimRng;
+
+/// The family a fault layer belongs to; used for attribution when a layer
+/// suppresses a reception (the engine's
+/// [`RoundTally`](crate::trace::RoundTally) splits partition-severed
+/// receptions from capture-suppressed ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Whole-delivery probabilistic message loss.
+    Drop,
+    /// Per-receiver probabilistic capture/fading loss.
+    Capture,
+    /// Cross-partition severing with an optional healing round.
+    Partition,
+    /// Node crash/restart churn.
+    Churn,
+}
+
+impl FaultKind {
+    /// The registry-style name of the kind (`"drop"`, `"capture"`,
+    /// `"partition"`, `"churn"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Capture => "capture",
+            FaultKind::Partition => "partition",
+            FaultKind::Churn => "churn",
+        }
+    }
+}
+
+/// One composable network-fault effect, applied by the engine between
+/// resolution and delivery.
+///
+/// Every hook has a no-op default, so a layer implements only the effects
+/// it models. All randomness must come from the supplied [`SimRng`] — the
+/// engine pairs each attached layer with a private stream derived from the
+/// master seed, which is what keeps executions reproducible and keeps
+/// layers from perturbing each other.
+///
+/// The per-round call order is fixed: [`begin_round`](FaultLayer::begin_round)
+/// first (before activations), then [`is_down`](FaultLayer::is_down) /
+/// [`just_restarted`](FaultLayer::just_restarted) queries during the action
+/// and feedback passes, [`drops_delivery`](FaultLayer::drops_delivery) once
+/// per resolved delivery (in frequency order), and
+/// [`suppresses_receive`](FaultLayer::suppresses_receive) once per listener
+/// on a surviving delivery (in node order).
+pub trait FaultLayer {
+    /// The layer's registry-style name (diagnostics and probe tables).
+    fn name(&self) -> &'static str;
+
+    /// The family this layer belongs to.
+    fn kind(&self) -> FaultKind;
+
+    /// Called once at the top of every round, before activations.
+    /// `activated` holds the per-node activation flags as of the *previous*
+    /// round. Stateful layers (churn) advance their crash/wake state here.
+    fn begin_round(&mut self, round: u64, activated: &[bool], rng: &mut SimRng) {
+        let _ = (round, activated, rng);
+    }
+
+    /// Whether `node` is crashed this round (takes no action, receives no
+    /// feedback, produces no output).
+    fn is_down(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Whether `node` wakes from a crash this round. The engine resets the
+    /// node's protocol state via
+    /// [`Protocol::on_restart`](crate::protocol::Protocol::on_restart) and
+    /// restarts its local round counter.
+    fn just_restarted(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Whether the resolved delivery on `frequency` (from `sender`) is
+    /// dropped whole — no listener receives it.
+    fn drops_delivery(
+        &mut self,
+        round: u64,
+        frequency: Frequency,
+        sender: NodeId,
+        rng: &mut SimRng,
+    ) -> bool {
+        let _ = (round, frequency, sender, rng);
+        false
+    }
+
+    /// Whether `listener`'s reception of the surviving delivery on
+    /// `frequency` (from `sender`) is suppressed — the listener hears
+    /// silence while other listeners may still receive.
+    fn suppresses_receive(
+        &mut self,
+        round: u64,
+        frequency: Frequency,
+        sender: NodeId,
+        listener: NodeId,
+        rng: &mut SimRng,
+    ) -> bool {
+        let _ = (round, frequency, sender, listener, rng);
+        false
+    }
+}
+
+/// An ordered stack of fault layers, each paired with its private random
+/// stream.
+///
+/// Composition mirrors the engine's probe stack: effects union. A delivery
+/// is dropped if *any* layer drops it, a reception is suppressed by the
+/// *first* layer that suppresses it (whose [`FaultKind`] attributes the
+/// loss), and a node is down if any layer holds it down. An empty stack is
+/// free: the engine guards every fault hook behind
+/// [`is_empty`](FaultStack::is_empty).
+#[derive(Default)]
+pub struct FaultStack {
+    layers: Vec<(Box<dyn FaultLayer>, SimRng)>,
+}
+
+impl FaultStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        FaultStack::default()
+    }
+
+    /// Whether no layers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Number of attached layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Appends `layer`, pairing it with `rng` as its private stream.
+    ///
+    /// The engine derives the stream from the master seed and the layer's
+    /// stack index (see
+    /// [`Engine::attach_fault`](crate::engine::Engine::attach_fault));
+    /// direct callers supply whatever stream suits their test.
+    pub fn push(&mut self, layer: Box<dyn FaultLayer>, rng: SimRng) {
+        self.layers.push((layer, rng));
+    }
+
+    /// The attached layers' names, in stack order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|(layer, _)| layer.name()).collect()
+    }
+
+    /// Advances every layer's per-round state.
+    pub fn begin_round(&mut self, round: u64, activated: &[bool]) {
+        for (layer, rng) in &mut self.layers {
+            layer.begin_round(round, activated, rng);
+        }
+    }
+
+    /// Whether any layer holds `node` down this round.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.layers.iter().any(|(layer, _)| layer.is_down(node))
+    }
+
+    /// Whether `node` wakes from a crash this round: some layer restarts it
+    /// and no layer still holds it down.
+    pub fn just_restarted(&self, node: NodeId) -> bool {
+        !self.is_down(node)
+            && self
+                .layers
+                .iter()
+                .any(|(layer, _)| layer.just_restarted(node))
+    }
+
+    /// Consults the layers about the resolved delivery on `frequency`;
+    /// returns the kind of the first layer that drops it.
+    pub fn drops_delivery(
+        &mut self,
+        round: u64,
+        frequency: Frequency,
+        sender: NodeId,
+    ) -> Option<FaultKind> {
+        for (layer, rng) in &mut self.layers {
+            if layer.drops_delivery(round, frequency, sender, rng) {
+                return Some(layer.kind());
+            }
+        }
+        None
+    }
+
+    /// Consults the layers about `listener`'s reception; returns the kind
+    /// of the first layer that suppresses it.
+    pub fn suppresses_receive(
+        &mut self,
+        round: u64,
+        frequency: Frequency,
+        sender: NodeId,
+        listener: NodeId,
+    ) -> Option<FaultKind> {
+        for (layer, rng) in &mut self.layers {
+            if layer.suppresses_receive(round, frequency, sender, listener, rng) {
+                return Some(layer.kind());
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for FaultStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultStack")
+            .field("layers", &self.layer_names())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in layers
+// ---------------------------------------------------------------------------
+
+/// Probabilistic whole-delivery message loss: each resolved delivery is
+/// dropped independently with probability `rate`.
+///
+/// At `rate == 0.0` the layer draws nothing and changes nothing.
+#[derive(Debug, Clone)]
+pub struct DropLayer {
+    rate: f64,
+}
+
+impl DropLayer {
+    /// A loss layer dropping each delivery with probability `rate`
+    /// (clamped to `[0, 1]`).
+    pub fn new(rate: f64) -> Self {
+        DropLayer {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl FaultLayer for DropLayer {
+    fn name(&self) -> &'static str {
+        "drop"
+    }
+
+    fn kind(&self) -> FaultKind {
+        FaultKind::Drop
+    }
+
+    fn drops_delivery(
+        &mut self,
+        _round: u64,
+        _frequency: Frequency,
+        _sender: NodeId,
+        rng: &mut SimRng,
+    ) -> bool {
+        self.rate > 0.0 && rng.gen::<f64>() < self.rate
+    }
+}
+
+/// Per-receiver capture/fading loss: each listener on a surviving delivery
+/// independently misses it with probability `miss_rate`, modelling
+/// receiver-side fading while other listeners still hear the message.
+///
+/// At `miss_rate == 0.0` the layer draws nothing and changes nothing.
+#[derive(Debug, Clone)]
+pub struct CaptureLayer {
+    miss_rate: f64,
+}
+
+impl CaptureLayer {
+    /// A capture layer suppressing each reception with probability
+    /// `miss_rate` (clamped to `[0, 1]`).
+    pub fn new(miss_rate: f64) -> Self {
+        CaptureLayer {
+            miss_rate: miss_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The configured per-reception miss probability.
+    pub fn miss_rate(&self) -> f64 {
+        self.miss_rate
+    }
+}
+
+impl FaultLayer for CaptureLayer {
+    fn name(&self) -> &'static str {
+        "capture"
+    }
+
+    fn kind(&self) -> FaultKind {
+        FaultKind::Capture
+    }
+
+    fn suppresses_receive(
+        &mut self,
+        _round: u64,
+        _frequency: Frequency,
+        _sender: NodeId,
+        _listener: NodeId,
+        rng: &mut SimRng,
+    ) -> bool {
+        self.miss_rate > 0.0 && rng.gen::<f64>() < self.miss_rate
+    }
+}
+
+/// A static partition map with an optional healing round: while unhealed,
+/// a reception is severed whenever sender and listener sit in different
+/// groups. Deterministic — the layer draws no randomness.
+///
+/// Nodes not named by any group form one implicit remainder group, so an
+/// empty map (or a map listing every node in one group) changes nothing.
+#[derive(Debug, Clone)]
+pub struct PartitionLayer {
+    /// Per-node group index; nodes outside every declared group share the
+    /// sentinel remainder group `u32::MAX`.
+    group_of: Vec<u32>,
+    heal_at: Option<u64>,
+    healed: bool,
+}
+
+impl PartitionLayer {
+    /// A partition over `num_nodes` nodes: `groups` lists the node indices
+    /// of each side, and the partition heals (stops severing) at round
+    /// `heal_at` (`None` never heals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group names a node index `>= num_nodes` or names the
+    /// same node twice; the spec-layer factory validates both with typed
+    /// errors before construction.
+    pub fn new(num_nodes: usize, groups: &[Vec<u32>], heal_at: Option<u64>) -> Self {
+        let mut group_of = vec![u32::MAX; num_nodes];
+        for (g, members) in groups.iter().enumerate() {
+            for &node in members {
+                assert!(
+                    (node as usize) < num_nodes,
+                    "partition group {g} names node {node}, but the network has {num_nodes} nodes"
+                );
+                assert!(
+                    group_of[node as usize] == u32::MAX,
+                    "node {node} appears in more than one partition group"
+                );
+                group_of[node as usize] = g as u32;
+            }
+        }
+        PartitionLayer {
+            group_of,
+            heal_at,
+            healed: false,
+        }
+    }
+
+    /// The healing round, if any.
+    pub fn heal_at(&self) -> Option<u64> {
+        self.heal_at
+    }
+}
+
+impl FaultLayer for PartitionLayer {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn kind(&self) -> FaultKind {
+        FaultKind::Partition
+    }
+
+    fn begin_round(&mut self, round: u64, _activated: &[bool], _rng: &mut SimRng) {
+        if let Some(heal) = self.heal_at {
+            self.healed = round >= heal;
+        }
+    }
+
+    fn suppresses_receive(
+        &mut self,
+        _round: u64,
+        _frequency: Frequency,
+        sender: NodeId,
+        listener: NodeId,
+        _rng: &mut SimRng,
+    ) -> bool {
+        !self.healed && self.group_of[sender.index()] != self.group_of[listener.index()]
+    }
+}
+
+/// Crash/restart churn: each activated, running node crashes independently
+/// with probability `rate` per round, stays down for `downtime` rounds, and
+/// then wakes with freshly reset protocol state (the engine calls
+/// [`Protocol::on_restart`](crate::protocol::Protocol::on_restart) and
+/// restarts the node's local round counter).
+///
+/// At `rate == 0.0` the layer draws nothing and changes nothing. A node
+/// cannot crash again in the round it wakes.
+#[derive(Debug, Clone)]
+pub struct ChurnLayer {
+    rate: f64,
+    downtime: u64,
+    /// Per-node wake round while crashed.
+    down_until: Vec<Option<u64>>,
+    /// Per-node flag: woke this round.
+    restarted: Vec<bool>,
+}
+
+impl ChurnLayer {
+    /// A churn layer crashing each running node with probability `rate`
+    /// per round (clamped to `[0, 1]`) for `downtime` rounds per crash
+    /// (raised to at least 1).
+    pub fn new(rate: f64, downtime: u64) -> Self {
+        ChurnLayer {
+            rate: rate.clamp(0.0, 1.0),
+            downtime: downtime.max(1),
+            down_until: Vec::new(),
+            restarted: Vec::new(),
+        }
+    }
+
+    /// The configured per-round crash probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The configured rounds-per-crash downtime.
+    pub fn downtime(&self) -> u64 {
+        self.downtime
+    }
+}
+
+impl FaultLayer for ChurnLayer {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn kind(&self) -> FaultKind {
+        FaultKind::Churn
+    }
+
+    fn begin_round(&mut self, round: u64, activated: &[bool], rng: &mut SimRng) {
+        if self.down_until.len() < activated.len() {
+            self.down_until.resize(activated.len(), None);
+            self.restarted.resize(activated.len(), false);
+        }
+        // Wake pass: nodes whose downtime expired restart this round.
+        for i in 0..activated.len() {
+            self.restarted[i] = false;
+            if let Some(wake) = self.down_until[i] {
+                if round >= wake {
+                    self.down_until[i] = None;
+                    self.restarted[i] = true;
+                }
+            }
+        }
+        // Crash pass: every activated, running node (not one that just
+        // woke) draws once, in node order, from this layer's private
+        // stream — worker scheduling can never reorder the draws.
+        if self.rate > 0.0 {
+            for (i, &active) in activated.iter().enumerate() {
+                if active
+                    && self.down_until[i].is_none()
+                    && !self.restarted[i]
+                    && rng.gen::<f64>() < self.rate
+                {
+                    self.down_until[i] = Some(round + self.downtime);
+                }
+            }
+        }
+    }
+
+    fn is_down(&self, node: NodeId) -> bool {
+        self.down_until
+            .get(node.index())
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    fn just_restarted(&self, node: NodeId) -> bool {
+        self.restarted.get(node.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(42)
+    }
+
+    #[test]
+    fn fault_kind_names_are_the_registry_keys() {
+        assert_eq!(FaultKind::Drop.name(), "drop");
+        assert_eq!(FaultKind::Capture.name(), "capture");
+        assert_eq!(FaultKind::Partition.name(), "partition");
+        assert_eq!(FaultKind::Churn.name(), "churn");
+    }
+
+    #[test]
+    fn zero_rate_layers_never_act_and_never_draw() {
+        let mut stack = FaultStack::new();
+        stack.push(Box::new(DropLayer::new(0.0)), SimRng::from_seed(1));
+        stack.push(Box::new(CaptureLayer::new(0.0)), SimRng::from_seed(2));
+        stack.push(Box::new(ChurnLayer::new(0.0, 8)), SimRng::from_seed(3));
+        stack.push(
+            Box::new(PartitionLayer::new(4, &[], None)),
+            SimRng::from_seed(4),
+        );
+        let activated = [true; 4];
+        for round in 0..64 {
+            stack.begin_round(round, &activated);
+            assert_eq!(
+                stack.drops_delivery(round, Frequency::new(1), NodeId::new(0)),
+                None
+            );
+            assert_eq!(
+                stack.suppresses_receive(round, Frequency::new(1), NodeId::new(0), NodeId::new(1)),
+                None
+            );
+            for i in 0..4 {
+                assert!(!stack.is_down(NodeId::new(i)));
+                assert!(!stack.just_restarted(NodeId::new(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_drop_drops_everything() {
+        let mut layer = DropLayer::new(1.0);
+        let mut r = rng();
+        for round in 0..32 {
+            assert!(layer.drops_delivery(round, Frequency::new(2), NodeId::new(1), &mut r));
+        }
+    }
+
+    #[test]
+    fn rates_are_clamped_into_the_unit_interval() {
+        assert_eq!(DropLayer::new(7.0).rate(), 1.0);
+        assert_eq!(DropLayer::new(-3.0).rate(), 0.0);
+        assert_eq!(CaptureLayer::new(2.0).miss_rate(), 1.0);
+        assert_eq!(ChurnLayer::new(9.0, 0).rate(), 1.0);
+        assert_eq!(ChurnLayer::new(0.5, 0).downtime(), 1);
+    }
+
+    #[test]
+    fn partition_severs_across_groups_until_healing() {
+        let mut layer = PartitionLayer::new(4, &[vec![0, 1], vec![2, 3]], Some(10));
+        let mut r = rng();
+        let activated = [true; 4];
+        layer.begin_round(0, &activated, &mut r);
+        // cross-group severed, intra-group delivered
+        assert!(layer.suppresses_receive(
+            0,
+            Frequency::new(1),
+            NodeId::new(0),
+            NodeId::new(2),
+            &mut r
+        ));
+        assert!(!layer.suppresses_receive(
+            0,
+            Frequency::new(1),
+            NodeId::new(0),
+            NodeId::new(1),
+            &mut r
+        ));
+        // healed from round 10 on
+        layer.begin_round(10, &activated, &mut r);
+        assert!(!layer.suppresses_receive(
+            10,
+            Frequency::new(1),
+            NodeId::new(0),
+            NodeId::new(2),
+            &mut r
+        ));
+    }
+
+    #[test]
+    fn remainder_nodes_share_one_implicit_group() {
+        let mut layer = PartitionLayer::new(4, &[vec![0]], None);
+        let mut r = rng();
+        layer.begin_round(0, &[true; 4], &mut r);
+        // 1, 2, 3 are all in the remainder group together
+        assert!(!layer.suppresses_receive(
+            0,
+            Frequency::new(1),
+            NodeId::new(1),
+            NodeId::new(3),
+            &mut r
+        ));
+        // but severed from the declared group
+        assert!(layer.suppresses_receive(
+            0,
+            Frequency::new(1),
+            NodeId::new(0),
+            NodeId::new(3),
+            &mut r
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one partition group")]
+    fn duplicate_partition_membership_panics() {
+        PartitionLayer::new(4, &[vec![0, 1], vec![1, 2]], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "the network has 2 nodes")]
+    fn out_of_range_partition_member_panics() {
+        PartitionLayer::new(2, &[vec![0, 5]], None);
+    }
+
+    #[test]
+    fn churn_crashes_wake_after_downtime_with_a_restart_flag() {
+        let mut layer = ChurnLayer::new(1.0, 3);
+        let mut r = rng();
+        let activated = [true; 2];
+        layer.begin_round(0, &activated, &mut r);
+        assert!(
+            layer.is_down(NodeId::new(0)),
+            "rate 1.0 crashes immediately"
+        );
+        // down through rounds 1 and 2, wakes at round 3
+        for round in 1..3 {
+            layer.begin_round(round, &activated, &mut r);
+            assert!(layer.is_down(NodeId::new(0)));
+            assert!(!layer.just_restarted(NodeId::new(0)));
+        }
+        layer.begin_round(3, &activated, &mut r);
+        assert!(!layer.is_down(NodeId::new(0)));
+        assert!(layer.just_restarted(NodeId::new(0)));
+        // the wake round is crash-exempt; the next round it can crash again
+        layer.begin_round(4, &activated, &mut r);
+        assert!(layer.is_down(NodeId::new(0)));
+    }
+
+    #[test]
+    fn churn_ignores_unactivated_nodes() {
+        let mut layer = ChurnLayer::new(1.0, 2);
+        let mut r = rng();
+        layer.begin_round(0, &[false, true], &mut r);
+        assert!(!layer.is_down(NodeId::new(0)));
+        assert!(layer.is_down(NodeId::new(1)));
+    }
+
+    #[test]
+    fn stack_attributes_suppression_to_the_first_acting_layer() {
+        let mut stack = FaultStack::new();
+        stack.push(
+            Box::new(PartitionLayer::new(4, &[vec![0, 1], vec![2, 3]], None)),
+            SimRng::from_seed(1),
+        );
+        stack.push(Box::new(CaptureLayer::new(1.0)), SimRng::from_seed(2));
+        stack.begin_round(0, &[true; 4]);
+        // cross-partition: the partition layer answers first
+        assert_eq!(
+            stack.suppresses_receive(0, Frequency::new(1), NodeId::new(0), NodeId::new(2)),
+            Some(FaultKind::Partition)
+        );
+        // intra-partition: the capture layer suppresses
+        assert_eq!(
+            stack.suppresses_receive(0, Frequency::new(1), NodeId::new(0), NodeId::new(1)),
+            Some(FaultKind::Capture)
+        );
+        assert_eq!(stack.layer_names(), vec!["partition", "capture"]);
+        assert_eq!(stack.len(), 2);
+        assert!(!stack.is_empty());
+    }
+
+    #[test]
+    fn layer_streams_are_independent_of_stack_composition() {
+        // The drop layer's verdict sequence must not move when an unrelated
+        // layer joins the stack: private streams mean layers cannot perturb
+        // each other.
+        let verdicts = |with_partition: bool| -> Vec<Option<FaultKind>> {
+            let mut stack = FaultStack::new();
+            if with_partition {
+                stack.push(
+                    Box::new(PartitionLayer::new(4, &[], None)),
+                    SimRng::from_seed(77),
+                );
+            }
+            stack.push(Box::new(DropLayer::new(0.5)), SimRng::from_seed(11));
+            (0..64)
+                .map(|round| {
+                    stack.begin_round(round, &[true; 4]);
+                    stack.drops_delivery(round, Frequency::new(1), NodeId::new(0))
+                })
+                .collect()
+        };
+        assert_eq!(verdicts(false), verdicts(true));
+    }
+}

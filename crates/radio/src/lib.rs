@@ -25,6 +25,9 @@
 //!   in the paper's Theorem 1 and oblivious adversaries as assumed by the
 //!   Good Samaritan analysis),
 //! * pluggable [`activation`] schedules,
+//! * composable network-[`fault`] layers (message loss, capture/fading,
+//!   partitions with healing, crash/restart churn) that stack with any
+//!   jamming adversary,
 //! * one streaming observation pipeline — the [`probe`] module's
 //!   [`Probe`] trait and owned [`ProbeStack`] — through which execution
 //!   [`trace`]s, [`metrics`], the adversary-visible [`history`], and
@@ -88,6 +91,7 @@ pub mod activation;
 pub mod adversary;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod frequency;
 pub mod history;
 pub mod message;
@@ -109,6 +113,9 @@ pub mod prelude {
     };
     pub use crate::engine::{Engine, ExecutionResult, HistoryRetention, NodeSummary, SimConfig};
     pub use crate::error::{ConfigError, Result};
+    pub use crate::fault::{
+        CaptureLayer, ChurnLayer, DropLayer, FaultKind, FaultLayer, FaultStack, PartitionLayer,
+    };
     pub use crate::frequency::{Frequency, FrequencyBand};
     pub use crate::history::{History, RoundRecord};
     pub use crate::message::{Feedback, Received};

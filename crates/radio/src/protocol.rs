@@ -53,6 +53,20 @@ pub trait Protocol {
     fn is_synchronized(&self) -> bool {
         self.output().is_some()
     }
+
+    /// Called when the node wakes up after a crash injected by a
+    /// [`fault layer`](crate::fault::FaultLayer): a crashed node loses its
+    /// volatile protocol state and rejoins the execution as if freshly
+    /// activated (its local round counter restarts at 0).
+    ///
+    /// The default implementation re-runs
+    /// [`on_activate`](Protocol::on_activate), which is the right reset for
+    /// every protocol in this workspace; override only if the protocol keeps
+    /// stable storage that survives a crash. Fault-free executions never
+    /// call this.
+    fn on_restart(&mut self, info: ActivationInfo, rng: &mut SimRng) {
+        self.on_activate(info, rng);
+    }
 }
 
 #[cfg(test)]

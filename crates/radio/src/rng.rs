@@ -32,6 +32,8 @@ pub enum StreamId {
     Identifiers,
     /// A caller-defined auxiliary stream.
     Custom(u64),
+    /// The stream used by the fault layer with the given stack index.
+    Fault(u32),
 }
 
 impl StreamId {
@@ -42,6 +44,7 @@ impl StreamId {
             StreamId::Activation => 0x3000_0000_0000_0000,
             StreamId::Identifiers => 0x4000_0000_0000_0000,
             StreamId::Custom(c) => 0x5000_0000_0000_0000 ^ c,
+            StreamId::Fault(i) => 0x6000_0000_0000_0000 | u64::from(i),
         }
     }
 }

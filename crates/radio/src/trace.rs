@@ -29,13 +29,20 @@ pub enum NodeView {
         /// Output value after this round.
         output: Option<u64>,
     },
+    /// The node was activated but is currently down, forced off the air by a
+    /// churn [`fault layer`](crate::fault::FaultLayer). A crashed node takes
+    /// no action, receives no feedback, and produces no output; it rejoins
+    /// (with reset protocol state) when the layer wakes it. Fault-free
+    /// executions never produce this view.
+    Crashed,
 }
 
 impl NodeView {
-    /// The output if the node is active.
+    /// The output if the node is active (a crashed node has none — it is
+    /// treated like a not-yet-activated node by output-based checks).
     pub fn output(&self) -> Option<Option<u64>> {
         match self {
-            NodeView::Inactive => None,
+            NodeView::Inactive | NodeView::Crashed => None,
             NodeView::Active { output } => Some(*output),
         }
     }
@@ -57,6 +64,8 @@ pub enum ActionView {
     Listen(Frequency),
     /// The node broadcast on the given frequency.
     Broadcast(Frequency),
+    /// The node is down this round (churn fault layer); it took no action.
+    Crashed,
 }
 
 /// A successful message delivery in one round.
@@ -98,6 +107,20 @@ pub struct RoundTally {
     pub disrupted_frequencies: u32,
     /// Whether the adversary exceeded the bound `t` and was clamped.
     pub adversary_clamped: bool,
+    /// Deliveries resolved by the engine but dropped whole by a loss fault
+    /// layer (no listener on the frequency received anything).
+    pub dropped_deliveries: u32,
+    /// Receptions suppressed per-listener by a capture/fading fault layer
+    /// (the delivery itself survived for other listeners).
+    pub suppressed_receptions: u32,
+    /// Receptions severed by a partition fault layer (sender and listener
+    /// sat in different partition groups before healing).
+    pub severed_receptions: u32,
+    /// Activated nodes that spent this round crashed (churn fault layer).
+    pub crashed_nodes: u32,
+    /// Nodes that woke from a crash at the beginning of this round with
+    /// freshly reset protocol state.
+    pub restarted_nodes: u32,
 }
 
 /// Everything a probe or observer sees about one completed round.

@@ -265,6 +265,157 @@ fn sweeps_are_schedule_independent_down_to_the_store_bytes() {
     }
 }
 
+/// A scenario carrying the full fault stack at *non-zero* intensities:
+/// message loss, capture fading, a healing 3|5 partition, and node churn
+/// all active at once, stacked on a jamming adversary. Every fault layer
+/// draws from its own per-trial `StreamId::Fault(i)` RNG stream, so the
+/// determinism guarantees above must hold unchanged.
+fn faulty_spec() -> ScenarioSpec {
+    let groups = wireless_sync::sync::json::Value::Array(vec![
+        wireless_sync::sync::json::Value::Array((0..3u32).map(Into::into).collect()),
+        wireless_sync::sync::json::Value::Array((3..8u32).map(Into::into).collect()),
+    ]);
+    ScenarioSpec::new("trapdoor", 8, 8, 2)
+        .with_adversary("random")
+        .with_fault(ComponentSpec::named("drop").with("drop_rate", 0.2))
+        .with_fault(ComponentSpec::named("capture").with("miss_rate", 0.1))
+        .with_fault(
+            ComponentSpec::named("partition")
+                .with("groups", groups)
+                .with("heal_at", 64u64),
+        )
+        .with_fault(
+            ComponentSpec::named("churn")
+                .with("churn_rate", 0.01)
+                .with("downtime", 4u64),
+        )
+        .with_max_rounds(50_000)
+}
+
+#[test]
+fn perturbed_schedules_with_a_full_fault_stack_keep_the_stream_and_folds_identical() {
+    let sim = Sim::from_spec(&faulty_spec()).expect("valid faulty spec");
+    let seeds = 0u64..32;
+
+    // Serial, unperturbed reference: the ordered stream and its fold.
+    let mut reference: Vec<(u64, SyncOutcome)> = Vec::new();
+    let mut reference_fold = BatchStatsFold::new();
+    BatchRunner::serial()
+        .try_map_each::<_, std::convert::Infallible, _, _>(
+            seeds.clone(),
+            |s| Ok(sim.run_one(s)),
+            |s, o| {
+                reference_fold.push(&o);
+                reference.push((s, o));
+            },
+        )
+        .expect("infallible");
+    let reference_stats = reference_fold.finish();
+
+    for workers in 1..=8usize {
+        for salt in [5u64, 6] {
+            let mut got: Vec<(u64, SyncOutcome)> = Vec::new();
+            let mut fold = BatchStatsFold::new();
+            BatchRunner::with_workers(workers)
+                .try_map_each::<_, std::convert::Infallible, _, _>(
+                    seeds.clone(),
+                    |s| {
+                        perturb(s, salt ^ workers as u64);
+                        Ok(sim.run_one(s))
+                    },
+                    |s, o| {
+                        fold.push(&o);
+                        got.push((s, o));
+                    },
+                )
+                .expect("infallible");
+            assert_eq!(
+                reference, got,
+                "workers={workers} salt={salt}: fault RNG leaked across the schedule"
+            );
+            assert_eq!(
+                reference_stats,
+                fold.finish(),
+                "workers={workers} salt={salt}: faulty-run aggregates moved"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulty_sweeps_are_schedule_independent_down_to_the_store_bytes() {
+    use std::sync::Arc;
+
+    // Two grid points over the faulty base — the drop rate itself is the
+    // sweep axis, exercising the `fault.<name>.<param>` path under every
+    // worker count.
+    let sweep = SweepSpec::new(faulty_spec(), 0..10)
+        .with_axis("fault.drop.drop_rate", vec![0.1.into(), 0.35.into()]);
+    let points: Vec<(String, ScenarioSpec)> = sweep
+        .expand()
+        .expect("valid sweep")
+        .into_iter()
+        .map(|point| (point.label, point.spec))
+        .collect();
+
+    let mut runs: Vec<SweepObservation> = Vec::new();
+    for workers in 1..=8usize {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-fault-perturb-{workers}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+
+        let mut stream: Vec<(usize, SyncOutcome)> = Vec::new();
+        let report = SweepRunner::with_runner(BatchRunner::with_workers(workers))
+            .record_only(Arc::clone(&store))
+            .run_points_each(points.clone(), 0..10, |point, outcome| {
+                perturb(outcome.max_rounds_to_sync().unwrap_or(0) ^ point as u64, 11);
+                stream.push((point, outcome.clone()));
+            })
+            .expect("sweep runs");
+
+        let mut lines: Vec<String> = Vec::new();
+        for shard in 0..8 {
+            let path = dir.join(format!("shard-{shard:02}.jsonl"));
+            if let Ok(content) = std::fs::read_to_string(&path) {
+                lines.extend(content.lines().map(str::to_string));
+            }
+        }
+        lines.sort_unstable();
+        let stats: Vec<BatchStats> = report.points.iter().map(|p| p.stats.clone()).collect();
+
+        let _ = std::fs::remove_dir_all(&dir);
+        runs.push(SweepObservation {
+            workers,
+            stream,
+            lines,
+            stats,
+        });
+    }
+
+    let reference = &runs[0];
+    assert_eq!(reference.stream.len(), 20);
+    assert!(!reference.lines.is_empty(), "store persisted nothing");
+    for run in &runs[1..] {
+        let workers = run.workers;
+        assert_eq!(
+            reference.stream, run.stream,
+            "workers={workers}: faulty each-stream moved"
+        );
+        assert_eq!(
+            reference.lines, run.lines,
+            "workers={workers}: faulty store bytes moved"
+        );
+        assert_eq!(
+            reference.stats, run.stats,
+            "workers={workers}: faulty point aggregates moved"
+        );
+    }
+}
+
 #[test]
 fn experiment_tables_are_reproducible() {
     // The experiment harness runs its trials through BatchRunner::new(),

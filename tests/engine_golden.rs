@@ -275,6 +275,173 @@ fn probe_stack_runs_reproduce_the_golden_digests() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Faulty-run goldens: the same digest pinning for executions with fault
+// layers attached. These were recorded when the fault subsystem landed and
+// pin its exact RNG-stream consumption — a layer drawing one extra (or one
+// fewer) random number, or consulting streams in a different order, moves
+// every digest below while leaving the fault-free `GOLDEN` table untouched.
+// ---------------------------------------------------------------------------
+
+/// `(name, spec, seed)` for six fault configurations: each built-in layer
+/// alone, the issue's canonical drop+partition+churn stack, and the full
+/// four-layer stack on an adaptive jammer.
+fn faulty_golden_specs() -> Vec<(&'static str, ScenarioSpec, u64)> {
+    let base = || ScenarioSpec::new("trapdoor", 8, 8, 2).with_adversary("random");
+    let halves = || {
+        wireless_sync::sync::json::Value::Array(vec![
+            wireless_sync::sync::json::Value::Array((0..4u32).map(Into::into).collect()),
+            wireless_sync::sync::json::Value::Array((4..8u32).map(Into::into).collect()),
+        ])
+    };
+    vec![
+        (
+            "faulty/drop-0.25",
+            base().with_fault(ComponentSpec::named("drop").with("drop_rate", 0.25)),
+            42,
+        ),
+        (
+            "faulty/capture-0.2",
+            base().with_fault(ComponentSpec::named("capture").with("miss_rate", 0.2)),
+            42,
+        ),
+        (
+            "faulty/partition-heal-128",
+            base().with_fault(
+                ComponentSpec::named("partition")
+                    .with("groups", halves())
+                    .with("heal_at", 128u64),
+            ),
+            42,
+        ),
+        (
+            "faulty/churn-0.01",
+            base().with_fault(
+                ComponentSpec::named("churn")
+                    .with("churn_rate", 0.01)
+                    .with("downtime", 8u64),
+            ),
+            42,
+        ),
+        (
+            "faulty/drop+partition+churn",
+            base()
+                .with_fault(ComponentSpec::named("drop").with("drop_rate", 0.15))
+                .with_fault(
+                    ComponentSpec::named("partition")
+                        .with("groups", halves())
+                        .with("heal_at", 96u64),
+                )
+                .with_fault(
+                    ComponentSpec::named("churn")
+                        .with("churn_rate", 0.005)
+                        .with("downtime", 6u64),
+                ),
+            7,
+        ),
+        (
+            "faulty/full-stack/adaptive-greedy",
+            ScenarioSpec::new("trapdoor", 8, 8, 2)
+                .with_adversary("adaptive-greedy")
+                .with_fault(ComponentSpec::named("drop").with("drop_rate", 0.1))
+                .with_fault(ComponentSpec::named("capture").with("miss_rate", 0.1))
+                .with_fault(
+                    ComponentSpec::named("partition")
+                        .with("groups", halves())
+                        .with("heal_at", 64u64),
+                )
+                .with_fault(
+                    ComponentSpec::named("churn")
+                        .with("churn_rate", 0.005)
+                        .with("downtime", 4u64),
+                ),
+            13,
+        ),
+    ]
+}
+
+/// `(name, digest, rounds_executed, leaders, all_synchronized,
+/// total_violations)` recorded when the fault subsystem landed.
+const FAULTY_GOLDEN: &[(&str, u64, u64, usize, bool, u64)] = &[
+    ("faulty/drop-0.25", 0x207b2637dd01cfba, 195, 1, true, 0),
+    ("faulty/capture-0.2", 0x3411d557bd5dba07, 195, 1, true, 0),
+    (
+        "faulty/partition-heal-128",
+        0x90552995a78f6e40,
+        200,
+        1,
+        true,
+        0,
+    ),
+    ("faulty/churn-0.01", 0x156fbe55586da009, 716, 1, true, 35),
+    (
+        "faulty/drop+partition+churn",
+        0x5036ddda8dc136da,
+        193,
+        1,
+        true,
+        0,
+    ),
+    (
+        "faulty/full-stack/adaptive-greedy",
+        0x95030a2d3c5112a0,
+        206,
+        1,
+        false,
+        0,
+    ),
+];
+
+#[test]
+fn fault_layer_runs_match_pinned_golden_digests() {
+    let produced: Vec<(&'static str, SyncOutcome)> = faulty_golden_specs()
+        .into_iter()
+        .map(|(name, spec, seed)| (name, run_spec(spec, seed)))
+        .collect();
+    assert_eq!(produced.len(), FAULTY_GOLDEN.len());
+    for ((name, outcome), &(g_name, g_digest, g_rounds, g_leaders, g_synced, g_violations)) in
+        produced.iter().zip(FAULTY_GOLDEN)
+    {
+        assert_eq!(*name, g_name, "case order drifted");
+        assert_eq!(
+            outcome.result.rounds_executed, g_rounds,
+            "{name}: rounds_executed moved"
+        );
+        assert_eq!(outcome.leaders, g_leaders, "{name}: leader count moved");
+        assert_eq!(
+            outcome.result.all_synchronized, g_synced,
+            "{name}: synchronization verdict moved"
+        );
+        assert_eq!(
+            outcome.properties.total_violations, g_violations,
+            "{name}: violation count moved"
+        );
+        assert_eq!(
+            digest(outcome),
+            g_digest,
+            "{name}: faulty-run digest moved — a fault layer's RNG-stream \
+             consumption or its placement in the round lifecycle changed"
+        );
+    }
+}
+
+/// Re-recording helper for the faulty table.
+#[test]
+#[ignore = "run with --ignored --nocapture to re-record the faulty golden table"]
+fn print_faulty_golden_table() {
+    for (name, spec, seed) in faulty_golden_specs() {
+        let outcome = run_spec(spec, seed);
+        println!(
+            "    (\"{name}\", 0x{:016x}, {}, {}, {}, {}),",
+            digest(&outcome),
+            outcome.result.rounds_executed,
+            outcome.leaders,
+            outcome.result.all_synchronized,
+            outcome.properties.total_violations,
+        );
+    }
+}
+
 /// Re-recording helper: prints the `GOLDEN` table for the current engine.
 #[test]
 #[ignore = "run with --ignored --nocapture to re-record the golden table"]

@@ -1,0 +1,232 @@
+//! Property tests of the composable fault-layer subsystem.
+//!
+//! The central contract: a fault stack whose every layer is at **zero
+//! intensity** (`drop_rate = 0`, `miss_rate = 0`, an empty partition map,
+//! `churn_rate = 0`) is *invisible* — it produces bit-identical
+//! [`SyncOutcome`]s, identical stored outcome encodings, and identical
+//! probe-visible behaviour to the same spec with no `"faults"` key at all.
+//! Zero-intensity layers must not even consume RNG draws, so the guarantee
+//! holds per trial, not just in aggregate.
+//!
+//! At the same time the *spec digests* of the two forms must **differ**:
+//! `spec_digest` strips only the `"probes"` block (probes are observers),
+//! while `"faults"` change the executed physics and therefore must never
+//! share a cache entry with the fault-free spec — even when the declared
+//! intensities happen to be zero. (Regression guard against over-eager
+//! digest stripping.)
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use wireless_sync::prelude::*;
+use wireless_sync::sync::store::{outcome_to_value, spec_digest};
+
+const PROTOCOLS: [&str; 5] = [
+    "trapdoor",
+    "good-samaritan",
+    "wakeup",
+    "round-robin",
+    "single-frequency",
+];
+const ADVERSARIES: [&str; 5] = ["none", "random", "fixed-band", "sweep", "adaptive-greedy"];
+
+/// Stacks all four built-in fault layers onto `spec` at zero intensity:
+/// a lossless `drop`, a perfect-reception `capture`, a partition with an
+/// empty group map (everyone in one component), and a churn layer that
+/// never crashes anyone.
+fn with_zero_intensity_stack(spec: &ScenarioSpec) -> ScenarioSpec {
+    spec.clone()
+        .with_fault(ComponentSpec::named("drop").with("drop_rate", 0.0))
+        .with_fault(ComponentSpec::named("capture").with("miss_rate", 0.0))
+        .with_fault("partition")
+        .with_fault(ComponentSpec::named("churn").with("churn_rate", 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random scenarios across every registered protocol and every
+    /// parameterless adversary: the zero-intensity stack changes nothing
+    /// about the outcome, trial by trial.
+    #[test]
+    fn zero_intensity_fault_stack_is_bit_invisible(
+        protocol_idx in 0usize..5,
+        adversary_idx in 0usize..5,
+        n in 2usize..9,
+        f_extra in 0u32..7,
+        seed in 0u64..1000,
+        staggered in any::<bool>(),
+    ) {
+        let f = 2 + f_extra;
+        let t = f / 2;
+        let mut plain = ScenarioSpec::new(PROTOCOLS[protocol_idx], n, f, t)
+            .with_adversary(ADVERSARIES[adversary_idx])
+            .with_max_rounds(3_000);
+        if staggered {
+            plain = plain.with_activation(ActivationSchedule::Staggered { gap: 3 });
+        }
+        let faulty = with_zero_intensity_stack(&plain);
+
+        let plain_outcome = Sim::from_spec(&plain).expect("valid spec").run_one(seed);
+        let faulty_outcome = Sim::from_spec(&faulty).expect("valid spec").run_one(seed);
+        prop_assert_eq!(&plain_outcome, &faulty_outcome);
+
+        // Bit-identical all the way through the store encoding: the JSONL
+        // record bodies (the part keyed by the digest) match byte for byte.
+        prop_assert_eq!(
+            outcome_to_value(&plain_outcome).to_json_compact(),
+            outcome_to_value(&faulty_outcome).to_json_compact()
+        );
+
+        // …but the wire forms and cache identities must NOT collapse: the
+        // faulty spec declares its layers and digests differently, while
+        // the plain spec's serialization carries no "faults" key at all.
+        prop_assert!(!plain.to_json().contains("\"faults\""));
+        prop_assert!(faulty.to_json().contains("\"faults\""));
+        prop_assert_ne!(spec_digest(&plain), spec_digest(&faulty));
+    }
+
+    /// Zero-intensity layers are invisible *individually* too, not just as
+    /// the canonical four-layer stack — each layer alone, in either
+    /// position of a two-layer stack.
+    #[test]
+    fn each_zero_intensity_layer_is_individually_invisible(
+        layer_idx in 0usize..4,
+        adversary_idx in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let layers = [
+            ComponentSpec::named("drop").with("drop_rate", 0.0),
+            ComponentSpec::named("capture").with("miss_rate", 0.0),
+            ComponentSpec::named("partition"),
+            ComponentSpec::named("churn").with("churn_rate", 0.0),
+        ];
+        let plain = ScenarioSpec::new("trapdoor", 6, 8, 2)
+            .with_adversary(ADVERSARIES[adversary_idx])
+            .with_max_rounds(3_000);
+        let reference = Sim::from_spec(&plain).expect("valid spec").run_one(seed);
+
+        let solo = plain.clone().with_fault(layers[layer_idx].clone());
+        prop_assert_eq!(
+            &reference,
+            &Sim::from_spec(&solo).expect("valid spec").run_one(seed)
+        );
+
+        let stacked = plain
+            .clone()
+            .with_fault(layers[layer_idx].clone())
+            .with_fault(layers[(layer_idx + 1) % layers.len()].clone());
+        prop_assert_eq!(
+            &reference,
+            &Sim::from_spec(&stacked).expect("valid spec").run_one(seed)
+        );
+    }
+}
+
+/// The full 5 protocols × 5 adversaries grid at a fixed shape: one
+/// deterministic sweep over everything the registry offers, so a failure
+/// here names the exact (protocol, adversary) pair that regressed.
+#[test]
+fn zero_fault_identity_holds_across_the_full_registry_grid() {
+    for protocol in PROTOCOLS {
+        for adversary in ADVERSARIES {
+            let plain = ScenarioSpec::new(protocol, 6, 8, 2)
+                .with_adversary(adversary)
+                .with_max_rounds(3_000);
+            let faulty = with_zero_intensity_stack(&plain);
+            let plain_sim = Sim::from_spec(&plain).expect("valid spec");
+            let faulty_sim = Sim::from_spec(&faulty).expect("valid spec");
+            for seed in [0u64, 1, 17] {
+                assert_eq!(
+                    plain_sim.run_one(seed),
+                    faulty_sim.run_one(seed),
+                    "{protocol} vs {adversary}, seed {seed}: zero-intensity stack leaked"
+                );
+            }
+        }
+    }
+}
+
+/// Store-level identity: recording both specs into content-addressed
+/// stores produces record lines that differ **only** in the spec digest —
+/// the `"seed"` and `"outcome"` fields agree byte for byte, and each
+/// outcome read back through either digest is the same value.
+#[test]
+fn zero_fault_store_records_agree_on_everything_but_the_digest() {
+    let plain = ScenarioSpec::new("trapdoor", 8, 8, 2)
+        .with_adversary("random")
+        .with_max_rounds(50_000);
+    let faulty = with_zero_intensity_stack(&plain);
+    let plain_digest = spec_digest(&plain);
+    let faulty_digest = spec_digest(&faulty);
+    assert_ne!(
+        plain_digest, faulty_digest,
+        "a faulty spec must never share a cache entry with the fault-free spec"
+    );
+
+    let dir = std::env::temp_dir().join(format!(
+        "wsync-fault-props-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ResultStore::open(&dir).expect("open store"));
+
+    let seeds = 0u64..6;
+    SweepRunner::new()
+        .record_only(Arc::clone(&store))
+        .run_points_each(
+            vec![
+                ("plain".to_string(), plain.clone()),
+                ("faulty".to_string(), faulty.clone()),
+            ],
+            seeds.clone(),
+            |_, _| {},
+        )
+        .expect("sweep runs");
+
+    for seed in seeds {
+        let from_plain = store.get(plain_digest, seed).expect("plain trial stored");
+        let from_faulty = store.get(faulty_digest, seed).expect("faulty trial stored");
+        assert_eq!(
+            from_plain, from_faulty,
+            "seed {seed}: stored outcomes diverged"
+        );
+        assert_eq!(
+            outcome_to_value(&from_plain).to_json_compact(),
+            outcome_to_value(&from_faulty).to_json_compact(),
+            "seed {seed}: stored outcome encodings diverged"
+        );
+    }
+
+    // Line-level check: strip the digest prefix of every record and the
+    // two specs' shard contents become the same multiset of bytes.
+    let mut plain_bodies: Vec<String> = Vec::new();
+    let mut faulty_bodies: Vec<String> = Vec::new();
+    let plain_prefix = format!("{{\"spec\":\"{plain_digest:016x}\",");
+    let faulty_prefix = format!("{{\"spec\":\"{faulty_digest:016x}\",");
+    for shard in 0..8 {
+        let path = dir.join(format!("shard-{shard:02}.jsonl"));
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for line in content.lines() {
+            if let Some(body) = line.strip_prefix(&plain_prefix) {
+                plain_bodies.push(body.to_string());
+            } else if let Some(body) = line.strip_prefix(&faulty_prefix) {
+                faulty_bodies.push(body.to_string());
+            } else {
+                panic!("unrecognized record line: {line}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    plain_bodies.sort_unstable();
+    faulty_bodies.sort_unstable();
+    assert_eq!(plain_bodies.len(), 6);
+    assert_eq!(
+        plain_bodies, faulty_bodies,
+        "record bodies must be bit-identical once the digest is stripped"
+    );
+}

@@ -337,7 +337,7 @@ fn probed_specs_round_trip_and_validate() {
     match Sim::from_spec(&unknown) {
         Err(SpecError::UnknownProbe { name, known }) => {
             assert_eq!(name, "oscilloscope");
-            assert_eq!(known, vec!["checker", "metrics", "trace"]);
+            assert_eq!(known, vec!["checker", "fault-counters", "metrics", "trace"]);
         }
         other => panic!("expected UnknownProbe, got {other:?}", other = other.err()),
     }

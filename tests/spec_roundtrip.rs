@@ -26,8 +26,18 @@ fn registry_names_are_stable() {
         wireless_sync::sync::registry::probe_names(),
         vec![
             "checker".to_string(),
+            "fault-counters".to_string(),
             "metrics".to_string(),
             "trace".to_string(),
+        ]
+    );
+    assert_eq!(
+        wireless_sync::sync::registry::fault_names(),
+        vec![
+            "capture".to_string(),
+            "churn".to_string(),
+            "drop".to_string(),
+            "partition".to_string(),
         ]
     );
     // These strings are serialized into spec files; changing one is a
@@ -69,6 +79,7 @@ fn checked_in_example_specs_parse_and_round_trip() {
         "examples/specs/samaritan_crossover.json",
         "examples/specs/resumable_sweep.json",
         "examples/specs/probed_run.json",
+        "examples/specs/faulty_run.json",
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let file = wireless_sync::experiments::SpecFile::parse(&text)
