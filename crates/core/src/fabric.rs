@@ -1,0 +1,733 @@
+//! The multi-process sweep fabric: shard-level leases over a shared
+//! [`ResultStore`] directory.
+//!
+//! A sweep's trials are a pure function of `(spec digest, seed)`, and the
+//! store already routes every record to one of [`SHARD_COUNT`] JSONL
+//! shards by [`shard_index`]. The fabric turns that routing into a work
+//! partition: a **worker process claims one shard at a time via a lease
+//! file next to the shard** (`shard-NN.lease`), becomes that shard's only
+//! writer, executes exactly the trials whose `(digest, seed)` map to it,
+//! and releases the lease when the shard holds every one of them. N
+//! independent OS processes pointed at the same store directory therefore
+//! drain the same [`SweepSpec`] without ever duplicating work or
+//! interleaving appends within a shard file.
+//!
+//! The lease protocol is built from three filesystem primitives that are
+//! atomic on every platform the workspace targets:
+//!
+//! * **Claim** — `O_CREAT|O_EXCL` (`create_new`): exactly one process
+//!   creates the lease file; everyone else sees `AlreadyExists`.
+//! * **Heartbeat** — rewriting the lease body in place refreshes the
+//!   file's mtime. A lease whose mtime is older than the configured TTL
+//!   is *stale*: its holder is presumed dead (`kill -9`, OOM, power
+//!   loss).
+//! * **Reclaim** — `rename` of the stale lease to a tombstone: of any
+//!   number of racing reclaimers exactly one rename succeeds, and the
+//!   losers observe `NotFound`. The winner deletes the tombstone and the
+//!   shard becomes claimable again.
+//!
+//! Crashes need no cleanup pass: a dead worker's shard is left exactly as
+//! a killed `--out` run leaves a store — complete lines plus at most one
+//! torn tail — and the next holder repairs it under the lease (see
+//! [`ResultStore::repair_shard`]) before appending. The orchestrating
+//! parent finishes with an ordinary single-process resume pass, which
+//! also produces the run's aggregates, so the final stdout and the sorted
+//! shard bytes are identical to a 1-process run no matter how many
+//! workers ran or died.
+//!
+//! Wall-clock time appears in exactly one decision — "is this lease's
+//! holder still alive?" — and is confined to the private `clock` boundary
+//! module; no simulated quantity ever depends on it.
+
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::json::{self, Value};
+use crate::sim::Sim;
+use crate::spec::{SpecError, SweepSpec};
+use crate::store::{fnv1a, shard_index, ResultStore, StoreError, SHARD_COUNT};
+
+/// The fabric's wall-clock boundary. Lease staleness is the one decision
+/// in the workspace that is *inherently* wall-clock: it measures whether
+/// another OS process is still alive, not anything about simulated
+/// executions — trials themselves remain pure functions of
+/// `(spec digest, seed)` regardless of what this module observes.
+mod clock {
+    use std::io;
+    use std::path::Path;
+    use std::time::Duration;
+    // lint:allow(wall-clock): lease staleness measures OS-process liveness (dead holders), not simulated time; confined to this boundary module
+    use std::time::SystemTime;
+
+    /// Age of the file at `path`: now minus its mtime, saturating to zero
+    /// if another machine's clock wrote an mtime in our future (NFS and
+    /// friends) — a lease from the future is simply "fresh".
+    pub fn file_age(path: &Path) -> io::Result<Duration> {
+        let modified = std::fs::metadata(path)?.modified()?;
+        // lint:allow(wall-clock): comparing a lease mtime against now is the single sanctioned wall-clock read; see module docs
+        let now = SystemTime::now();
+        Ok(now.duration_since(modified).unwrap_or(Duration::ZERO))
+    }
+}
+
+/// An error raised by fabric orchestration: spec expansion, store I/O, or
+/// the lease files themselves.
+#[derive(Debug)]
+pub enum FabricError {
+    /// Expanding or validating the sweep failed.
+    Spec(SpecError),
+    /// Reading from or appending to the result store failed.
+    Store(StoreError),
+    /// Creating, refreshing, or releasing a lease file failed.
+    Lease {
+        /// The lease (or tombstone) file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Spec(e) => write!(f, "{e}"),
+            FabricError::Store(e) => write!(f, "{e}"),
+            FabricError::Lease { path, source } => {
+                write!(f, "fabric lease error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Spec(e) => Some(e),
+            FabricError::Store(e) => Some(e),
+            FabricError::Lease { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SpecError> for FabricError {
+    fn from(e: SpecError) -> Self {
+        FabricError::Spec(e)
+    }
+}
+
+impl From<StoreError> for FabricError {
+    fn from(e: StoreError) -> Self {
+        FabricError::Store(e)
+    }
+}
+
+/// How a fabric worker identifies itself and judges its peers.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// This worker's identity, written into every lease it holds. Must be
+    /// unique among concurrently running workers (the orchestrator uses
+    /// `"<pid>"` or `"worker-<k>"`).
+    pub holder: String,
+    /// A lease whose file has not been refreshed for this long is stale
+    /// and may be reclaimed. Must comfortably exceed the slowest single
+    /// trial plus scheduler noise: a *live* worker heartbeats every
+    /// trial.
+    pub lease_ttl: Duration,
+    /// How long a worker sleeps between passes when every remaining shard
+    /// is held by a live peer.
+    pub poll_interval: Duration,
+}
+
+impl FabricConfig {
+    /// A config with the default TTL (30 s) and poll interval (25 ms).
+    pub fn new(holder: impl Into<String>) -> Self {
+        FabricConfig {
+            holder: holder.into(),
+            lease_ttl: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+
+    /// Overrides the stale-lease TTL.
+    pub fn lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = ttl;
+        self
+    }
+
+    /// Overrides the idle poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+}
+
+/// One observable step of a worker's run, for progress reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// The worker claimed a shard's lease and is now its only writer.
+    ShardClaimed {
+        /// The claimed shard.
+        shard: usize,
+    },
+    /// The worker finished a shard: every trial mapped to it is stored.
+    ShardComplete {
+        /// The finished shard.
+        shard: usize,
+        /// Trials this worker executed for the shard.
+        executed: u64,
+        /// Trials already stored when the worker got there.
+        cached: u64,
+    },
+    /// The shard is incomplete but held by a live peer; the worker will
+    /// come back to it.
+    ShardBusy {
+        /// The busy shard.
+        shard: usize,
+        /// The peer's holder identity (`"?"` if unreadable).
+        holder: String,
+    },
+    /// The worker reclaimed a stale lease left by a dead peer.
+    LeaseReclaimed {
+        /// The reclaimed shard.
+        shard: usize,
+        /// The dead peer's holder identity (`"?"` if unreadable).
+        holder: String,
+    },
+    /// The worker's own lease disappeared mid-shard (reclaimed after a
+    /// stall longer than the TTL); it abandoned the shard immediately.
+    LeaseLost {
+        /// The abandoned shard.
+        shard: usize,
+    },
+}
+
+/// What one worker did over its whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Leases successfully claimed.
+    pub shards_claimed: u64,
+    /// Trials executed by this worker.
+    pub trials_executed: u64,
+    /// Trials found already stored while working claimed shards.
+    pub trials_cached: u64,
+    /// Stale leases reclaimed from dead peers.
+    pub leases_reclaimed: u64,
+    /// Own leases lost mid-shard.
+    pub leases_lost: u64,
+    /// Idle passes slept through while peers held incomplete shards.
+    pub idle_passes: u64,
+}
+
+/// A held shard lease. Holding it makes this process the shard's only
+/// writer until [`release`](Lease::release) or until the file goes stale
+/// and a peer reclaims it.
+#[derive(Debug)]
+struct Lease {
+    path: PathBuf,
+    shard: usize,
+    holder: String,
+    beat: u64,
+}
+
+impl Lease {
+    /// Refreshes the lease file (bumping the heartbeat counter and the
+    /// mtime). Returns `false` if the lease is no longer ours — the file
+    /// vanished or names another holder, meaning a peer reclaimed it
+    /// after we stalled past the TTL — in which case the caller must
+    /// abandon the shard without appending another record.
+    ///
+    /// The verify-then-write pair is not atomic; the remaining race
+    /// window is microseconds against a TTL of seconds, and a reclaim
+    /// only happens at all when this process has made no heartbeat for a
+    /// full TTL.
+    fn heartbeat(&mut self) -> Result<bool, FabricError> {
+        match fs::read_to_string(&self.path) {
+            Ok(text) if lease_holder(&text).as_deref() == Some(self.holder.as_str()) => {}
+            Ok(_) => return Ok(false),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(source) => {
+                return Err(FabricError::Lease {
+                    path: self.path.clone(),
+                    source,
+                })
+            }
+        }
+        self.beat += 1;
+        fs::write(&self.path, lease_body(self.shard, &self.holder, self.beat)).map_err(
+            |source| FabricError::Lease {
+                path: self.path.clone(),
+                source,
+            },
+        )?;
+        Ok(true)
+    }
+
+    /// Removes the lease file, surrendering the shard. A no-op if the
+    /// lease was already reclaimed by a peer.
+    fn release(self) -> Result<(), FabricError> {
+        match fs::read_to_string(&self.path) {
+            Ok(text) if lease_holder(&text).as_deref() == Some(self.holder.as_str()) => {
+                match fs::remove_file(&self.path) {
+                    Ok(()) => Ok(()),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                    Err(source) => Err(FabricError::Lease {
+                        path: self.path,
+                        source,
+                    }),
+                }
+            }
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(source) => Err(FabricError::Lease {
+                path: self.path,
+                source,
+            }),
+        }
+    }
+}
+
+/// The lease file guarding `shard` in `dir`.
+pub fn lease_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.lease"))
+}
+
+fn lease_body(shard: usize, holder: &str, beat: u64) -> String {
+    let mut body = Value::Object(vec![
+        ("shard".to_string(), Value::Int(shard as i64)),
+        ("holder".to_string(), Value::Str(holder.to_string())),
+        ("beat".to_string(), Value::Int(beat as i64)),
+    ])
+    .to_json_compact();
+    body.push('\n');
+    body
+}
+
+/// The holder recorded in a lease file's body, if it parses.
+fn lease_holder(text: &str) -> Option<String> {
+    let value = json::parse(text.trim()).ok()?;
+    Some(value.get("holder")?.as_str()?.to_string())
+}
+
+/// Reads the holder of `shard`'s lease in `dir`: `Ok(None)` if no lease
+/// file exists, `"?"` if one exists but is unreadable (e.g. a claim that
+/// died between create and write — staleness still reclaims it).
+pub fn read_lease(dir: &Path, shard: usize) -> Result<Option<String>, FabricError> {
+    let path = lease_path(dir, shard);
+    match fs::read_to_string(&path) {
+        Ok(text) => Ok(Some(lease_holder(&text).unwrap_or_else(|| "?".to_string()))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(source) => Err(FabricError::Lease { path, source }),
+    }
+}
+
+/// Attempts to claim `shard`'s lease. `Ok(None)` means someone else holds
+/// it (fresh or stale — the caller decides whether to reclaim).
+fn try_claim(dir: &Path, shard: usize, holder: &str) -> Result<Option<Lease>, FabricError> {
+    let path = lease_path(dir, shard);
+    match OpenOptions::new().write(true).create_new(true).open(&path) {
+        Ok(mut file) => {
+            file.write_all(lease_body(shard, holder, 0).as_bytes())
+                .map_err(|source| FabricError::Lease {
+                    path: path.clone(),
+                    source,
+                })?;
+            Ok(Some(Lease {
+                path,
+                shard,
+                holder: holder.to_string(),
+                beat: 0,
+            }))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+        Err(source) => Err(FabricError::Lease { path, source }),
+    }
+}
+
+/// If `shard`'s lease is stale (mtime older than `ttl`), renames it to a
+/// tombstone — an atomic race that exactly one reclaimer wins — and
+/// removes the tombstone, freeing the shard for a fresh claim. Returns
+/// the dead holder's identity on success, `Ok(None)` if the lease is
+/// fresh, vanished, or lost the rename race.
+fn reclaim_if_stale(
+    dir: &Path,
+    shard: usize,
+    holder: &str,
+    ttl: Duration,
+) -> Result<Option<String>, FabricError> {
+    let path = lease_path(dir, shard);
+    let age = match clock::file_age(&path) {
+        Ok(age) => age,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(source) => return Err(FabricError::Lease { path, source }),
+    };
+    if age < ttl {
+        return Ok(None);
+    }
+    let prior = fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| lease_holder(&t))
+        .unwrap_or_else(|| "?".to_string());
+    // The tombstone name is derived from the *reclaimer*, so racing
+    // reclaimers target distinct names and the rename itself is the
+    // arbiter: the source file disappears for everyone but the winner.
+    let tomb = dir.join(format!(
+        ".shard-{shard:02}.lease.tomb-{:016x}",
+        fnv1a(holder.as_bytes())
+    ));
+    match fs::rename(&path, &tomb) {
+        Ok(()) => {
+            let _ = fs::remove_file(&tomb);
+            Ok(Some(prior))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(source) => Err(FabricError::Lease { path, source }),
+    }
+}
+
+/// Removes every lease and tombstone file under `dir`, returning how many
+/// were removed. For the orchestrating parent **after all workers have
+/// exited**: crashed workers leave lease files behind, and the final
+/// single-process resume pass should start from a clean directory.
+pub fn clean_leases(dir: impl AsRef<Path>) -> Result<usize, FabricError> {
+    let dir = dir.as_ref();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(source) => {
+            return Err(FabricError::Lease {
+                path: dir.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry.map_err(|source| FabricError::Lease {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_lease = name.starts_with("shard-") && name.ends_with(".lease");
+        let is_tomb = name.starts_with(".shard-") && name.contains(".lease.tomb-");
+        if is_lease || is_tomb {
+            match fs::remove_file(entry.path()) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(source) => {
+                    return Err(FabricError::Lease {
+                        path: entry.path(),
+                        source,
+                    })
+                }
+            }
+        }
+    }
+    Ok(removed)
+}
+
+/// Runs one fabric worker to completion: claims shards of `store_dir` one
+/// at a time, executes every trial of `sweep` that maps to a claimed
+/// shard and is not already stored, and returns once **every** shard of
+/// the sweep is complete — whether this worker or its peers finished
+/// them. Emits [`WorkerEvent`]s through `on_event` as it goes.
+///
+/// The worker is crash-equivalent to a killed `--out` run: at any instant
+/// its claimed shard holds only complete, decodable lines plus at most
+/// one torn tail, so `--resume` (or the next lease holder) continues
+/// exactly as if a single-process sweep had been interrupted.
+///
+/// Workers scan shards starting at an offset derived from their holder
+/// identity, so concurrent workers spread over different shards instead
+/// of convoying on shard 0.
+pub fn run_worker<F>(
+    store_dir: impl AsRef<Path>,
+    sweep: &SweepSpec,
+    config: &FabricConfig,
+    mut on_event: F,
+) -> Result<WorkerSummary, FabricError>
+where
+    F: FnMut(&WorkerEvent),
+{
+    let dir = store_dir.as_ref();
+    let store = ResultStore::open_shared(dir)?;
+    let seeds = sweep.seeds()?;
+    let points = sweep.expand()?;
+    let sims: Vec<Sim> = points
+        .iter()
+        .map(|point| Sim::from_spec(&point.spec))
+        .collect::<Result<_, SpecError>>()?;
+    let digests: Vec<u64> = sims.iter().map(Sim::digest).collect();
+
+    // Partition the sweep's trials by their store shard: the shard is the
+    // fabric's unit of work, and the holder of its lease executes exactly
+    // the trials routed to it (in deterministic point-major order).
+    let mut by_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); SHARD_COUNT];
+    for (point, &digest) in digests.iter().enumerate() {
+        for seed in seeds.clone() {
+            by_shard[shard_index(digest, seed)].push((point, seed));
+        }
+    }
+
+    let start = (fnv1a(config.holder.as_bytes()) % SHARD_COUNT as u64) as usize;
+    let mut done: Vec<bool> = by_shard.iter().map(Vec::is_empty).collect();
+    let mut summary = WorkerSummary::default();
+
+    loop {
+        let mut progress = false;
+        for offset in 0..SHARD_COUNT {
+            let shard = (start + offset) % SHARD_COUNT;
+            if done[shard] {
+                continue;
+            }
+            // A peer may have completed the shard since we last looked:
+            // merge its appends and skip the shard if nothing is missing.
+            store.refresh_shard(shard)?;
+            if by_shard[shard]
+                .iter()
+                .all(|&(point, seed)| store.contains(digests[point], seed))
+            {
+                done[shard] = true;
+                progress = true;
+                continue;
+            }
+            match try_claim(dir, shard, &config.holder)? {
+                Some(mut lease) => {
+                    summary.shards_claimed += 1;
+                    on_event(&WorkerEvent::ShardClaimed { shard });
+                    // Single writer now: repair a dead predecessor's torn
+                    // tail before appending (also merges its good records
+                    // into our index, so they count as cached below).
+                    store.repair_shard(shard)?;
+                    let mut executed = 0u64;
+                    let mut cached = 0u64;
+                    let mut lost = false;
+                    for &(point, seed) in &by_shard[shard] {
+                        if store.contains(digests[point], seed) {
+                            cached += 1;
+                            continue;
+                        }
+                        // Heartbeat *before* every append: if the lease
+                        // was reclaimed (we stalled past the TTL), the new
+                        // holder may already be appending — stop instantly.
+                        if !lease.heartbeat()? {
+                            lost = true;
+                            break;
+                        }
+                        let outcome = sims[point].run_one(seed);
+                        store.put(digests[point], seed, &outcome)?;
+                        executed += 1;
+                    }
+                    summary.trials_executed += executed;
+                    summary.trials_cached += cached;
+                    if lost {
+                        summary.leases_lost += 1;
+                        on_event(&WorkerEvent::LeaseLost { shard });
+                        // The reclaimer owns the lease file; leave it be.
+                    } else {
+                        done[shard] = true;
+                        progress = true;
+                        lease.release()?;
+                        on_event(&WorkerEvent::ShardComplete {
+                            shard,
+                            executed,
+                            cached,
+                        });
+                    }
+                }
+                None => {
+                    if let Some(holder) =
+                        reclaim_if_stale(dir, shard, &config.holder, config.lease_ttl)?
+                    {
+                        summary.leases_reclaimed += 1;
+                        progress = true;
+                        on_event(&WorkerEvent::LeaseReclaimed { shard, holder });
+                        // Claimable again; the next pass races for it.
+                    } else if let Some(holder) = read_lease(dir, shard)? {
+                        on_event(&WorkerEvent::ShardBusy { shard, holder });
+                    }
+                }
+            }
+        }
+        if done.iter().all(|&d| d) {
+            return Ok(summary);
+        }
+        if !progress {
+            // Every remaining shard is held by a live peer: it either
+            // finishes (the shard completes) or dies (its lease goes
+            // stale and is reclaimed), so this loop terminates.
+            summary.idle_passes += 1;
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+    use crate::store::spec_digest;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-fabric-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_sweep() -> SweepSpec {
+        let base = ScenarioSpec::new("trapdoor", 6, 8, 1).with_adversary("random");
+        SweepSpec::new(base, 0..6).with_axis("disruption_bound", vec![1u64.into(), 3u64.into()])
+    }
+
+    #[test]
+    fn single_worker_completes_the_whole_sweep() {
+        let dir = temp_dir("solo");
+        let sweep = small_sweep();
+        let summary = run_worker(&dir, &sweep, &FabricConfig::new("solo"), |_| {}).unwrap();
+        assert_eq!(summary.trials_executed, 12);
+        assert_eq!(summary.trials_cached, 0);
+        assert_eq!(summary.leases_lost, 0);
+        // Every trial is stored and every lease released.
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 12);
+        for shard in 0..SHARD_COUNT {
+            assert!(!lease_path(&dir, shard).exists());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_worker_finds_everything_cached() {
+        let dir = temp_dir("rerun");
+        let sweep = small_sweep();
+        run_worker(&dir, &sweep, &FabricConfig::new("first"), |_| {}).unwrap();
+        let summary = run_worker(&dir, &sweep, &FabricConfig::new("second"), |_| {}).unwrap();
+        assert_eq!(summary.trials_executed, 0);
+        // Completion may be observed via refresh (shard skipped without a
+        // claim) or via a claim that finds all trials cached.
+        assert_eq!(summary.leases_reclaimed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_release_frees_it() {
+        let dir = temp_dir("claim");
+        fs::create_dir_all(&dir).unwrap();
+        let lease = try_claim(&dir, 3, "alice").unwrap().expect("first claim");
+        assert!(try_claim(&dir, 3, "bob").unwrap().is_none());
+        assert_eq!(read_lease(&dir, 3).unwrap().as_deref(), Some("alice"));
+        lease.release().unwrap();
+        assert_eq!(read_lease(&dir, 3).unwrap(), None);
+        assert!(try_claim(&dir, 3, "bob").unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lease_is_reclaimed_and_fresh_lease_is_not() {
+        let dir = temp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        let _abandoned = try_claim(&dir, 5, "dead-worker").unwrap().expect("claim");
+        // Fresh: a TTL of an hour keeps it.
+        assert_eq!(
+            reclaim_if_stale(&dir, 5, "bob", Duration::from_secs(3600)).unwrap(),
+            None
+        );
+        // Stale: a zero TTL makes any lease reclaimable.
+        assert_eq!(
+            reclaim_if_stale(&dir, 5, "bob", Duration::ZERO).unwrap(),
+            Some("dead-worker".to_string())
+        );
+        // The shard is claimable again and the loser of a second reclaim
+        // race sees nothing to reclaim.
+        assert_eq!(
+            reclaim_if_stale(&dir, 5, "carol", Duration::ZERO).unwrap(),
+            None
+        );
+        assert!(try_claim(&dir, 5, "bob").unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_detects_a_reclaimed_lease() {
+        let dir = temp_dir("lost");
+        fs::create_dir_all(&dir).unwrap();
+        let mut lease = try_claim(&dir, 2, "slow-worker").unwrap().expect("claim");
+        assert!(lease.heartbeat().unwrap());
+        // A peer reclaims the lease (zero TTL) and claims it itself.
+        reclaim_if_stale(&dir, 2, "fast-worker", Duration::ZERO)
+            .unwrap()
+            .expect("reclaimed");
+        let _theirs = try_claim(&dir, 2, "fast-worker").unwrap().expect("claim");
+        assert!(
+            !lease.heartbeat().unwrap(),
+            "heartbeat must report the lease as lost"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_leases_removes_only_fabric_files() {
+        let dir = temp_dir("clean");
+        fs::create_dir_all(&dir).unwrap();
+        let _a = try_claim(&dir, 0, "x").unwrap().unwrap();
+        let _b = try_claim(&dir, 7, "y").unwrap().unwrap();
+        fs::write(dir.join(".shard-03.lease.tomb-00000000deadbeef"), "{}").unwrap();
+        fs::write(dir.join("shard-00.jsonl"), "").unwrap();
+        assert_eq!(clean_leases(&dir).unwrap(), 3);
+        assert!(dir.join("shard-00.jsonl").exists());
+        assert_eq!(read_lease(&dir, 0).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_results_match_a_sweep_runner_run_bit_for_bit() {
+        use crate::sweep::SweepRunner;
+        let dir_fabric = temp_dir("vs-runner-fabric");
+        let dir_runner = temp_dir("vs-runner-direct");
+        let sweep = small_sweep();
+        run_worker(&dir_fabric, &sweep, &FabricConfig::new("w"), |_| {}).unwrap();
+        SweepRunner::new()
+            .record_only(std::sync::Arc::new(ResultStore::open(&dir_runner).unwrap()))
+            .run(&sweep)
+            .unwrap();
+        // Byte-identical sorted shard contents: the fabric wrote exactly
+        // the records a single-process sweep writes.
+        for shard in 0..SHARD_COUNT {
+            let read = |dir: &Path| {
+                let mut lines: Vec<String> =
+                    fs::read_to_string(dir.join(format!("shard-{shard:02}.jsonl")))
+                        .map(|t| t.lines().map(str::to_string).collect())
+                        .unwrap_or_default();
+                lines.sort();
+                lines
+            };
+            assert_eq!(read(&dir_fabric), read(&dir_runner), "shard {shard}");
+        }
+        let _ = fs::remove_dir_all(&dir_fabric);
+        let _ = fs::remove_dir_all(&dir_runner);
+    }
+
+    #[test]
+    fn shard_partition_covers_every_trial_exactly_once() {
+        let sweep = small_sweep();
+        let points = sweep.expand().unwrap();
+        let seeds = sweep.seeds().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for point in &points {
+            let digest = spec_digest(&point.spec);
+            for seed in seeds.clone() {
+                let shard = shard_index(digest, seed);
+                assert!(shard < SHARD_COUNT);
+                assert!(seen.insert((digest, seed)), "trial mapped twice");
+            }
+        }
+        assert_eq!(seen.len(), points.len() * 6);
+    }
+}

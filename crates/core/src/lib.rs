@@ -36,6 +36,11 @@
 //!   [`SweepRunner`] that streams whole sweep grids
 //!   through the worker pool with work stealing, constant-memory
 //!   aggregation, and bit-identical resume.
+//! * [`fabric`] — the multi-process sweep fabric: shard-level lease files
+//!   next to the store shards let N independent OS processes drain one
+//!   [`SweepSpec`] against a shared store directory without duplicating
+//!   work, with stale leases from crashed workers reclaimed and the
+//!   result bit-identical to a single-process run.
 //!
 //! # Quickstart
 //!
@@ -60,6 +65,7 @@
 pub mod baselines;
 pub mod batch;
 pub mod checker;
+pub mod fabric;
 pub mod good_samaritan;
 pub mod json;
 pub mod params;
@@ -81,6 +87,7 @@ pub mod prelude {
     };
     pub use crate::batch::{BatchRunner, BatchStats, BatchStatsFold, ProtocolKind};
     pub use crate::checker::{PropertyChecker, PropertyReport, Violation};
+    pub use crate::fabric::{FabricConfig, FabricError, WorkerEvent, WorkerSummary};
     pub use crate::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol, SamaritanRole};
     pub use crate::params::{ceil_log2, effective_frequencies, next_power_of_two};
     pub use crate::problem::{ProblemInstance, SyncOutput};

@@ -60,6 +60,20 @@ pub enum StoreError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// Appending one trial record failed. Unlike [`StoreError::Io`], this
+    /// names the trial identity, so an orchestration layer (or its user)
+    /// can see exactly which `(spec digest, seed)` was lost and which
+    /// shard file refused it.
+    Append {
+        /// The shard file the record was headed for.
+        path: PathBuf,
+        /// The canonical spec digest of the trial.
+        digest: u64,
+        /// The trial seed.
+        seed: u64,
+        /// The underlying error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -68,6 +82,17 @@ impl fmt::Display for StoreError {
             StoreError::Io { path, source } => {
                 write!(f, "result store I/O error at {}: {source}", path.display())
             }
+            StoreError::Append {
+                path,
+                digest,
+                seed,
+                source,
+            } => write!(
+                f,
+                "result store append to {} failed for trial (spec {digest:016x}, seed {seed}): \
+                 {source}",
+                path.display()
+            ),
         }
     }
 }
@@ -76,6 +101,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io { source, .. } => Some(source),
+            StoreError::Append { source, .. } => Some(source),
         }
     }
 }
@@ -124,6 +150,128 @@ pub fn spec_digest(spec: &ScenarioSpec) -> u64 {
     fnv1a(canonicalize(&value).to_json_compact().as_bytes())
 }
 
+/// What opening (or repairing) found in one shard file: how many
+/// undecodable lines were dropped from the index and whether the file
+/// itself was rewritten to purge them.
+///
+/// [`ResultStore::open`] repairs eagerly, so its entries always have
+/// `rewritten == true`; [`ResultStore::open_shared`] never rewrites (other
+/// processes may hold live append handles), so a fabric worker repairs its
+/// claimed shard explicitly via [`ResultStore::repair_shard`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRepair {
+    /// The shard index (`0..SHARD_COUNT`).
+    pub shard: usize,
+    /// The shard's file path.
+    pub path: PathBuf,
+    /// Undecodable lines dropped from the in-memory index (torn final
+    /// lines from a killed writer, or corrupted records).
+    pub dropped_lines: u64,
+    /// Whether the final line was missing its terminating newline (the
+    /// signature of a killed append, even when the bytes still decode).
+    pub torn_tail: bool,
+    /// Whether the shard file was rewritten in place with only the good
+    /// records.
+    pub rewritten: bool,
+}
+
+/// One pass over a shard file: the decodable records, the lines to keep on
+/// a rewrite, and what was wrong.
+struct ShardScan {
+    good_lines: Vec<String>,
+    records: Vec<(u64, u64, SyncOutcome)>,
+    dropped: u64,
+    ends_clean: bool,
+}
+
+impl ShardScan {
+    fn needs_rewrite(&self) -> bool {
+        self.dropped > 0 || !self.ends_clean
+    }
+}
+
+/// Reads every line of the shard at `path`, splitting decodable records
+/// from torn/corrupt ones. `Ok(None)` means the shard file does not exist
+/// yet.
+fn scan_shard(path: &Path) -> Result<Option<ShardScan>, StoreError> {
+    let mut file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(source) => {
+            return Err(StoreError::Io {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
+    };
+    // A shard not ending in '\n' means the last append was cut off by a
+    // kill. Even if the surviving bytes happen to decode (the cut can land
+    // exactly before the newline), the shard must be rewritten so the next
+    // append starts on a fresh line instead of concatenating onto the
+    // remnant.
+    let ends_clean = {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let io = |source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let len = file.metadata().map_err(io)?.len();
+        if len == 0 {
+            true
+        } else {
+            file.seek(SeekFrom::End(-1)).map_err(io)?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last).map_err(io)?;
+            file.seek(SeekFrom::Start(0)).map_err(io)?;
+            last[0] == b'\n'
+        }
+    };
+    let mut scan = ShardScan {
+        good_lines: Vec::new(),
+        records: Vec::new(),
+        dropped: 0,
+        ends_clean,
+    };
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_record(&line) {
+            Some((digest, seed, outcome)) => {
+                scan.records.push((digest, seed, outcome));
+                scan.good_lines.push(line);
+            }
+            None => scan.dropped += 1,
+        }
+    }
+    Ok(Some(scan))
+}
+
+/// Rewrites the shard at `path` with only `good_lines`, via a temporary
+/// file and rename, so later appends always start on a clean line.
+fn rewrite_shard(
+    dir: &Path,
+    shard: usize,
+    path: &Path,
+    good_lines: &[String],
+) -> Result<(), StoreError> {
+    let mut repaired = good_lines.join("\n");
+    if !repaired.is_empty() {
+        repaired.push('\n');
+    }
+    let tmp = dir.join(format!(".shard-{shard:02}.jsonl.tmp"));
+    fs::write(&tmp, repaired)
+        .and_then(|()| fs::rename(&tmp, path))
+        .map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+}
+
 /// A persistent map from `(spec digest, seed)` to the trial's
 /// [`SyncOutcome`], backed by sharded JSONL files.
 ///
@@ -146,6 +294,7 @@ pub struct ResultStore {
     shards: Vec<Mutex<Option<File>>>,
     dropped: u64,
     loaded: usize,
+    repairs: Vec<ShardRepair>,
 }
 
 impl fmt::Debug for ResultStore {
@@ -168,74 +317,55 @@ impl ResultStore {
     /// via a temporary file and rename), so later appends always start on
     /// a clean line and a subsequent open reports zero drops.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let dir = dir.as_ref().to_path_buf();
+        ResultStore::open_inner(dir.as_ref(), true)
+    }
+
+    /// Opens the store without repairing any shard file: every decodable
+    /// record is loaded (and undecodable lines dropped from the in-memory
+    /// index and counted, exactly as in [`open`](Self::open)), but the
+    /// files on disk are left byte-for-byte untouched.
+    ///
+    /// This is the mode for **shared** directories — a fabric worker among
+    /// other live worker processes must not rewrite a shard another
+    /// process holds an append handle to (the rewrite replaces the inode,
+    /// so the other writer's subsequent appends would land in an orphaned
+    /// file and be lost). A worker that has claimed a shard's lease, and
+    /// is therefore that shard's only writer, repairs it explicitly with
+    /// [`repair_shard`](Self::repair_shard) before appending.
+    pub fn open_shared(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        ResultStore::open_inner(dir.as_ref(), false)
+    }
+
+    fn open_inner(dir: &Path, repair: bool) -> Result<Self, StoreError> {
+        let dir = dir.to_path_buf();
         fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
             path: dir.clone(),
             source,
         })?;
         let mut index = BTreeMap::new();
         let mut dropped = 0u64;
+        let mut repairs = Vec::new();
         for shard in 0..SHARD_COUNT {
             let path = shard_path(&dir, shard);
-            let mut file = match File::open(&path) {
-                Ok(file) => file,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
-                Err(source) => return Err(StoreError::Io { path, source }),
+            let Some(scan) = scan_shard(&path)? else {
+                continue;
             };
-            // A shard not ending in '\n' means the last append was cut off
-            // by a kill. Even if the surviving bytes happen to decode (the
-            // cut can land exactly before the newline), the shard must be
-            // rewritten so the next append starts on a fresh line instead
-            // of concatenating onto the remnant.
-            let ends_clean = {
-                use std::io::{Read as _, Seek as _, SeekFrom};
-                let io = |source| StoreError::Io {
-                    path: path.clone(),
-                    source,
-                };
-                let len = file.metadata().map_err(io)?.len();
-                if len == 0 {
-                    true
-                } else {
-                    file.seek(SeekFrom::End(-1)).map_err(io)?;
-                    let mut last = [0u8; 1];
-                    file.read_exact(&mut last).map_err(io)?;
-                    file.seek(SeekFrom::Start(0)).map_err(io)?;
-                    last[0] == b'\n'
-                }
-            };
-            let mut good_lines: Vec<String> = Vec::new();
-            let mut shard_dropped = 0u64;
-            for line in BufReader::new(file).lines() {
-                let line = line.map_err(|source| StoreError::Io {
-                    path: path.clone(),
-                    source,
-                })?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match decode_record(&line) {
-                    Some((digest, seed, outcome)) => {
-                        index.insert((digest, seed), outcome);
-                        good_lines.push(line);
-                    }
-                    None => shard_dropped += 1,
-                }
+            for (digest, seed, outcome) in scan.records.iter().cloned() {
+                index.insert((digest, seed), outcome);
             }
-            if shard_dropped > 0 || !ends_clean {
-                let mut repaired = good_lines.join("\n");
-                if !repaired.is_empty() {
-                    repaired.push('\n');
+            if scan.needs_rewrite() {
+                if repair {
+                    rewrite_shard(&dir, shard, &path, &scan.good_lines)?;
                 }
-                let tmp = dir.join(format!(".shard-{shard:02}.jsonl.tmp"));
-                fs::write(&tmp, repaired)
-                    .and_then(|()| fs::rename(&tmp, &path))
-                    .map_err(|source| StoreError::Io {
-                        path: path.clone(),
-                        source,
-                    })?;
+                repairs.push(ShardRepair {
+                    shard,
+                    path,
+                    dropped_lines: scan.dropped,
+                    torn_tail: !scan.ends_clean,
+                    rewritten: repair,
+                });
             }
-            dropped += shard_dropped;
+            dropped += scan.dropped;
         }
         let loaded = index.len();
         Ok(ResultStore {
@@ -244,6 +374,7 @@ impl ResultStore {
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(None)).collect(),
             dropped,
             loaded,
+            repairs,
         })
     }
 
@@ -289,6 +420,91 @@ impl ResultStore {
         self.dropped
     }
 
+    /// Per-shard open-time repair statistics: one entry for every shard
+    /// that held torn/corrupt lines or a missing trailing newline, naming
+    /// the shard file, how many lines were dropped, and whether the file
+    /// was rewritten ([`open`](Self::open)) or left untouched
+    /// ([`open_shared`](Self::open_shared)). Empty for a healthy store.
+    pub fn repair_stats(&self) -> &[ShardRepair] {
+        &self.repairs
+    }
+
+    /// Re-reads one shard file from disk and merges any record the
+    /// in-memory index does not hold yet (first record wins, matching
+    /// `put`'s idempotence). Returns `(records merged, undecodable lines
+    /// seen)`. Never rewrites the file — this is the read side of the
+    /// fabric protocol, used to observe progress other processes append to
+    /// a shared store.
+    pub fn refresh_shard(&self, shard: usize) -> Result<(usize, u64), StoreError> {
+        assert!(shard < SHARD_COUNT, "shard index out of range");
+        let path = shard_path(&self.dir, shard);
+        let Some(scan) = scan_shard(&path)? else {
+            return Ok((0, 0));
+        };
+        let mut merged = 0usize;
+        let mut index = self.index_write();
+        for (digest, seed, outcome) in scan.records {
+            if let std::collections::btree_map::Entry::Vacant(slot) = index.entry((digest, seed)) {
+                slot.insert(outcome);
+                merged += 1;
+            }
+        }
+        Ok((merged, scan.dropped))
+    }
+
+    /// Scans and, if needed, rewrites one shard file in place, dropping
+    /// torn/corrupt lines and restoring the trailing newline, then merges
+    /// the surviving records into the in-memory index.
+    ///
+    /// **Single-writer precondition:** the caller must be the shard's only
+    /// live writer (in the fabric protocol, the holder of its lease) — the
+    /// rewrite replaces the inode, so any other process's open append
+    /// handle would keep writing into an orphaned file. This store's own
+    /// cached append handle is invalidated here under the shard lock, so
+    /// a later `put` through *this* instance reopens the repaired file.
+    pub fn repair_shard(&self, shard: usize) -> Result<ShardRepair, StoreError> {
+        assert!(shard < SHARD_COUNT, "shard index out of range");
+        let path = shard_path(&self.dir, shard);
+        // Hold the shard lock across scan + rewrite + handle invalidation
+        // so a concurrent `put` from another thread of this process cannot
+        // append between the scan and the rename (its line would be lost
+        // with the old inode). Safe against the index lock: `put` never
+        // holds both locks at once.
+        // lint:allow(panicky-library): poisoned shard writer = a panic mid-append left the file position unknowable; stop instead of corrupting
+        let mut guard = self.shards[shard].lock().expect("shard writer poisoned");
+        let scan = match scan_shard(&path)? {
+            Some(scan) => scan,
+            None => {
+                return Ok(ShardRepair {
+                    shard,
+                    path,
+                    dropped_lines: 0,
+                    torn_tail: false,
+                    rewritten: false,
+                })
+            }
+        };
+        let repair = ShardRepair {
+            shard,
+            path: path.clone(),
+            dropped_lines: scan.dropped,
+            torn_tail: !scan.ends_clean,
+            rewritten: scan.needs_rewrite(),
+        };
+        if scan.needs_rewrite() {
+            rewrite_shard(&self.dir, shard, &path, &scan.good_lines)?;
+            // The rename replaced the inode; drop the cached append handle
+            // so the next put reopens the repaired file.
+            *guard = None;
+        }
+        drop(guard);
+        let mut index = self.index_write();
+        for (digest, seed, outcome) in scan.records {
+            index.entry((digest, seed)).or_insert(outcome);
+        }
+        Ok(repair)
+    }
+
     /// Looks up the stored outcome of trial `(digest, seed)`.
     pub fn get(&self, digest: u64, seed: u64) -> Option<SyncOutcome> {
         self.index_read().get(&(digest, seed)).cloned()
@@ -318,7 +534,7 @@ impl ResultStore {
         // onto it, corrupting two good records.
         let mut line = encode_record(digest, seed, outcome);
         line.push('\n');
-        let shard = shard_for(digest, seed);
+        let shard = shard_index(digest, seed);
         let path = shard_path(&self.dir, shard);
         // A poisoned shard lock means a thread panicked between buffering
         // and flushing a line; the file position is unknowable, so appends
@@ -331,8 +547,10 @@ impl ResultStore {
                 .create(true)
                 .append(true)
                 .open(&path)
-                .map_err(|source| StoreError::Io {
+                .map_err(|source| StoreError::Append {
                     path: path.clone(),
+                    digest,
+                    seed,
                     source,
                 })?;
             *guard = Some(file);
@@ -341,7 +559,12 @@ impl ResultStore {
         let file = guard.as_mut().expect("writer opened above");
         file.write_all(line.as_bytes())
             .and_then(|()| file.flush())
-            .map_err(|source| StoreError::Io { path, source })
+            .map_err(|source| StoreError::Append {
+                path,
+                digest,
+                seed,
+                source,
+            })
     }
 }
 
@@ -349,7 +572,12 @@ fn shard_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:02}.jsonl"))
 }
 
-fn shard_for(digest: u64, seed: u64) -> usize {
+/// The shard index responsible for trial `(digest, seed)`.
+///
+/// Public because the fabric partitions a sweep's trials by shard: a
+/// worker holding shard `i`'s lease executes exactly the trials for which
+/// `shard_index(digest, seed) == i`, making it the shard's only writer.
+pub fn shard_index(digest: u64, seed: u64) -> usize {
     // Mix the seed so one grid point's trials spread over all shards.
     ((digest ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % SHARD_COUNT as u64) as usize
 }
@@ -830,6 +1058,182 @@ mod tests {
                 assert!(store.contains(digest, outcome.seed));
             }
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Tears the final line of the first non-empty shard in half (as a
+    /// kill mid-append would) and returns its shard index.
+    fn tear_one_shard(dir: &Path) -> usize {
+        for shard in 0..SHARD_COUNT {
+            let path = shard_path(dir, shard);
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                continue;
+            }
+            let last = lines[lines.len() - 1];
+            let mut kept: String = lines[..lines.len() - 1].join("\n");
+            if !kept.is_empty() {
+                kept.push('\n');
+            }
+            kept.push_str(&last[..last.len() / 2]);
+            fs::write(&path, kept).unwrap();
+            return shard;
+        }
+        panic!("no shard has records");
+    }
+
+    #[test]
+    fn repair_stats_name_the_damaged_shard() {
+        let dir = temp_dir("repair-stats");
+        let outcomes = sample_outcomes(4);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for outcome in &outcomes {
+                store.put(11, outcome.seed, outcome).unwrap();
+            }
+        }
+        let torn = tear_one_shard(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let stats = store.repair_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].shard, torn);
+        assert_eq!(stats[0].path, shard_path(&dir, torn));
+        assert_eq!(stats[0].dropped_lines, 1);
+        assert!(stats[0].torn_tail);
+        assert!(stats[0].rewritten);
+        // The eager repair leaves nothing for the next open to report.
+        let clean = ResultStore::open(&dir).unwrap();
+        assert!(clean.repair_stats().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_shared_loads_records_but_never_rewrites() {
+        let dir = temp_dir("shared-open");
+        let outcomes = sample_outcomes(4);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for outcome in &outcomes {
+                store.put(13, outcome.seed, outcome).unwrap();
+            }
+        }
+        let torn = tear_one_shard(&dir);
+        let damaged = fs::read_to_string(shard_path(&dir, torn)).unwrap();
+        let store = ResultStore::open_shared(&dir).unwrap();
+        assert_eq!(store.len(), 3, "good records still load");
+        assert_eq!(store.dropped_records(), 1);
+        let stats = store.repair_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(!stats[0].rewritten);
+        assert_eq!(
+            fs::read_to_string(shard_path(&dir, torn)).unwrap(),
+            damaged,
+            "open_shared must leave the shard file byte-for-byte untouched"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_shard_fixes_exactly_one_shard_and_later_puts_land_cleanly() {
+        let dir = temp_dir("repair-one");
+        let outcomes = sample_outcomes(6);
+        let digest = 17u64;
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            for outcome in &outcomes {
+                store.put(digest, outcome.seed, outcome).unwrap();
+            }
+        }
+        let torn = tear_one_shard(&dir);
+        let store = ResultStore::open_shared(&dir).unwrap();
+        let before = store.len();
+        let repair = store.repair_shard(torn).unwrap();
+        assert_eq!(repair.shard, torn);
+        assert_eq!(repair.dropped_lines, 1);
+        assert!(repair.torn_tail);
+        assert!(repair.rewritten);
+        let repaired = fs::read_to_string(shard_path(&dir, torn)).unwrap();
+        assert!(repaired.is_empty() || repaired.ends_with('\n'));
+        // The torn trial is gone from disk; re-putting it must reopen the
+        // repaired inode (the cached handle was invalidated) and append a
+        // clean line that the next open decodes.
+        let missing: Vec<&SyncOutcome> = outcomes
+            .iter()
+            .filter(|o| !store.contains(digest, o.seed))
+            .collect();
+        assert_eq!(missing.len(), outcomes.len() - before);
+        for outcome in missing {
+            store.put(digest, outcome.seed, outcome).unwrap();
+        }
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.dropped_records(), 0);
+        assert_eq!(reopened.len(), outcomes.len());
+        // Repairing a healthy or absent shard is a no-op that reports so.
+        let noop = store.repair_shard(torn).unwrap();
+        assert_eq!(noop.dropped_lines, 0);
+        assert!(!noop.torn_tail);
+        assert!(!noop.rewritten);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_shard_merges_records_appended_by_another_instance() {
+        let dir = temp_dir("refresh");
+        let outcomes = sample_outcomes(5);
+        let digest = 19u64;
+        let reader = ResultStore::open(&dir).unwrap();
+        let writer = ResultStore::open_shared(&dir).unwrap();
+        for outcome in &outcomes {
+            writer.put(digest, outcome.seed, outcome).unwrap();
+        }
+        assert!(reader.is_empty(), "reader has not refreshed yet");
+        let mut merged_total = 0;
+        for shard in 0..SHARD_COUNT {
+            let (merged, dropped) = reader.refresh_shard(shard).unwrap();
+            merged_total += merged;
+            assert_eq!(dropped, 0);
+        }
+        assert_eq!(merged_total, outcomes.len());
+        for outcome in &outcomes {
+            assert_eq!(reader.get(digest, outcome.seed), Some(outcome.clone()));
+        }
+        // A second refresh merges nothing new.
+        for shard in 0..SHARD_COUNT {
+            assert_eq!(reader.refresh_shard(shard).unwrap().0, 0);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_failure_names_the_shard_path_and_trial_key() {
+        let dir = temp_dir("append-error");
+        let store = ResultStore::open(&dir).unwrap();
+        let outcome = sample_outcomes(1).remove(0);
+        let digest = 0x0123_4567_89ab_cdefu64;
+        let seed = outcome.seed;
+        // Replace the responsible shard file with a directory so the
+        // append's open fails.
+        let shard = shard_index(digest, seed);
+        let path = shard_path(&dir, shard);
+        fs::create_dir_all(&path).unwrap();
+        let err = store.put(digest, seed, &outcome).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains(&path.display().to_string()),
+            "error must name the shard path, got: {message}"
+        );
+        assert!(
+            message.contains(&format!("{digest:016x}")),
+            "error must name the spec digest, got: {message}"
+        );
+        assert!(
+            message.contains(&format!("seed {seed}")),
+            "error must name the seed, got: {message}"
+        );
+        assert!(std::error::Error::source(&err).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p wsync-experiments --bin run_experiments -- <ID|all> [smoke|quick|full] [--markdown]
-//! cargo run --release -p wsync-experiments --bin run_experiments -- --spec <file.json> [smoke|quick|full] [--markdown] [--out <dir> [--resume]]
+//! cargo run --release -p wsync-experiments --bin run_experiments -- --spec <file.json> [smoke|quick|full] [--markdown] [--out <dir> [--resume] [--workers K]]
 //! ```
 //!
 //! `<ID>` is an experiment identifier (`FIG1`, `FIG2`, `LB1`, `LB2`, `LB3`,
@@ -25,17 +25,28 @@
 //! prints tables bit-identical to an uninterrupted run (cache totals go
 //! to stderr). Without `--resume`, `--out` refuses a non-empty store so a
 //! stale cache is never mixed into a run silently.
-
+//!
+//! `--workers K` drains the sweep on the **multi-process fabric**: K child
+//! processes (re-invocations of this binary in its hidden
+//! `--fabric-worker` mode) claim store shards via lease files and execute
+//! the trials routed to them, after which the parent runs an ordinary
+//! resume pass to aggregate — so stdout is bit-identical to a 1-process
+//! run, and a worker killed mid-sweep (stale lease reclaimed by its
+//! peers, or finished by the parent's resume pass) never costs more than
+//! its unfinished trials. `--lease-ttl-ms <n>` tunes how long a silent
+//! worker's lease survives before peers reclaim it (default 30000).
 use std::env;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 use std::sync::Arc;
+use std::time::Duration;
 
+use wsync_core::fabric::{self, FabricConfig, WorkerEvent};
 use wsync_core::store::ResultStore;
 use wsync_experiments::output::{Effort, ExperimentReport};
 use wsync_experiments::{
     ablation, baseline_comparison, crossover, fault_tolerance, figures, lower_bounds,
     network_faults, run_all, run_spec_file_stored, samaritan_adaptive, trapdoor_scaling,
-    weight_bound, StoreMode,
+    weight_bound, SpecFile, StoreMode,
 };
 
 fn run_one(id: &str, effort: Effort) -> Option<ExperimentReport> {
@@ -75,24 +86,193 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// Logs a store's per-shard open-time repair statistics to stderr (never
+/// stdout: report bytes must stay independent of store history).
+fn log_repair_stats(dir: &str, store: &ResultStore) {
+    for repair in store.repair_stats() {
+        let what = match (repair.dropped_lines, repair.torn_tail) {
+            (0, _) => "a torn trailing line".to_string(),
+            (n, true) => format!("{n} torn/corrupt line(s) and a torn tail"),
+            (n, false) => format!("{n} corrupt line(s)"),
+        };
+        let action = if repair.rewritten {
+            "repaired in place"
+        } else {
+            "left untouched (shared open)"
+        };
+        eprintln!(
+            "result store {dir}: shard {:02} ({}) had {what}; {action}",
+            repair.shard,
+            repair.path.display()
+        );
+    }
+    if store.dropped_records() > 0 {
+        eprintln!(
+            "result store {dir}: dropped {} torn/corrupt record(s); the affected trials \
+             will be recomputed",
+            store.dropped_records()
+        );
+    }
+}
+
+/// The hidden `--fabric-worker` child mode: claim shards of the shared
+/// store via lease files and execute the trials routed to them. Spawned
+/// by `--workers K`, but also invocable directly — any number of
+/// independently launched workers (different machines on a shared
+/// filesystem included) cooperate through the lease protocol alone.
+fn run_fabric_worker(
+    spec_path: &str,
+    out_dir: &str,
+    effort: Effort,
+    holder: String,
+    lease_ttl: Option<Duration>,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read spec file {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match SpecFile::parse(&text) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The same default-seed rule as the parent's aggregation pass, so the
+    // worker executes exactly the trials the final report will ask for.
+    let sweep = file.into_sweep(0..effort.seeds());
+    let mut config = FabricConfig::new(&holder);
+    if let Some(ttl) = lease_ttl {
+        config = config.lease_ttl(ttl);
+    }
+    let result = fabric::run_worker(out_dir, &sweep, &config, |event| match event {
+        WorkerEvent::ShardClaimed { shard } => {
+            eprintln!("fabric worker {holder}: claimed shard {shard:02}");
+        }
+        WorkerEvent::ShardComplete {
+            shard,
+            executed,
+            cached,
+        } => {
+            eprintln!(
+                "fabric worker {holder}: shard {shard:02} complete \
+                 ({executed} executed, {cached} already stored)"
+            );
+        }
+        WorkerEvent::LeaseReclaimed {
+            shard,
+            holder: dead,
+        } => {
+            eprintln!(
+                "fabric worker {holder}: reclaimed stale lease on shard {shard:02} from {dead}"
+            );
+        }
+        WorkerEvent::LeaseLost { shard } => {
+            eprintln!("fabric worker {holder}: lost lease on shard {shard:02}, abandoning it");
+        }
+        WorkerEvent::ShardBusy { .. } => {}
+    });
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "fabric worker {holder}: done ({} executed, {} cached, {} shard(s) claimed, \
+                 {} stale lease(s) reclaimed)",
+                summary.trials_executed,
+                summary.trials_cached,
+                summary.shards_claimed,
+                summary.leases_reclaimed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fabric worker {holder}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Spawns `workers` fabric children over the shared store and waits for
+/// them. Worker failures are warnings, not errors: the fabric's whole
+/// point is that the parent's resume pass completes whatever crashed
+/// workers left behind.
+fn run_fabric_parent(
+    spec_path: &str,
+    out_dir: &str,
+    effort_arg: Option<&str>,
+    workers: usize,
+    lease_ttl_ms: Option<&str>,
+) -> Result<(), String> {
+    let exe = env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+    let mut children = Vec::new();
+    for k in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--fabric-worker")
+            .arg("--spec")
+            .arg(spec_path)
+            .arg("--out")
+            .arg(out_dir)
+            .arg("--holder")
+            .arg(format!("worker-{k}-pid{}", std::process::id()));
+        if let Some(ms) = lease_ttl_ms {
+            cmd.arg("--lease-ttl-ms").arg(ms);
+        }
+        if let Some(effort) = effort_arg {
+            cmd.arg(effort);
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn fabric worker {k}: {e}"))?;
+        children.push((k, child));
+    }
+    for (k, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!(
+                "fabric worker {k} exited with {status}; its unfinished trials will be \
+                 completed by the resume pass"
+            ),
+            Err(e) => eprintln!("waiting for fabric worker {k} failed: {e}"),
+        }
+    }
+    // Crashed workers leave lease files (and possibly a torn shard tail)
+    // behind; clear the leases so the store directory is clean, and let
+    // the repairing open of the resume pass fix any torn tails.
+    let cleaned = fabric::clean_leases(out_dir).map_err(|e| e.to_string())?;
+    if cleaned > 0 {
+        eprintln!("result store {out_dir}: removed {cleaned} leftover lease file(s)");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
     let resume = args.iter().any(|a| a == "--resume");
-    let spec_path = match flag_value(&args, "--spec") {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let fabric_worker = args.iter().any(|a| a == "--fabric-worker");
+    let value_flags = ["--spec", "--out", "--workers", "--holder", "--lease-ttl-ms"];
+    let mut flags = (None, None, None, None, None);
+    for (slot, flag) in [
+        &mut flags.0,
+        &mut flags.1,
+        &mut flags.2,
+        &mut flags.3,
+        &mut flags.4,
+    ]
+    .into_iter()
+    .zip(value_flags)
+    {
+        match flag_value(&args, flag) {
+            Ok(v) => *slot = v,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let out_dir = match flag_value(&args, "--out") {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+    let (spec_path, out_dir, workers_arg, holder, lease_ttl_ms) = flags;
     if out_dir.is_some() && spec_path.is_none() {
         eprintln!("--out is only supported together with --spec");
         return ExitCode::FAILURE;
@@ -101,6 +281,26 @@ fn main() -> ExitCode {
         eprintln!("--resume requires --out <dir>");
         return ExitCode::FAILURE;
     }
+    if (workers_arg.is_some() || fabric_worker) && out_dir.is_none() {
+        eprintln!("--workers and --fabric-worker require --spec <file.json> and --out <dir>");
+        return ExitCode::FAILURE;
+    }
+    let workers = match workers_arg.as_deref().map(str::parse::<usize>) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => {
+            eprintln!("--workers requires a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lease_ttl = match lease_ttl_ms.as_deref().map(str::parse::<u64>) {
+        None => None,
+        Some(Ok(ms)) => Some(Duration::from_millis(ms)),
+        Some(Err(_)) => {
+            eprintln!("--lease-ttl-ms requires an integer millisecond count");
+            return ExitCode::FAILURE;
+        }
+    };
     let positional: Vec<&String> = {
         let mut skip_next = false;
         args.iter()
@@ -109,7 +309,7 @@ fn main() -> ExitCode {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--spec" || *a == "--out" {
+                if value_flags.contains(&a.as_str()) {
                     skip_next = true;
                     return false;
                 }
@@ -137,6 +337,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let effort = Effort::from_arg(effort_arg);
+
+        if fabric_worker {
+            let Some(dir) = out_dir else {
+                unreachable!("--fabric-worker without --out was rejected above")
+            };
+            let holder = holder.unwrap_or_else(|| format!("worker-pid{}", std::process::id()));
+            return run_fabric_worker(&path, &dir, effort, holder, lease_ttl);
+        }
+
+        // The stale-cache refusal applies before any fabric worker starts:
+        // a non-empty store without --resume is an error in every mode.
+        if let Some(dir) = &out_dir {
+            let store = match ResultStore::open_shared(dir) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !resume && !store.is_empty() {
+                eprintln!(
+                    "result store {dir} already holds {} record(s); pass --resume to \
+                     continue the sweep or choose a fresh --out directory",
+                    store.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+
+        let fabric_ran = if let (Some(k), Some(dir)) = (workers, &out_dir) {
+            if let Err(message) =
+                run_fabric_parent(&path, dir, effort_arg, k, lease_ttl_ms.as_deref())
+            {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+            true
+        } else {
+            false
+        };
+
         let store_mode = match &out_dir {
             None => StoreMode::None,
             Some(dir) => {
@@ -147,22 +388,11 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                if resume {
-                    if store.dropped_records() > 0 {
-                        eprintln!(
-                            "result store {dir}: dropped {} torn/corrupt record(s); the \
-                             affected trials will be recomputed",
-                            store.dropped_records()
-                        );
-                    }
+                log_repair_stats(dir, &store);
+                if resume || fabric_ran {
+                    // After a fabric run the store holds the workers'
+                    // results; the aggregation pass must serve them.
                     StoreMode::Resume(Arc::new(store))
-                } else if !store.is_empty() {
-                    eprintln!(
-                        "result store {dir} already holds {} record(s); pass --resume to \
-                         continue the sweep or choose a fresh --out directory",
-                        store.len()
-                    );
-                    return ExitCode::FAILURE;
                 } else {
                     StoreMode::Record(Arc::new(store))
                 }

@@ -1,0 +1,139 @@
+//! `run_experiments --workers K`, with real OS processes: the parent
+//! forks K `--fabric-worker` children over one store directory, and the
+//! result — both the printed aggregate tables and the sorted shard
+//! bytes — is identical to a 1-process `--out` run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SPEC_JSON: &str = r#"{
+    "base": {
+        "protocol": "trapdoor",
+        "adversary": "random",
+        "num_nodes": 8,
+        "num_frequencies": 8,
+        "disruption_bound": 2
+    },
+    "seeds": {"start": 0, "end": 6},
+    "grid": [{"field": "num_nodes", "values": [8, 12]}]
+}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsync-fabric-proc-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sorted_shards(dir: &Path) -> Vec<(String, Vec<String>)> {
+    let mut shards = Vec::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let mut lines: Vec<String> = fs::read_to_string(entry.path())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines.sort();
+        shards.push((name, lines));
+    }
+    shards.sort();
+    shards
+}
+
+/// Runs the real binary; returns stdout. Panics on nonzero exit.
+fn run(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn run_experiments");
+    assert!(
+        output.status.success(),
+        "run_experiments {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn workers_flag_matches_a_single_process_run_bit_for_bit() {
+    let spec_path = temp_dir("spec").with_extension("json");
+    fs::write(&spec_path, SPEC_JSON).unwrap();
+    let spec = spec_path.to_str().unwrap();
+
+    let solo_dir = temp_dir("solo");
+    let fabric_dir = temp_dir("fabric");
+
+    let solo_stdout = run(&["--spec", spec, "smoke", "--out", solo_dir.to_str().unwrap()]);
+    let fabric_stdout = run(&[
+        "--spec",
+        spec,
+        "smoke",
+        "--out",
+        fabric_dir.to_str().unwrap(),
+        "--workers",
+        "3",
+    ]);
+
+    assert_eq!(
+        fabric_stdout, solo_stdout,
+        "--workers 3 must print the identical aggregate tables"
+    );
+    assert_eq!(
+        sorted_shards(&fabric_dir),
+        sorted_shards(&solo_dir),
+        "--workers 3 must leave byte-identical sorted shard contents"
+    );
+    // Every shard file is a .jsonl — the parent cleaned up all leases.
+    for (name, _) in sorted_shards(&fabric_dir) {
+        assert!(name.ends_with(".jsonl"), "stray fabric file: {name}");
+    }
+
+    // A rerun with --resume over the fabric-filled store executes nothing
+    // new and prints the same tables again.
+    let resumed_stdout = run(&[
+        "--spec",
+        spec,
+        "smoke",
+        "--out",
+        fabric_dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_eq!(resumed_stdout, solo_stdout);
+
+    let _ = fs::remove_file(&spec_path);
+    let _ = fs::remove_dir_all(&solo_dir);
+    let _ = fs::remove_dir_all(&fabric_dir);
+}
+
+#[test]
+fn a_directly_launched_fabric_worker_drains_the_sweep() {
+    let spec_path = temp_dir("worker-spec").with_extension("json");
+    fs::write(&spec_path, SPEC_JSON).unwrap();
+    let spec = spec_path.to_str().unwrap();
+    let dir = temp_dir("worker");
+    fs::create_dir_all(&dir).unwrap();
+
+    // The hidden child mode is also a standalone entry point: one worker
+    // launched by hand completes the whole sweep.
+    run(&[
+        "--fabric-worker",
+        "--spec",
+        spec,
+        "smoke",
+        "--out",
+        dir.to_str().unwrap(),
+        "--holder",
+        "manual-worker",
+    ]);
+    let trials: usize = sorted_shards(&dir)
+        .iter()
+        .filter(|(name, _)| name.ends_with(".jsonl"))
+        .map(|(_, lines)| lines.len())
+        .sum();
+    assert_eq!(trials, 2 * 6, "every trial of the sweep is stored");
+
+    let _ = fs::remove_file(&spec_path);
+    let _ = fs::remove_dir_all(&dir);
+}

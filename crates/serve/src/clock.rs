@@ -1,0 +1,47 @@
+//! The serving layer's wall-clock boundary.
+//!
+//! Simulated executions are round-driven and never read the clock; the
+//! *service* wrapped around them legitimately wants one wall-clock
+//! quantity — how long request handling spent executing trials, which
+//! `GET /metrics` turns into a rounds-per-second throughput figure. All
+//! such reads live here, mirroring `wsync_core::fabric`'s clock boundary:
+//! nothing measured in this module ever feeds a simulated outcome, a
+//! digest, or a store record.
+
+// lint:allow(wall-clock): throughput metrics (rounds/s) are wall-clock by definition; confined to this boundary module and never fed into simulation state
+use std::time::Instant;
+
+/// A started stopwatch, for measuring one handler's execution time.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    // lint:allow(wall-clock): the stopwatch's origin; see module docs
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        // lint:allow(wall-clock): metrics-only read; see module docs
+        let start = Instant::now();
+        Stopwatch { start }
+    }
+
+    /// Microseconds elapsed since [`start`](Self::start), saturating at
+    /// `u64::MAX` (584 thousand years of uptime).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let watch = Stopwatch::start();
+        let a = watch.elapsed_micros();
+        let b = watch.elapsed_micros();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,76 @@
+//! The `wsync-serve` binary: parse flags, bind, serve forever.
+//!
+//! ```text
+//! wsync-serve --store <dir> [--addr 127.0.0.1:7077] [--fabric-workers 2]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wsync_serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: wsync-serve --store <dir> [--addr HOST:PORT] [--fabric-workers N]
+
+  --store <dir>        result-store directory to serve from (created if missing)
+  --addr HOST:PORT     bind address (default 127.0.0.1:7077; port 0 picks one)
+  --fabric-workers N   fabric worker threads per sweep job (default 2)";
+
+fn main() -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut fabric_workers = 2usize;
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--store" => match arguments.next() {
+                Some(dir) => store = Some(PathBuf::from(dir)),
+                None => return usage_error("--store needs a directory"),
+            },
+            "--addr" => match arguments.next() {
+                Some(a) => addr = a,
+                None => return usage_error("--addr needs HOST:PORT"),
+            },
+            "--fabric-workers" => match arguments.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => fabric_workers = n,
+                _ => return usage_error("--fabric-workers needs a positive integer"),
+            },
+            other => return usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(store_dir) = store else {
+        return usage_error("--store is required");
+    };
+    let server = match Server::bind(ServeConfig {
+        addr,
+        store_dir,
+        fabric_workers,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("wsync-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // CI and scripts wait for this exact line before issuing requests.
+        Ok(addr) => println!("wsync-serve listening on http://{addr}"),
+        Err(e) => {
+            eprintln!("wsync-serve: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("wsync-serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("wsync-serve: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,117 @@
+//! Service counters behind `GET /metrics`.
+//!
+//! Counters are cumulative over the server's lifetime and updated
+//! lock-free by handler threads. The headline figures:
+//!
+//! * `store_hits` / `store_misses` — trials served straight from the
+//!   content-addressed store versus trials the engine had to execute.
+//!   The CI smoke asserts a repeated `POST /run` is all hits.
+//! * `rounds_per_sec` — simulated rounds streamed per wall-clock second
+//!   of request execution time (cache hits make this large by design:
+//!   it measures *serving* throughput, not raw engine speed — the bench
+//!   suite owns that number).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wsync_core::json::Value;
+
+/// Lock-free cumulative service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    sim_rounds: AtomicU64,
+    exec_micros: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one handled request (any route).
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one completed run/sweep into the counters: `hits` trials
+    /// from cache, `misses` executed, `rounds` simulated rounds streamed,
+    /// over `micros` of wall-clock execution.
+    pub fn record_work(&self, hits: u64, misses: u64, rounds: u64, micros: u64) {
+        self.store_hits.fetch_add(hits, Ordering::Relaxed);
+        self.store_misses.fetch_add(misses, Ordering::Relaxed);
+        self.sim_rounds.fetch_add(rounds, Ordering::Relaxed);
+        self.exec_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Trials served from the store over the server's lifetime.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Trials the engine executed over the server's lifetime.
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /metrics` body.
+    pub fn to_value(&self) -> Value {
+        let hits = self.store_hits();
+        let misses = self.store_misses();
+        let rounds = self.sim_rounds.load(Ordering::Relaxed);
+        let micros = self.exec_micros.load(Ordering::Relaxed);
+        let rounds_per_sec = if micros == 0 {
+            0.0
+        } else {
+            rounds as f64 / (micros as f64 / 1_000_000.0)
+        };
+        Value::Object(vec![
+            (
+                "requests".to_string(),
+                Value::Int(self.requests.load(Ordering::Relaxed) as i64),
+            ),
+            ("store_hits".to_string(), Value::Int(hits as i64)),
+            ("store_misses".to_string(), Value::Int(misses as i64)),
+            (
+                "trials_served".to_string(),
+                Value::Int((hits + misses) as i64),
+            ),
+            ("sim_rounds".to_string(), Value::Int(rounds as i64)),
+            ("exec_micros".to_string(), Value::Int(micros as i64)),
+            ("rounds_per_sec".to_string(), Value::Float(rounds_per_sec)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let metrics = Metrics::new();
+        metrics.record_request();
+        metrics.record_work(3, 2, 1_000, 500_000);
+        metrics.record_work(5, 0, 0, 0);
+        assert_eq!(metrics.store_hits(), 8);
+        assert_eq!(metrics.store_misses(), 2);
+        let value = metrics.to_value();
+        assert_eq!(value.get("trials_served").unwrap().as_u64(), Some(10));
+        let rps = value.get("rounds_per_sec").unwrap().as_f64().unwrap();
+        assert!((rps - 2_000.0).abs() < 1e-9, "{rps}");
+    }
+
+    #[test]
+    fn zero_execution_time_yields_zero_throughput() {
+        let metrics = Metrics::new();
+        let rps = metrics
+            .to_value()
+            .get("rounds_per_sec")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(rps, 0.0);
+    }
+}

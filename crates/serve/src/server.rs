@@ -1,0 +1,629 @@
+//! Routing and handlers: the daemon behind `wsync-serve`.
+//!
+//! The request lifecycle for simulation routes is always
+//! **spec → digest → cache probe → run/lease → stream**:
+//!
+//! * `POST /run` — a [`ScenarioSpec`] (bare, or `{"spec": …, "seeds":
+//!   {"start", "end"}}`): the spec is canonicalized and digested, every
+//!   `(digest, seed)` already in the store is served without touching
+//!   the engine, the missing trials execute synchronously (and are
+//!   persisted), and the response reports aggregate stats plus cache
+//!   accounting — a repeated request is a full cache hit with
+//!   `"executed": 0`.
+//! * `POST /sweep` — a [`SweepSpec`]: validated, registered as a job,
+//!   and scheduled onto the fabric — worker threads claim store shards
+//!   via the same lease files OS-process workers use, so a daemon and a
+//!   `run_experiments --workers` fleet can even share one store
+//!   directory. Responds immediately with the job id.
+//! * `GET /jobs/<id>` — streams the job's progress (worker events,
+//!   per-point aggregates, probe outputs) as close-delimited JSON lines.
+//! * `GET /catalog`, `GET /healthz`, `GET /metrics` — the registry's
+//!   component names, liveness, and the service counters.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsync_core::batch::BatchStats;
+use wsync_core::fabric::{self, FabricConfig, WorkerEvent};
+use wsync_core::json::{self, Value};
+use wsync_core::registry;
+use wsync_core::spec::{ScenarioSpec, SweepSpec};
+use wsync_core::store::{spec_digest, ResultStore, StoreError};
+use wsync_core::sweep::{SweepError, SweepRunner};
+
+use crate::clock::Stopwatch;
+use crate::http::{self, Request, RequestError};
+use crate::jobs::{Job, JobRegistry};
+use crate::metrics::Metrics;
+
+/// Most seeds one synchronous `POST /run` may ask for; larger ensembles
+/// belong on the job queue (`POST /sweep`), which streams instead of
+/// blocking the connection.
+pub const MAX_RUN_SEEDS: u64 = 10_000;
+
+/// How often a `GET /jobs/<id>` stream polls its job for fresh events.
+const JOB_POLL: Duration = Duration::from_millis(20);
+
+/// What `wsync-serve` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (port 0 picks one).
+    pub addr: String,
+    /// The shared result-store directory (created if missing).
+    pub store_dir: PathBuf,
+    /// Fabric worker threads per scheduled sweep job.
+    pub fabric_workers: usize,
+}
+
+/// An error raised while starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Opening the result store failed.
+    Store(StoreError),
+    /// Binding the listener failed.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Bind { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            ServeError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Everything handler threads share.
+struct State {
+    store_dir: PathBuf,
+    store: Arc<ResultStore>,
+    jobs: JobRegistry,
+    metrics: Metrics,
+    fabric_workers: usize,
+}
+
+/// A bound, not-yet-serving daemon. [`Server::bind`] then
+/// [`Server::run`]; tests bind port 0 and read the real address back
+/// with [`Server::local_addr`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Opens (and repairs — nothing else is writing yet) the store, then
+    /// binds the listener.
+    pub fn bind(config: ServeConfig) -> Result<Server, ServeError> {
+        let store = ResultStore::open(&config.store_dir).map_err(ServeError::Store)?;
+        for repair in store.repair_stats() {
+            eprintln!(
+                "wsync-serve: store shard {:02} had {} torn/corrupt line(s); repaired",
+                repair.shard, repair.dropped_lines
+            );
+        }
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                store_dir: config.store_dir,
+                store: Arc::new(store),
+                jobs: JobRegistry::new(),
+                metrics: Metrics::new(),
+                fabric_workers: config.fabric_workers.max(1),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: one thread per connection. Errors on a single
+    /// connection are logged and survived.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        if let Err(e) = handle_connection(&state, stream) {
+                            eprintln!("wsync-serve: connection error: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("wsync-serve: accept error: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &Arc<State>, mut stream: TcpStream) -> std::io::Result<()> {
+    let request = match http::read_request(&stream)? {
+        Ok(request) => request,
+        Err(RequestError::Malformed) => {
+            return http::respond_error(&mut stream, 400, "Bad Request", "malformed request");
+        }
+        Err(RequestError::BodyTooLarge) => {
+            return http::respond_error(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "request body exceeds the 1 MiB limit",
+            );
+        }
+    };
+    state.metrics.record_request();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(state, &mut stream),
+        ("GET", "/metrics") => {
+            let body = state.metrics.to_value().to_json_compact();
+            http::respond_json(&mut stream, 200, "OK", &body)
+        }
+        ("GET", "/catalog") => handle_catalog(&mut stream),
+        ("POST", "/run") => handle_run(state, &mut stream, &request),
+        ("POST", "/sweep") => handle_sweep(state, &mut stream, &request),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id = path["/jobs/".len()..].to_string();
+            handle_job_stream(state, &mut stream, &id)
+        }
+        ("GET" | "POST", _) => http::respond_error(&mut stream, 404, "Not Found", "no such route"),
+        _ => http::respond_error(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "only GET and POST are served",
+        ),
+    }
+}
+
+fn handle_healthz(state: &State, stream: &mut TcpStream) -> std::io::Result<()> {
+    let body = Value::Object(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        (
+            "store_records".to_string(),
+            Value::Int(state.store.len() as i64),
+        ),
+        (
+            "jobs_total".to_string(),
+            Value::Int(state.jobs.total() as i64),
+        ),
+        (
+            "jobs_active".to_string(),
+            Value::Int(state.jobs.active() as i64),
+        ),
+    ])
+    .to_json_compact();
+    http::respond_json(stream, 200, "OK", &body)
+}
+
+fn handle_catalog(stream: &mut TcpStream) -> std::io::Result<()> {
+    let names = |items: Vec<String>| Value::Array(items.into_iter().map(Value::Str).collect());
+    let body = Value::Object(vec![
+        ("protocols".to_string(), names(registry::protocol_names())),
+        (
+            "adversaries".to_string(),
+            names(registry::adversary_names()),
+        ),
+        ("probes".to_string(), names(registry::probe_names())),
+        ("faults".to_string(), names(registry::fault_names())),
+    ])
+    .to_json_compact();
+    http::respond_json(stream, 200, "OK", &body)
+}
+
+/// Parses a `POST /run` body: either a bare [`ScenarioSpec`] (seed 0
+/// only) or `{"spec": <ScenarioSpec>, "seeds": {"start", "end"}}`.
+fn parse_run_body(body: &[u8]) -> Result<(ScenarioSpec, std::ops::Range<u64>), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = json::parse(text).map_err(|e| e.to_string())?;
+    let (spec_value, seeds) = match value.get("spec") {
+        Some(inner) => {
+            let seeds = match value.get("seeds") {
+                None => 0..1,
+                Some(seeds) => {
+                    let field = |key: &str| {
+                        seeds
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("seeds.{key} must be a non-negative integer"))
+                    };
+                    field("start")?..field("end")?
+                }
+            };
+            (inner, seeds)
+        }
+        None => (&value, 0..1),
+    };
+    if seeds.start >= seeds.end {
+        return Err("seeds.start must be less than seeds.end".to_string());
+    }
+    if seeds.end - seeds.start > MAX_RUN_SEEDS {
+        return Err(format!(
+            "a synchronous /run is capped at {MAX_RUN_SEEDS} seeds; schedule a /sweep instead"
+        ));
+    }
+    let spec = ScenarioSpec::from_value(spec_value).map_err(|e| e.to_string())?;
+    Ok((spec, seeds))
+}
+
+fn stats_value(stats: &BatchStats) -> Value {
+    Value::Object(vec![
+        ("trials".to_string(), Value::Int(stats.trials as i64)),
+        ("sync_rate".to_string(), Value::Float(stats.sync_rate())),
+        (
+            "single_leader_rate".to_string(),
+            Value::Float(stats.single_leader_rate()),
+        ),
+        ("clean_rate".to_string(), Value::Float(stats.clean_rate())),
+        (
+            "mean_rounds_to_sync".to_string(),
+            Value::Float(stats.rounds_to_sync.mean),
+        ),
+        (
+            "mean_completion_round".to_string(),
+            Value::Float(stats.completion_rounds.mean),
+        ),
+    ])
+}
+
+fn probe_value(name: String, value: Value) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(name)),
+        ("value".to_string(), value),
+    ])
+}
+
+fn handle_run(state: &State, stream: &mut TcpStream, request: &Request) -> std::io::Result<()> {
+    let (spec, seeds) = match parse_run_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(message) => return http::respond_error(stream, 400, "Bad Request", &message),
+    };
+    let digest = spec_digest(&spec);
+    let watch = Stopwatch::start();
+    let mut rounds = 0u64;
+    let mut probe_sample: Option<Vec<(String, Value)>> = None;
+    let result = SweepRunner::new()
+        .store(Arc::clone(&state.store))
+        .run_points_probed_first_each(
+            vec![(String::new(), spec)],
+            seeds.clone(),
+            |_, outcome, probes| {
+                rounds += outcome.result.metrics.rounds;
+                if probe_sample.is_none() {
+                    if let Some(outputs) = probes {
+                        probe_sample = Some(
+                            outputs
+                                .iter()
+                                .map(|o| (o.name.clone(), o.value.clone()))
+                                .collect(),
+                        );
+                    }
+                }
+            },
+        );
+    let report = match result {
+        Ok(report) => report,
+        Err(SweepError::Spec(e)) => {
+            return http::respond_error(stream, 400, "Bad Request", &e.to_string())
+        }
+        Err(SweepError::Store(e)) => {
+            return http::respond_error(stream, 500, "Internal Server Error", &e.to_string())
+        }
+    };
+    state.metrics.record_work(
+        report.cached_trials(),
+        report.executed_trials(),
+        rounds,
+        watch.elapsed_micros(),
+    );
+    let point = &report.points[0];
+    let probes = probe_sample
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(name, value)| probe_value(name, value))
+        .collect();
+    let body = Value::Object(vec![
+        ("digest".to_string(), Value::Str(format!("{digest:016x}"))),
+        (
+            "seeds".to_string(),
+            Value::Object(vec![
+                ("start".to_string(), Value::Int(seeds.start as i64)),
+                ("end".to_string(), Value::Int(seeds.end as i64)),
+            ]),
+        ),
+        ("cached".to_string(), Value::Int(point.cached as i64)),
+        ("executed".to_string(), Value::Int(point.executed as i64)),
+        ("stats".to_string(), stats_value(&point.stats)),
+        ("probes".to_string(), Value::Array(probes)),
+    ])
+    .to_json_compact();
+    http::respond_json(stream, 200, "OK", &body)
+}
+
+fn handle_sweep(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+        .and_then(|value| {
+            if value.get("base").is_none() {
+                return Err(
+                    "a /sweep body must be a SweepSpec (an object with a \"base\" key); \
+                     for a single scenario use /run"
+                        .to_string(),
+                );
+            }
+            SweepSpec::from_value(&value).map_err(|e| e.to_string())
+        });
+    let sweep = match parsed {
+        Ok(sweep) => sweep,
+        Err(message) => return http::respond_error(stream, 400, "Bad Request", &message),
+    };
+    // Validate expansion *before* scheduling, so a bad grid is a 400 here
+    // and never a half-run job.
+    let (points, seeds) = match sweep.expand().and_then(|p| Ok((p, sweep.seeds()?))) {
+        Ok(parts) => parts,
+        Err(e) => return http::respond_error(stream, 400, "Bad Request", &e.to_string()),
+    };
+    let job = state.jobs.create();
+    push_event(
+        &job,
+        vec![
+            ("event".to_string(), Value::Str("scheduled".to_string())),
+            ("job".to_string(), Value::Str(job.id().to_string())),
+            ("points".to_string(), Value::Int(points.len() as i64)),
+            ("seed_start".to_string(), Value::Int(seeds.start as i64)),
+            ("seed_end".to_string(), Value::Int(seeds.end as i64)),
+            (
+                "workers".to_string(),
+                Value::Int(state.fabric_workers as i64),
+            ),
+        ],
+    );
+    let body = Value::Object(vec![
+        ("job".to_string(), Value::Str(job.id().to_string())),
+        ("status".to_string(), Value::Str("scheduled".to_string())),
+        (
+            "events".to_string(),
+            Value::Str(format!("/jobs/{}", job.id())),
+        ),
+    ])
+    .to_json_compact();
+    let state = Arc::clone(state);
+    std::thread::spawn(move || run_sweep_job(&state, &job, sweep));
+    http::respond_json(stream, 202, "Accepted", &body)
+}
+
+fn push_event(job: &Job, fields: Vec<(String, Value)>) {
+    job.push(Value::Object(fields).to_json_compact());
+}
+
+fn push_error(job: &Job, message: String) {
+    push_event(
+        job,
+        vec![
+            ("event".to_string(), Value::Str("error".to_string())),
+            ("message".to_string(), Value::Str(message)),
+        ],
+    );
+}
+
+/// One event line for a fabric worker observation. Shard-busy polling is
+/// deliberately excluded: it fires every poll interval and carries no
+/// progress.
+fn worker_event_fields(holder: &str, event: &WorkerEvent) -> Option<Vec<(String, Value)>> {
+    let mut fields = match event {
+        WorkerEvent::ShardClaimed { shard } => vec![
+            ("event".to_string(), Value::Str("shard_claimed".to_string())),
+            ("shard".to_string(), Value::Int(*shard as i64)),
+        ],
+        WorkerEvent::ShardComplete {
+            shard,
+            executed,
+            cached,
+        } => vec![
+            (
+                "event".to_string(),
+                Value::Str("shard_complete".to_string()),
+            ),
+            ("shard".to_string(), Value::Int(*shard as i64)),
+            ("executed".to_string(), Value::Int(*executed as i64)),
+            ("cached".to_string(), Value::Int(*cached as i64)),
+        ],
+        WorkerEvent::LeaseReclaimed {
+            shard,
+            holder: dead,
+        } => vec![
+            (
+                "event".to_string(),
+                Value::Str("lease_reclaimed".to_string()),
+            ),
+            ("shard".to_string(), Value::Int(*shard as i64)),
+            ("from".to_string(), Value::Str(dead.clone())),
+        ],
+        WorkerEvent::LeaseLost { shard } => vec![
+            ("event".to_string(), Value::Str("lease_lost".to_string())),
+            ("shard".to_string(), Value::Int(*shard as i64)),
+        ],
+        WorkerEvent::ShardBusy { .. } => return None,
+    };
+    fields.push(("worker".to_string(), Value::Str(holder.to_string())));
+    Some(fields)
+}
+
+/// The sweep-job orchestration: fabric worker threads drain the sweep
+/// against the shared store directory, then a resume pass aggregates and
+/// streams per-point stats and probe outputs into the job log.
+fn run_sweep_job(state: &State, job: &Job, sweep: SweepSpec) {
+    let watch = Stopwatch::start();
+    let store_dir: &Path = &state.store_dir;
+    std::thread::scope(|scope| {
+        for k in 0..state.fabric_workers {
+            let holder = format!("{}-w{k}", job.id());
+            let sweep = &sweep;
+            scope.spawn(move || {
+                let config = FabricConfig::new(holder.clone());
+                let result = fabric::run_worker(store_dir, sweep, &config, |event| {
+                    if let Some(fields) = worker_event_fields(&holder, event) {
+                        push_event(job, fields);
+                    }
+                });
+                if let Err(e) = result {
+                    push_error(job, format!("fabric worker {holder}: {e}"));
+                }
+            });
+        }
+    });
+    // The workers have finished (or failed). Aggregate from the store via
+    // `open_shared` — other jobs and /run handlers may still be writing.
+    if let Err(message) = aggregate_sweep(state, job, &sweep, &watch) {
+        push_error(job, message);
+    }
+    job.finish();
+}
+
+/// The post-fabric aggregation pass: re-reads the store, streams
+/// per-point stats and probe samples, and closes with a `done` event.
+fn aggregate_sweep(
+    state: &State,
+    job: &Job,
+    sweep: &SweepSpec,
+    watch: &Stopwatch,
+) -> Result<(), String> {
+    let store = ResultStore::open_shared(&state.store_dir).map_err(|e| e.to_string())?;
+    let points: Vec<(String, ScenarioSpec)> = sweep
+        .expand()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|p| (p.label, p.spec))
+        .collect();
+    let seeds = sweep.seeds().map_err(|e| e.to_string())?;
+    let labels: Vec<String> = points
+        .iter()
+        .map(|(label, _)| {
+            if label.is_empty() {
+                "(base)".to_string()
+            } else {
+                label.clone()
+            }
+        })
+        .collect();
+    let mut rounds = 0u64;
+    let mut probe_samples: Vec<Option<Vec<(String, Value)>>> = vec![None; points.len()];
+    let report = SweepRunner::new()
+        .store(Arc::new(store))
+        .run_points_probed_first_each(points, seeds, |point, outcome, probes| {
+            rounds += outcome.result.metrics.rounds;
+            if probe_samples[point].is_none() {
+                if let Some(outputs) = probes {
+                    probe_samples[point] = Some(
+                        outputs
+                            .iter()
+                            .map(|o| (o.name.clone(), o.value.clone()))
+                            .collect(),
+                    );
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    for (point, label) in report.points.iter().zip(&labels) {
+        push_event(
+            job,
+            vec![
+                ("event".to_string(), Value::Str("point".to_string())),
+                ("label".to_string(), Value::Str(label.clone())),
+                ("cached".to_string(), Value::Int(point.cached as i64)),
+                ("executed".to_string(), Value::Int(point.executed as i64)),
+                ("stats".to_string(), stats_value(&point.stats)),
+            ],
+        );
+    }
+    for (sample, label) in probe_samples.into_iter().zip(&labels) {
+        let Some(outputs) = sample else { continue };
+        for (name, value) in outputs {
+            push_event(
+                job,
+                vec![
+                    ("event".to_string(), Value::Str("probe".to_string())),
+                    ("label".to_string(), Value::Str(label.clone())),
+                    ("name".to_string(), Value::Str(name)),
+                    ("value".to_string(), value),
+                ],
+            );
+        }
+    }
+    state.metrics.record_work(
+        report.cached_trials(),
+        report.executed_trials(),
+        rounds,
+        watch.elapsed_micros(),
+    );
+    push_event(
+        job,
+        vec![
+            ("event".to_string(), Value::Str("done".to_string())),
+            (
+                "cached".to_string(),
+                Value::Int(report.cached_trials() as i64),
+            ),
+            (
+                "executed".to_string(),
+                Value::Int(report.executed_trials() as i64),
+            ),
+        ],
+    );
+    Ok(())
+}
+
+fn handle_job_stream(state: &State, stream: &mut TcpStream, id: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let Some(job) = state.jobs.get(id) else {
+        return http::respond_error(stream, 404, "Not Found", "no such job");
+    };
+    http::start_ndjson(stream)?;
+    let mut cursor = 0usize;
+    loop {
+        // `events_from` reads the log and the done flag under one lock, and
+        // `finish()` happens strictly after the final push — so observing
+        // `done` here means `fresh` already holds every remaining line.
+        let (fresh, done) = job.events_from(cursor);
+        for line in &fresh {
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        if !fresh.is_empty() {
+            stream.flush()?;
+            cursor += fresh.len();
+        }
+        if done {
+            return stream.flush();
+        }
+        std::thread::sleep(JOB_POLL);
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end HTTP tests: a real [`Server`] bound on port 0, exercised by
+//! raw `TcpStream` clients (the same no-dependency discipline as the
+//! server itself).
+//!
+//! The load-bearing assertions mirror the CI smoke: a repeated `POST /run`
+//! is a full cache hit (`"executed":0`), and a `POST /sweep` job streams
+//! valid JSON lines from `GET /jobs/<id>` through to a `done` event.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use wsync_core::json::{self, Value};
+use wsync_serve::{ServeConfig, Server};
+
+/// A small scenario: tiny ensemble, quick to execute, exercises probes.
+const RUN_BODY: &str = r#"{
+  "spec": {
+    "protocol": "trapdoor",
+    "adversary": "random",
+    "probes": ["metrics", "checker"],
+    "num_nodes": 6,
+    "num_frequencies": 4,
+    "disruption_bound": 1,
+    "max_rounds": 20000
+  },
+  "seeds": {"start": 0, "end": 4}
+}"#;
+
+const SWEEP_BODY: &str = r#"{
+  "base": {
+    "protocol": "trapdoor",
+    "adversary": "random",
+    "num_nodes": 6,
+    "num_frequencies": 4,
+    "disruption_bound": 1,
+    "max_rounds": 20000
+  },
+  "seeds": {"start": 0, "end": 6},
+  "grid": [{"field": "num_frequencies", "values": [4, 8]}]
+}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsync-serve-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts a server on an ephemeral port; the accept loop runs on a
+/// detached thread for the life of the test process.
+fn start_server(tag: &str) -> SocketAddr {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: temp_dir(tag),
+        fabric_workers: 2,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// One full HTTP exchange; returns (status line, body).
+fn exchange(addr: SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().expect("status line").to_string();
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn healthz_catalog_and_unknown_routes() {
+    let addr = start_server("basic");
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let health = json::parse(&body).expect("healthz is JSON");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    let (status, body) = get(addr, "/catalog");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let catalog = json::parse(&body).expect("catalog is JSON");
+    let protocols = catalog
+        .get("protocols")
+        .and_then(Value::as_array)
+        .expect("protocols array");
+    assert!(
+        protocols.iter().any(|p| p.as_str() == Some("trapdoor")),
+        "catalog lists the paper's trapdoor protocol: {body}"
+    );
+    for section in ["adversaries", "probes", "faults"] {
+        let names = catalog
+            .get(section)
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{section} array missing: {body}"));
+        assert!(!names.is_empty(), "{section} is empty");
+    }
+
+    let (status, _) = get(addr, "/no-such-route");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = exchange(addr, "DELETE /run HTTP/1.1\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    let (status, _) = post(addr, "/run", "{not json");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+}
+
+#[test]
+fn repeated_run_is_a_full_cache_hit() {
+    let addr = start_server("run-cache");
+
+    let (status, body) = post(addr, "/run", RUN_BODY);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let first = json::parse(&body).expect("run response is JSON");
+    assert_eq!(first.get("executed").and_then(Value::as_u64), Some(4));
+    assert_eq!(first.get("cached").and_then(Value::as_u64), Some(0));
+    let digest = first
+        .get("digest")
+        .and_then(Value::as_str)
+        .expect("digest")
+        .to_string();
+    assert_eq!(digest.len(), 16, "digest is 16 hex chars: {digest}");
+    let stats = first.get("stats").expect("stats object");
+    assert_eq!(stats.get("trials").and_then(Value::as_u64), Some(4));
+    let probes = first
+        .get("probes")
+        .and_then(Value::as_array)
+        .expect("probes array");
+    assert!(
+        probes
+            .iter()
+            .any(|p| p.get("name").and_then(Value::as_str) == Some("metrics")),
+        "probe sample includes the metrics probe: {body}"
+    );
+
+    // The identical request again: same digest, same stats, zero executions.
+    let (status, body) = post(addr, "/run", RUN_BODY);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let second = json::parse(&body).expect("second run response is JSON");
+    assert_eq!(second.get("executed").and_then(Value::as_u64), Some(0));
+    assert_eq!(second.get("cached").and_then(Value::as_u64), Some(4));
+    assert_eq!(
+        second.get("digest").and_then(Value::as_str),
+        Some(digest.as_str())
+    );
+    assert_eq!(
+        second.get("stats").map(Value::to_json_compact),
+        first.get("stats").map(Value::to_json_compact),
+        "cache-served stats are bit-identical"
+    );
+
+    // Metrics saw 4 misses then 4 hits.
+    let (_, body) = get(addr, "/metrics");
+    let metrics = json::parse(&body).expect("metrics is JSON");
+    assert_eq!(metrics.get("store_misses").and_then(Value::as_u64), Some(4));
+    assert_eq!(metrics.get("store_hits").and_then(Value::as_u64), Some(4));
+}
+
+#[test]
+fn run_rejects_bad_seed_ranges_and_unknown_components() {
+    let addr = start_server("run-reject");
+    let empty_range = RUN_BODY.replace(r#"{"start": 0, "end": 4}"#, r#"{"start": 4, "end": 4}"#);
+    let (status, _) = post(addr, "/run", &empty_range);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    let huge_range = RUN_BODY.replace(r#"{"start": 0, "end": 4}"#, r#"{"start": 0, "end": 99999}"#);
+    let (status, body) = post(addr, "/run", &huge_range);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("/sweep"), "points at the job queue: {body}");
+
+    let unknown = RUN_BODY.replace("\"trapdoor\"", "\"no-such-protocol\"");
+    let (status, _) = post(addr, "/run", &unknown);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+}
+
+#[test]
+fn sweep_schedules_a_job_that_streams_json_lines_to_done() {
+    let addr = start_server("sweep-job");
+
+    let (status, body) = post(addr, "/sweep", SWEEP_BODY);
+    assert_eq!(status, "HTTP/1.1 202 Accepted", "{body}");
+    let accepted = json::parse(&body).expect("sweep response is JSON");
+    let job = accepted
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("job id")
+        .to_string();
+    assert_eq!(
+        accepted.get("events").and_then(Value::as_str),
+        Some(format!("/jobs/{job}").as_str())
+    );
+
+    // Stream the job to completion: the connection closes after `done`.
+    let (status, body) = get(addr, &format!("/jobs/{job}"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let lines: Vec<Value> = body
+        .lines()
+        .map(|line| json::parse(line).unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}")))
+        .collect();
+    assert!(lines.len() >= 4, "scheduled + work + points + done: {body}");
+    let event = |v: &Value| v.get("event").and_then(Value::as_str).map(String::from);
+    assert_eq!(event(&lines[0]).as_deref(), Some("scheduled"));
+    assert_eq!(
+        event(lines.last().expect("at least one line")).as_deref(),
+        Some("done")
+    );
+    let done = lines.last().expect("done line");
+    // 2 grid points x 6 seeds, all executed by the fabric then served to
+    // the aggregation pass from the store.
+    assert_eq!(done.get("cached").and_then(Value::as_u64), Some(12));
+    assert_eq!(done.get("executed").and_then(Value::as_u64), Some(0));
+    let points: Vec<&Value> = lines
+        .iter()
+        .filter(|v| event(v).as_deref() == Some("point"))
+        .collect();
+    assert_eq!(points.len(), 2, "one point event per grid point: {body}");
+    for point in points {
+        let stats = point.get("stats").expect("point stats");
+        assert_eq!(stats.get("trials").and_then(Value::as_u64), Some(6));
+    }
+
+    // A late subscriber replays the full history instantly.
+    let (_, replay) = get(addr, &format!("/jobs/{job}"));
+    assert_eq!(replay, body, "replayed stream is identical");
+
+    // Unknown jobs are a 404, not a hung stream.
+    let (status, _) = get(addr, "/jobs/job-999");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // A sweep without a "base" key is rejected up front.
+    let (status, body) = post(addr, "/sweep", r#"{"protocol": "trapdoor"}"#);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("base"), "{body}");
+}
