@@ -95,6 +95,115 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Large-N scaling of the sparse-activity engine: N ∈ {4096, 65536,
+/// 1_000_000} on F=32 / t=8 under a staggered activation schedule (gap
+/// 1 — one node wakes per round), for both the Trapdoor and Good
+/// Samaritan protocols. Over the same 2000-round horizon as the
+/// headline grid at most 2000 nodes are ever active regardless of N, so
+/// per-round cost should stay roughly flat as N grows — that flatness
+/// *is* the O(active + contended frequencies) claim; the pre-sparse
+/// engine scanned all N nodes every round and fell off a cliff here.
+/// Engine construction (the one-time O(N) buffers and wake queue) stays
+/// inside the timed iteration, exactly like `engine_throughput`.
+fn bench_large_n_scaling(c: &mut Criterion) {
+    use wsync_core::good_samaritan::{GoodSamaritanConfig, GoodSamaritanProtocol};
+    use wsync_radio::activation::ActivationSchedule;
+
+    let mut group = c.benchmark_group("engine_large_n");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    group.sample_size(10);
+    for n in [4_096usize, 65_536, 1_000_000] {
+        let scenario = Scenario::new(n, 32, 8)
+            .with_adversary("random")
+            .with_activation(ActivationSchedule::Staggered { gap: 1 });
+        let trapdoor = TrapdoorConfig::new(scenario.upper_bound(), 32, 8);
+        let id = BenchmarkId::new("trapdoor", format!("N{n}"));
+        group.bench_with_input(id, &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| TrapdoorProtocol::new(trapdoor),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                for _ in 0..ROUNDS {
+                    engine.step();
+                }
+                engine.metrics().deliveries
+            })
+        });
+        let samaritan = GoodSamaritanConfig::new(scenario.upper_bound(), 32, 8);
+        let id = BenchmarkId::new("good-samaritan", format!("N{n}"));
+        group.bench_with_input(id, &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| GoodSamaritanProtocol::new(samaritan),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                for _ in 0..ROUNDS {
+                    engine.step();
+                }
+                engine.metrics().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The million-node acceptance cell: a *complete* engine run — the
+/// public [`Engine::run`] loop with its termination checks, not a manual
+/// step loop — at N=1_000_000 Trapdoor nodes under the staggered
+/// schedule, to the configured 2000-round horizon. Exists to pin that a
+/// full million-node engine lifetime (construction, wake-queue feed,
+/// sparse rounds, completion bookkeeping) finishes in the release bench.
+fn bench_million_node_full_run(c: &mut Criterion) {
+    use wsync_radio::activation::ActivationSchedule;
+
+    let mut group = c.benchmark_group("engine_million_full_run");
+    const ROUNDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(ROUNDS));
+    group.sample_size(10);
+    let scenario = Scenario::new(1_000_000, 32, 8)
+        .with_adversary("random")
+        .with_activation(ActivationSchedule::Staggered { gap: 1 });
+    let config = TrapdoorConfig::new(scenario.upper_bound(), 32, 8);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("trapdoor/N1000000"),
+        &scenario,
+        |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let adversary = registry::build_adversary(&s.adversary, s, seed).unwrap();
+                let mut engine = Engine::new(
+                    s.sim_config().with_max_rounds(ROUNDS),
+                    |_| TrapdoorProtocol::new(config),
+                    adversary,
+                    s.activation.clone(),
+                    seed,
+                )
+                .unwrap();
+                let result = engine.run();
+                (result.metrics.rounds, engine.metrics().deliveries)
+            })
+        },
+    );
+    group.finish();
+}
+
 /// Observation overhead of the probe pipeline: the N=256/F=32 headline
 /// cell run with an empty probe stack (`none` — the engine's internal
 /// history/metrics probes only, identical workload to
@@ -197,6 +306,8 @@ criterion_group!(
     benches,
     bench_engine_rounds,
     bench_engine_throughput,
+    bench_large_n_scaling,
+    bench_million_node_full_run,
     bench_observation_overhead,
     bench_fault_overhead
 );

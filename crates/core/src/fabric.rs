@@ -17,10 +17,15 @@
 //!
 //! * **Claim** — `O_CREAT|O_EXCL` (`create_new`): exactly one process
 //!   creates the lease file; everyone else sees `AlreadyExists`.
-//! * **Heartbeat** — rewriting the lease body in place refreshes the
-//!   file's mtime. A lease whose mtime is older than the configured TTL
-//!   is *stale*: its holder is presumed dead (`kill -9`, OOM, power
-//!   loss).
+//! * **Heartbeat** — rewriting the lease body in place bumps a
+//!   monotonically increasing **beat counter** stored *in the file*. A
+//!   lease is *stale* only when a reclaimer has watched its
+//!   `(holder, beat)` stamp stay frozen across a full TTL measured on the
+//!   reclaimer's own monotonic clock (see [`LeaseWatch`]): the holder is
+//!   then presumed dead (`kill -9`, OOM, power loss). File mtimes are
+//!   never consulted — on shared filesystems (NFS and friends) mtimes
+//!   come from *another machine's* clock, and skew would make a live
+//!   lease look hours old (or a dead one perpetually fresh).
 //! * **Reclaim** — `rename` of the stale lease to a tombstone: of any
 //!   number of racing reclaimers exactly one rename succeeds, and the
 //!   losers observe `NotFound`. The winner deletes the tombstone and the
@@ -35,9 +40,11 @@
 //! shard bytes are identical to a 1-process run no matter how many
 //! workers ran or died.
 //!
-//! Wall-clock time appears in exactly one decision — "is this lease's
-//! holder still alive?" — and is confined to the private `clock` boundary
-//! module; no simulated quantity ever depends on it.
+//! Clock time appears in exactly one decision — "is this lease's holder
+//! still alive?" — and even there only the *local, monotonic* clock is
+//! read, confined to the private `clock` boundary module; no simulated
+//! quantity ever depends on it, and no cross-machine timestamp is ever
+//! compared.
 
 use std::fmt;
 use std::fs::{self, OpenOptions};
@@ -50,26 +57,36 @@ use crate::sim::Sim;
 use crate::spec::{SpecError, SweepSpec};
 use crate::store::{fnv1a, shard_index, ResultStore, StoreError, SHARD_COUNT};
 
-/// The fabric's wall-clock boundary. Lease staleness is the one decision
-/// in the workspace that is *inherently* wall-clock: it measures whether
+/// The fabric's clock boundary. Lease staleness is the one decision in
+/// the workspace that is *inherently* time-based: it measures whether
 /// another OS process is still alive, not anything about simulated
 /// executions — trials themselves remain pure functions of
-/// `(spec digest, seed)` regardless of what this module observes.
+/// `(spec digest, seed)` regardless of what this module observes. Only
+/// the local **monotonic** clock is read here: staleness compares two
+/// readings of *this process's* clock against the TTL, never a file
+/// timestamp written by a possibly skewed peer machine.
 mod clock {
-    use std::io;
-    use std::path::Path;
     use std::time::Duration;
     // lint:allow(wall-clock): lease staleness measures OS-process liveness (dead holders), not simulated time; confined to this boundary module
-    use std::time::SystemTime;
+    use std::time::Instant;
 
-    /// Age of the file at `path`: now minus its mtime, saturating to zero
-    /// if another machine's clock wrote an mtime in our future (NFS and
-    /// friends) — a lease from the future is simply "fresh".
-    pub fn file_age(path: &Path) -> io::Result<Duration> {
-        let modified = std::fs::metadata(path)?.modified()?;
-        // lint:allow(wall-clock): comparing a lease mtime against now is the single sanctioned wall-clock read; see module docs
-        let now = SystemTime::now();
-        Ok(now.duration_since(modified).unwrap_or(Duration::ZERO))
+    /// An opaque reading of the local monotonic clock.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    // lint:allow(wall-clock): the opaque wrapper that keeps raw readings from leaking out of this module
+    pub struct Monotonic(Instant);
+
+    /// The current local monotonic time.
+    pub fn now() -> Monotonic {
+        // lint:allow(wall-clock): the single sanctioned clock read; monotonic and local by construction, see module docs
+        Monotonic(Instant::now())
+    }
+
+    impl Monotonic {
+        /// Time elapsed between `earlier` and `self` (zero if `earlier`
+        /// is not actually earlier).
+        pub fn since(self, earlier: Monotonic) -> Duration {
+            self.0.saturating_duration_since(earlier.0)
+        }
     }
 }
 
@@ -131,10 +148,11 @@ pub struct FabricConfig {
     /// unique among concurrently running workers (the orchestrator uses
     /// `"<pid>"` or `"worker-<k>"`).
     pub holder: String,
-    /// A lease whose file has not been refreshed for this long is stale
-    /// and may be reclaimed. Must comfortably exceed the slowest single
-    /// trial plus scheduler noise: a *live* worker heartbeats every
-    /// trial.
+    /// A lease whose beat counter has not advanced for this long — as
+    /// observed on *this worker's* monotonic clock via [`LeaseWatch`] —
+    /// is stale and may be reclaimed. Must comfortably exceed the
+    /// slowest single trial plus scheduler noise: a *live* worker
+    /// heartbeats every trial.
     pub lease_ttl: Duration,
     /// How long a worker sleeps between passes when every remaining shard
     /// is held by a live peer.
@@ -323,6 +341,85 @@ pub fn read_lease(dir: &Path, shard: usize) -> Result<Option<String>, FabricErro
     }
 }
 
+/// The identity stamp of a lease body: who holds it and how many
+/// heartbeats they have written. Any change to the stamp — a new beat, a
+/// new holder, even a previously unreadable body becoming readable —
+/// proves the holder side is alive, so staleness is judged on stamp
+/// *freezes*, never on file timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LeaseStamp {
+    holder: Option<String>,
+    beat: Option<u64>,
+}
+
+impl LeaseStamp {
+    /// Parses the stamp out of a lease body. Unparseable bodies (a claim
+    /// that died between create and write) yield a `None`/`None` stamp,
+    /// which is as frozen as any other: staleness still reclaims them
+    /// after a full TTL window.
+    fn parse(text: &str) -> Self {
+        let value = json::parse(text.trim()).ok();
+        LeaseStamp {
+            holder: value
+                .as_ref()
+                .and_then(|v| v.get("holder"))
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            beat: value
+                .as_ref()
+                .and_then(|v| v.get("beat"))
+                .and_then(Value::as_u64),
+        }
+    }
+}
+
+/// A reclaimer's local memory of the lease stamps it has observed, keyed
+/// by shard: the last `LeaseStamp` seen and the monotonic instant at
+/// which that exact stamp was *first* seen.
+///
+/// This is what makes staleness clock-skew-proof: a lease is declared
+/// stale only when its stamp has stayed frozen for a full TTL measured
+/// between two reads of the *local* monotonic clock. Nothing about the
+/// lease file's mtime — which on a shared filesystem is another
+/// machine's opinion of the time — ever enters the decision, and a
+/// reclaimer fresh off its own start-up can never reclaim anything
+/// before it has personally watched a lease for one full TTL.
+#[derive(Debug, Default)]
+pub struct LeaseWatch {
+    seen: std::collections::BTreeMap<usize, (LeaseStamp, clock::Monotonic)>,
+}
+
+impl LeaseWatch {
+    /// A watch with no observations yet.
+    pub fn new() -> Self {
+        LeaseWatch::default()
+    }
+
+    /// Drops any observation for `shard` (the lease vanished or was
+    /// reclaimed; the next lease there starts a fresh window).
+    fn forget(&mut self, shard: usize) {
+        self.seen.remove(&shard);
+    }
+
+    /// Records `stamp` for `shard` and returns how long this exact stamp
+    /// has been continuously observed. A changed (or first-seen) stamp
+    /// restarts the window at zero.
+    fn observe(&mut self, shard: usize, stamp: LeaseStamp) -> Duration {
+        let now = clock::now();
+        match self.seen.get_mut(&shard) {
+            Some((seen, since)) if *seen == stamp => now.since(*since),
+            Some(entry) => {
+                *entry = (stamp, now);
+                Duration::ZERO
+            }
+            None => {
+                self.seen.insert(shard, (stamp, now));
+                Duration::ZERO
+            }
+        }
+    }
+}
+
 /// Attempts to claim `shard`'s lease. `Ok(None)` means someone else holds
 /// it (fresh or stale — the caller decides whether to reclaim).
 fn try_claim(dir: &Path, shard: usize, holder: &str) -> Result<Option<Lease>, FabricError> {
@@ -346,30 +443,35 @@ fn try_claim(dir: &Path, shard: usize, holder: &str) -> Result<Option<Lease>, Fa
     }
 }
 
-/// If `shard`'s lease is stale (mtime older than `ttl`), renames it to a
-/// tombstone — an atomic race that exactly one reclaimer wins — and
-/// removes the tombstone, freeing the shard for a fresh claim. Returns
-/// the dead holder's identity on success, `Ok(None)` if the lease is
-/// fresh, vanished, or lost the rename race.
+/// If `shard`'s lease is stale — its `(holder, beat)` stamp has stayed
+/// frozen across a full `ttl` window as observed through `watch` on the
+/// local monotonic clock — renames it to a tombstone (an atomic race
+/// that exactly one reclaimer wins) and removes the tombstone, freeing
+/// the shard for a fresh claim. Returns the dead holder's identity on
+/// success, `Ok(None)` if the lease is live (its beat advanced, or this
+/// watch has not yet observed it for a full TTL), vanished, or lost the
+/// rename race.
 fn reclaim_if_stale(
     dir: &Path,
     shard: usize,
     holder: &str,
     ttl: Duration,
+    watch: &mut LeaseWatch,
 ) -> Result<Option<String>, FabricError> {
     let path = lease_path(dir, shard);
-    let age = match clock::file_age(&path) {
-        Ok(age) => age,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            watch.forget(shard);
+            return Ok(None);
+        }
         Err(source) => return Err(FabricError::Lease { path, source }),
     };
-    if age < ttl {
+    let stamp = LeaseStamp::parse(&text);
+    let prior = stamp.holder.clone().unwrap_or_else(|| "?".to_string());
+    if watch.observe(shard, stamp) < ttl {
         return Ok(None);
     }
-    let prior = fs::read_to_string(&path)
-        .ok()
-        .and_then(|t| lease_holder(&t))
-        .unwrap_or_else(|| "?".to_string());
     // The tombstone name is derived from the *reclaimer*, so racing
     // reclaimers target distinct names and the rename itself is the
     // arbiter: the source file disappears for everyone but the winner.
@@ -380,9 +482,13 @@ fn reclaim_if_stale(
     match fs::rename(&path, &tomb) {
         Ok(()) => {
             let _ = fs::remove_file(&tomb);
+            watch.forget(shard);
             Ok(Some(prior))
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            watch.forget(shard);
+            Ok(None)
+        }
         Err(source) => Err(FabricError::Lease { path, source }),
     }
 }
@@ -475,6 +581,10 @@ where
     let start = (fnv1a(config.holder.as_bytes()) % SHARD_COUNT as u64) as usize;
     let mut done: Vec<bool> = by_shard.iter().map(Vec::is_empty).collect();
     let mut summary = WorkerSummary::default();
+    // This worker's private view of peer lease stamps: a peer's lease is
+    // only ever reclaimed after *this* process has watched its beat
+    // counter stay frozen for a full TTL on its own monotonic clock.
+    let mut watch = LeaseWatch::new();
 
     loop {
         let mut progress = false;
@@ -540,7 +650,7 @@ where
                 }
                 None => {
                     if let Some(holder) =
-                        reclaim_if_stale(dir, shard, &config.holder, config.lease_ttl)?
+                        reclaim_if_stale(dir, shard, &config.holder, config.lease_ttl, &mut watch)?
                     {
                         summary.leases_reclaimed += 1;
                         progress = true;
@@ -634,20 +744,24 @@ mod tests {
         let dir = temp_dir("stale");
         fs::create_dir_all(&dir).unwrap();
         let _abandoned = try_claim(&dir, 5, "dead-worker").unwrap().expect("claim");
-        // Fresh: a TTL of an hour keeps it.
+        let mut watch = LeaseWatch::new();
+        // Fresh: under an hour-long TTL the stamp has not been watched
+        // anywhere near long enough.
         assert_eq!(
-            reclaim_if_stale(&dir, 5, "bob", Duration::from_secs(3600)).unwrap(),
+            reclaim_if_stale(&dir, 5, "bob", Duration::from_secs(3600), &mut watch).unwrap(),
             None
         );
-        // Stale: a zero TTL makes any lease reclaimable.
+        // Stale: the same frozen stamp has now been observed across a
+        // full (zero-length) TTL window on bob's own clock.
         assert_eq!(
-            reclaim_if_stale(&dir, 5, "bob", Duration::ZERO).unwrap(),
+            reclaim_if_stale(&dir, 5, "bob", Duration::ZERO, &mut watch).unwrap(),
             Some("dead-worker".to_string())
         );
-        // The shard is claimable again and the loser of a second reclaim
-        // race sees nothing to reclaim.
+        // The shard is claimable again and a second reclaimer sees
+        // nothing to reclaim.
+        let mut carol_watch = LeaseWatch::new();
         assert_eq!(
-            reclaim_if_stale(&dir, 5, "carol", Duration::ZERO).unwrap(),
+            reclaim_if_stale(&dir, 5, "carol", Duration::ZERO, &mut carol_watch).unwrap(),
             None
         );
         assert!(try_claim(&dir, 5, "bob").unwrap().is_some());
@@ -660,14 +774,82 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let mut lease = try_claim(&dir, 2, "slow-worker").unwrap().expect("claim");
         assert!(lease.heartbeat().unwrap());
-        // A peer reclaims the lease (zero TTL) and claims it itself.
-        reclaim_if_stale(&dir, 2, "fast-worker", Duration::ZERO)
+        // A peer reclaims the lease (zero TTL: any observed stamp is
+        // instantly a full window old) and claims it itself.
+        let mut watch = LeaseWatch::new();
+        reclaim_if_stale(&dir, 2, "fast-worker", Duration::ZERO, &mut watch)
             .unwrap()
             .expect("reclaimed");
         let _theirs = try_claim(&dir, 2, "fast-worker").unwrap().expect("claim");
         assert!(
             !lease.heartbeat().unwrap(),
             "heartbeat must report the lease as lost"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Sets the lease file's mtime `offset_secs` away from now (negative
+    /// = into the past), simulating what a clock-skewed NFS server would
+    /// stamp. The staleness rule must be blind to it.
+    fn set_lease_mtime(path: &Path, offset_secs: i64) {
+        // lint:allow(wall-clock): test scaffolding planting the skewed cross-machine mtimes the beat-counter rule must ignore
+        let now = std::time::SystemTime::now();
+        let skewed = if offset_secs >= 0 {
+            now + Duration::from_secs(offset_secs as u64)
+        } else {
+            now - Duration::from_secs(offset_secs.unsigned_abs())
+        };
+        let file = OpenOptions::new().write(true).open(path).unwrap();
+        file.set_modified(skewed).unwrap();
+    }
+
+    #[test]
+    fn skewed_mtimes_do_not_sway_staleness_only_frozen_beats_do() {
+        let dir = temp_dir("skew");
+        fs::create_dir_all(&dir).unwrap();
+        let ttl = Duration::from_millis(80);
+        let mut live = try_claim(&dir, 1, "live-worker").unwrap().expect("claim");
+        let _dead = try_claim(&dir, 4, "dead-worker").unwrap().expect("claim");
+        // Worst-case skew in both directions: the live lease looks an
+        // hour old (the old mtime rule would reclaim it on sight), the
+        // dead lease looks an hour in the future (the old rule would
+        // keep it forever).
+        set_lease_mtime(&lease_path(&dir, 1), -3600);
+        set_lease_mtime(&lease_path(&dir, 4), 3600);
+        let mut watch = LeaseWatch::new();
+        // First pass: nothing is reclaimable — no stamp has been watched
+        // for a full TTL yet, no matter what the mtimes claim.
+        assert_eq!(
+            reclaim_if_stale(&dir, 1, "reclaimer", ttl, &mut watch).unwrap(),
+            None
+        );
+        assert_eq!(
+            reclaim_if_stale(&dir, 4, "reclaimer", ttl, &mut watch).unwrap(),
+            None
+        );
+        // The live holder heartbeats (advancing its beat counter); the
+        // dead one cannot. Re-plant the hour-old mtime afterwards so the
+        // beat is the *only* thing distinguishing the two.
+        std::thread::sleep(ttl + Duration::from_millis(40));
+        assert!(live.heartbeat().unwrap());
+        set_lease_mtime(&lease_path(&dir, 1), -3600);
+        // Second pass, a full TTL later: the frozen-beat lease is
+        // reclaimed despite its future mtime; the live one is kept
+        // despite its ancient mtime.
+        assert_eq!(
+            reclaim_if_stale(&dir, 4, "reclaimer", ttl, &mut watch).unwrap(),
+            Some("dead-worker".to_string())
+        );
+        assert_eq!(
+            reclaim_if_stale(&dir, 1, "reclaimer", ttl, &mut watch).unwrap(),
+            None
+        );
+        // Once the live holder genuinely stops beating, a further full
+        // TTL of frozen observations reclaims it too.
+        std::thread::sleep(ttl + Duration::from_millis(40));
+        assert_eq!(
+            reclaim_if_stale(&dir, 1, "reclaimer", ttl, &mut watch).unwrap(),
+            Some("live-worker".to_string())
         );
         let _ = fs::remove_dir_all(&dir);
     }

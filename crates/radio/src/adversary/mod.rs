@@ -45,11 +45,22 @@ pub use sweep::SweepAdversary;
 
 /// The set of frequencies disrupted in one round.
 ///
-/// Stored as a boolean mask over the band so that membership queries during
-/// round resolution are O(1).
+/// Stored as a boolean mask over the band (so membership queries during
+/// round resolution are O(1)) *plus* a sorted index list of the disrupted
+/// frequencies, so that `len`, `iter`, and `truncate_to_budget` cost
+/// O(t) — the number of disrupted frequencies — rather than O(F). The
+/// sparse-activity engine relies on this: with at most `t ≪ F` disrupted
+/// frequencies per round, nothing in the per-round disruption bookkeeping
+/// scans the whole band.
+///
+/// Invariant: `indices` is the sorted, duplicate-free list of exactly the
+/// 0-based frequency indices whose `mask` slot is `true`. Because the list
+/// is canonical, the derived `PartialEq` (which compares both fields)
+/// agrees with set equality.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DisruptionSet {
     mask: Vec<bool>,
+    indices: Vec<u32>,
 }
 
 impl DisruptionSet {
@@ -57,6 +68,7 @@ impl DisruptionSet {
     pub fn empty(num_frequencies: u32) -> Self {
         DisruptionSet {
             mask: vec![false; num_frequencies as usize],
+            indices: Vec::new(),
         }
     }
 
@@ -75,8 +87,16 @@ impl DisruptionSet {
 
     /// Marks `f` as disrupted (no-op if `f` is outside the band).
     pub fn insert(&mut self, f: Frequency) {
-        if let Some(slot) = self.mask.get_mut(f.as_zero_based()) {
-            *slot = true;
+        let i = f.as_zero_based();
+        if let Some(slot) = self.mask.get_mut(i) {
+            if !*slot {
+                *slot = true;
+                let i = i as u32;
+                match self.indices.binary_search(&i) {
+                    Ok(_) => {}
+                    Err(pos) => self.indices.insert(pos, i),
+                }
+            }
         }
     }
 
@@ -87,21 +107,24 @@ impl DisruptionSet {
 
     /// Number of disrupted frequencies.
     pub fn len(&self) -> usize {
-        self.mask.iter().filter(|&&d| d).count()
+        self.indices.len()
     }
 
     /// Returns `true` if no frequency is disrupted.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.indices.is_empty()
     }
 
     /// Iterates over the disrupted frequencies in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = Frequency> + '_ {
-        self.mask
+        self.indices
             .iter()
-            .enumerate()
-            .filter(|(_, &d)| d)
-            .map(|(i, _)| Frequency::from_zero_based(i))
+            .map(|&i| Frequency::from_zero_based(i as usize))
+    }
+
+    /// The sorted 0-based indices of the disrupted frequencies.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
     }
 
     /// The underlying mask, indexed by 0-based frequency index.
@@ -113,18 +136,14 @@ impl DisruptionSet {
     /// the lowest-indexed ones. The engine uses this to enforce the model's
     /// bound `t` even against a buggy adversary implementation.
     pub fn truncate_to_budget(&mut self, budget: usize) -> usize {
-        let mut kept = 0usize;
-        let mut removed = 0usize;
-        for slot in self.mask.iter_mut() {
-            if *slot {
-                if kept < budget {
-                    kept += 1;
-                } else {
-                    *slot = false;
-                    removed += 1;
-                }
-            }
+        if self.indices.len() <= budget {
+            return 0;
         }
+        let removed = self.indices.len() - budget;
+        for &i in &self.indices[budget..] {
+            self.mask[i as usize] = false;
+        }
+        self.indices.truncate(budget);
         removed
     }
 }

@@ -55,6 +55,83 @@ impl FaultKind {
     }
 }
 
+/// The engine's sparse view of the network at the top of a round, handed to
+/// every layer's [`begin_round`](FaultLayer::begin_round).
+///
+/// The sparse-activity engine never scans all `N` nodes per round, and
+/// neither should a fault layer: `running` lists exactly the nodes a
+/// stateful layer may need to visit (to crash them), and everything else is
+/// either dormant or already down.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkView<'a> {
+    /// Per-node activation flags as of the *previous* round.
+    pub activated: &'a [bool],
+    /// Sorted indices of the nodes that were activated and not crashed at
+    /// the end of the previous round (the engine's active set).
+    pub running: &'a [u32],
+}
+
+/// Crash/wake transitions reported by fault layers during
+/// [`begin_round`](FaultLayer::begin_round).
+///
+/// The engine maintains its active set incrementally from these reports —
+/// a layer that holds nodes down **must** report every node it newly
+/// crashes and every node it wakes, or the engine will keep scheduling
+/// (or keep skipping) the node. Reports may repeat across layers and
+/// arrive unsorted; the engine sorts and deduplicates, then re-checks each
+/// candidate against the whole stack ([`FaultStack::is_down`] /
+/// [`FaultStack::just_restarted`]), so a wake reported by one layer while
+/// another still holds the node down is correctly ignored.
+#[derive(Debug, Default)]
+pub struct FaultTransitions {
+    crashed: Vec<u32>,
+    woke: Vec<u32>,
+}
+
+impl FaultTransitions {
+    /// An empty transition collector.
+    pub fn new() -> Self {
+        FaultTransitions::default()
+    }
+
+    /// Clears both lists, retaining capacity (the engine reuses one
+    /// collector across rounds).
+    pub fn clear(&mut self) {
+        self.crashed.clear();
+        self.woke.clear();
+    }
+
+    /// Reports that `node` newly crashed this round.
+    pub fn report_crash(&mut self, node: NodeId) {
+        self.crashed.push(node.index() as u32);
+    }
+
+    /// Reports that `node` wakes from a crash this round.
+    pub fn report_wake(&mut self, node: NodeId) {
+        self.woke.push(node.index() as u32);
+    }
+
+    /// Nodes reported crashed this round (possibly unsorted, with
+    /// duplicates across layers).
+    pub fn crashed(&self) -> &[u32] {
+        &self.crashed
+    }
+
+    /// Nodes reported waking this round (possibly unsorted, with
+    /// duplicates across layers).
+    pub fn woke(&self) -> &[u32] {
+        &self.woke
+    }
+
+    /// Sorts and deduplicates both lists in place.
+    pub fn normalize(&mut self) {
+        self.crashed.sort_unstable();
+        self.crashed.dedup();
+        self.woke.sort_unstable();
+        self.woke.dedup();
+    }
+}
+
 /// One composable network-fault effect, applied by the engine between
 /// resolution and delivery.
 ///
@@ -79,10 +156,26 @@ pub trait FaultLayer {
     fn kind(&self) -> FaultKind;
 
     /// Called once at the top of every round, before activations.
-    /// `activated` holds the per-node activation flags as of the *previous*
-    /// round. Stateful layers (churn) advance their crash/wake state here.
-    fn begin_round(&mut self, round: u64, activated: &[bool], rng: &mut SimRng) {
-        let _ = (round, activated, rng);
+    ///
+    /// Stateful layers (churn) advance their crash/wake state here, drawing
+    /// crash decisions over `net.running` **in ascending node order** (so
+    /// the draw sequence is engine-schedule-independent) and reporting every
+    /// crash and wake into `transitions` — the engine updates its active
+    /// set from those reports instead of scanning all `N` nodes.
+    ///
+    /// Contract change vs. the pre-sparse engine: crash draws cover the
+    /// stack-wide running set, not every activated node, so in a stack with
+    /// *two* down-capable layers a node held down by the other layer is no
+    /// longer drawn for. No built-in composition is affected (churn is the
+    /// only down-capable built-in).
+    fn begin_round(
+        &mut self,
+        round: u64,
+        net: &NetworkView<'_>,
+        transitions: &mut FaultTransitions,
+        rng: &mut SimRng,
+    ) {
+        let _ = (round, net, transitions, rng);
     }
 
     /// Whether `node` is crashed this round (takes no action, receives no
@@ -175,10 +268,18 @@ impl FaultStack {
         self.layers.iter().map(|(layer, _)| layer.name()).collect()
     }
 
-    /// Advances every layer's per-round state.
-    pub fn begin_round(&mut self, round: u64, activated: &[bool]) {
+    /// Advances every layer's per-round state, collecting crash/wake
+    /// transitions into `transitions` (which the caller should
+    /// [`clear`](FaultTransitions::clear) beforehand and
+    /// [`normalize`](FaultTransitions::normalize) afterwards).
+    pub fn begin_round(
+        &mut self,
+        round: u64,
+        net: &NetworkView<'_>,
+        transitions: &mut FaultTransitions,
+    ) {
         for (layer, rng) in &mut self.layers {
-            layer.begin_round(round, activated, rng);
+            layer.begin_round(round, net, transitions, rng);
         }
     }
 
@@ -395,7 +496,13 @@ impl FaultLayer for PartitionLayer {
         FaultKind::Partition
     }
 
-    fn begin_round(&mut self, round: u64, _activated: &[bool], _rng: &mut SimRng) {
+    fn begin_round(
+        &mut self,
+        round: u64,
+        _net: &NetworkView<'_>,
+        _transitions: &mut FaultTransitions,
+        _rng: &mut SimRng,
+    ) {
         if let Some(heal) = self.heal_at {
             self.healed = round >= heal;
         }
@@ -429,6 +536,14 @@ pub struct ChurnLayer {
     down_until: Vec<Option<u64>>,
     /// Per-node flag: woke this round.
     restarted: Vec<bool>,
+    /// Crashed nodes keyed by wake round. Because `downtime` is fixed,
+    /// wake rounds are pushed in nondecreasing order (and same-round
+    /// entries in node order), so waking is a front-pop — O(woke) per
+    /// round, never a scan.
+    wake_queue: std::collections::VecDeque<(u64, u32)>,
+    /// Nodes whose `restarted` flag was set last round (to clear without
+    /// an O(N) sweep).
+    last_woke: Vec<u32>,
 }
 
 impl ChurnLayer {
@@ -441,6 +556,8 @@ impl ChurnLayer {
             downtime: downtime.max(1),
             down_until: Vec::new(),
             restarted: Vec::new(),
+            wake_queue: std::collections::VecDeque::new(),
+            last_woke: Vec::new(),
         }
     }
 
@@ -464,32 +581,47 @@ impl FaultLayer for ChurnLayer {
         FaultKind::Churn
     }
 
-    fn begin_round(&mut self, round: u64, activated: &[bool], rng: &mut SimRng) {
-        if self.down_until.len() < activated.len() {
-            self.down_until.resize(activated.len(), None);
-            self.restarted.resize(activated.len(), false);
+    fn begin_round(
+        &mut self,
+        round: u64,
+        net: &NetworkView<'_>,
+        transitions: &mut FaultTransitions,
+        rng: &mut SimRng,
+    ) {
+        if self.down_until.len() < net.activated.len() {
+            self.down_until.resize(net.activated.len(), None);
+            self.restarted.resize(net.activated.len(), false);
         }
+        for &i in &self.last_woke {
+            self.restarted[i as usize] = false;
+        }
+        self.last_woke.clear();
         // Wake pass: nodes whose downtime expired restart this round.
-        for i in 0..activated.len() {
-            self.restarted[i] = false;
-            if let Some(wake) = self.down_until[i] {
-                if round >= wake {
-                    self.down_until[i] = None;
-                    self.restarted[i] = true;
-                }
+        // Wake rounds enter the queue in nondecreasing order, so every
+        // due entry sits at the front.
+        while let Some(&(wake, node)) = self.wake_queue.front() {
+            if wake > round {
+                break;
             }
+            self.wake_queue.pop_front();
+            self.down_until[node as usize] = None;
+            self.restarted[node as usize] = true;
+            self.last_woke.push(node);
+            transitions.report_wake(NodeId::new(node));
         }
-        // Crash pass: every activated, running node (not one that just
-        // woke) draws once, in node order, from this layer's private
+        // Crash pass: every running node (not one that just woke) draws
+        // once, in ascending node order, from this layer's private
         // stream — worker scheduling can never reorder the draws.
         if self.rate > 0.0 {
-            for (i, &active) in activated.iter().enumerate() {
-                if active
-                    && self.down_until[i].is_none()
+            for &node in net.running {
+                let i = node as usize;
+                if self.down_until[i].is_none()
                     && !self.restarted[i]
                     && rng.gen::<f64>() < self.rate
                 {
                     self.down_until[i] = Some(round + self.downtime);
+                    self.wake_queue.push_back((round + self.downtime, node));
+                    transitions.report_crash(NodeId::new(node));
                 }
             }
         }
@@ -514,6 +646,40 @@ mod tests {
         SimRng::from_seed(42)
     }
 
+    /// Drives one `begin_round` of a lone `layer` the way the engine
+    /// would: the running list is the activated nodes the layer does not
+    /// hold down, and the reported transitions are returned.
+    fn step_layer<L: FaultLayer + ?Sized>(
+        layer: &mut L,
+        round: u64,
+        activated: &[bool],
+        rng: &mut SimRng,
+    ) -> FaultTransitions {
+        let running: Vec<u32> = (0..activated.len())
+            .filter(|&i| activated[i] && !layer.is_down(NodeId::new(i as u32)))
+            .map(|i| i as u32)
+            .collect();
+        let mut transitions = FaultTransitions::new();
+        layer.begin_round(
+            round,
+            &NetworkView {
+                activated,
+                running: &running,
+            },
+            &mut transitions,
+            rng,
+        );
+        transitions
+    }
+
+    /// Same, against a whole stack.
+    fn running_of_stack(stack: &FaultStack, activated: &[bool]) -> Vec<u32> {
+        (0..activated.len())
+            .filter(|&i| activated[i] && !stack.is_down(NodeId::new(i as u32)))
+            .map(|i| i as u32)
+            .collect()
+    }
+
     #[test]
     fn fault_kind_names_are_the_registry_keys() {
         assert_eq!(FaultKind::Drop.name(), "drop");
@@ -533,8 +699,19 @@ mod tests {
             SimRng::from_seed(4),
         );
         let activated = [true; 4];
+        let mut transitions = FaultTransitions::new();
         for round in 0..64 {
-            stack.begin_round(round, &activated);
+            let running = running_of_stack(&stack, &activated);
+            transitions.clear();
+            stack.begin_round(
+                round,
+                &NetworkView {
+                    activated: &activated,
+                    running: &running,
+                },
+                &mut transitions,
+            );
+            assert!(transitions.crashed().is_empty() && transitions.woke().is_empty());
             assert_eq!(
                 stack.drops_delivery(round, Frequency::new(1), NodeId::new(0)),
                 None
@@ -573,7 +750,7 @@ mod tests {
         let mut layer = PartitionLayer::new(4, &[vec![0, 1], vec![2, 3]], Some(10));
         let mut r = rng();
         let activated = [true; 4];
-        layer.begin_round(0, &activated, &mut r);
+        step_layer(&mut layer, 0, &activated, &mut r);
         // cross-group severed, intra-group delivered
         assert!(layer.suppresses_receive(
             0,
@@ -590,7 +767,7 @@ mod tests {
             &mut r
         ));
         // healed from round 10 on
-        layer.begin_round(10, &activated, &mut r);
+        step_layer(&mut layer, 10, &activated, &mut r);
         assert!(!layer.suppresses_receive(
             10,
             Frequency::new(1),
@@ -604,7 +781,7 @@ mod tests {
     fn remainder_nodes_share_one_implicit_group() {
         let mut layer = PartitionLayer::new(4, &[vec![0]], None);
         let mut r = rng();
-        layer.begin_round(0, &[true; 4], &mut r);
+        step_layer(&mut layer, 0, &[true; 4], &mut r);
         // 1, 2, 3 are all in the remainder group together
         assert!(!layer.suppresses_receive(
             0,
@@ -640,22 +817,25 @@ mod tests {
         let mut layer = ChurnLayer::new(1.0, 3);
         let mut r = rng();
         let activated = [true; 2];
-        layer.begin_round(0, &activated, &mut r);
+        let t = step_layer(&mut layer, 0, &activated, &mut r);
         assert!(
             layer.is_down(NodeId::new(0)),
             "rate 1.0 crashes immediately"
         );
+        assert_eq!(t.crashed(), &[0, 1]);
         // down through rounds 1 and 2, wakes at round 3
         for round in 1..3 {
-            layer.begin_round(round, &activated, &mut r);
+            let t = step_layer(&mut layer, round, &activated, &mut r);
             assert!(layer.is_down(NodeId::new(0)));
             assert!(!layer.just_restarted(NodeId::new(0)));
+            assert!(t.crashed().is_empty() && t.woke().is_empty());
         }
-        layer.begin_round(3, &activated, &mut r);
+        let t = step_layer(&mut layer, 3, &activated, &mut r);
         assert!(!layer.is_down(NodeId::new(0)));
         assert!(layer.just_restarted(NodeId::new(0)));
+        assert_eq!(t.woke(), &[0, 1]);
         // the wake round is crash-exempt; the next round it can crash again
-        layer.begin_round(4, &activated, &mut r);
+        step_layer(&mut layer, 4, &activated, &mut r);
         assert!(layer.is_down(NodeId::new(0)));
     }
 
@@ -663,7 +843,7 @@ mod tests {
     fn churn_ignores_unactivated_nodes() {
         let mut layer = ChurnLayer::new(1.0, 2);
         let mut r = rng();
-        layer.begin_round(0, &[false, true], &mut r);
+        step_layer(&mut layer, 0, &[false, true], &mut r);
         assert!(!layer.is_down(NodeId::new(0)));
         assert!(layer.is_down(NodeId::new(1)));
     }
@@ -676,7 +856,16 @@ mod tests {
             SimRng::from_seed(1),
         );
         stack.push(Box::new(CaptureLayer::new(1.0)), SimRng::from_seed(2));
-        stack.begin_round(0, &[true; 4]);
+        let activated = [true; 4];
+        let running = running_of_stack(&stack, &activated);
+        stack.begin_round(
+            0,
+            &NetworkView {
+                activated: &activated,
+                running: &running,
+            },
+            &mut FaultTransitions::new(),
+        );
         // cross-partition: the partition layer answers first
         assert_eq!(
             stack.suppresses_receive(0, Frequency::new(1), NodeId::new(0), NodeId::new(2)),
@@ -706,9 +895,18 @@ mod tests {
                 );
             }
             stack.push(Box::new(DropLayer::new(0.5)), SimRng::from_seed(11));
+            let activated = [true; 4];
             (0..64)
                 .map(|round| {
-                    stack.begin_round(round, &[true; 4]);
+                    let running = running_of_stack(&stack, &activated);
+                    stack.begin_round(
+                        round,
+                        &NetworkView {
+                            activated: &activated,
+                            running: &running,
+                        },
+                        &mut FaultTransitions::new(),
+                    );
                     stack.drops_delivery(round, Frequency::new(1), NodeId::new(0))
                 })
                 .collect()

@@ -85,11 +85,27 @@ pub fn respond_json(
     reason: &str,
     body: &str,
 ) -> io::Result<()> {
+    respond_json_with(stream, status, reason, &[], body)
+}
+
+/// [`respond_json`] with extra response headers (e.g. `Retry-After` on a
+/// `503`), written between the fixed header set and the blank line.
+pub fn respond_json_with(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()
 }
 

@@ -27,4 +27,4 @@ pub mod jobs;
 pub mod metrics;
 pub mod server;
 
-pub use server::{ServeConfig, ServeError, Server, MAX_RUN_SEEDS};
+pub use server::{ServeConfig, ServeError, Server, DEFAULT_MAX_HANDLERS, MAX_RUN_SEEDS};

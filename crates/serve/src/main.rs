@@ -1,24 +1,28 @@
 //! The `wsync-serve` binary: parse flags, bind, serve forever.
 //!
 //! ```text
-//! wsync-serve --store <dir> [--addr 127.0.0.1:7077] [--fabric-workers 2]
+//! wsync-serve --store <dir> [--addr 127.0.0.1:7077] [--fabric-workers 2] [--max-handlers 64]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wsync_serve::{ServeConfig, Server};
+use wsync_serve::{ServeConfig, Server, DEFAULT_MAX_HANDLERS};
 
-const USAGE: &str = "usage: wsync-serve --store <dir> [--addr HOST:PORT] [--fabric-workers N]
+const USAGE: &str =
+    "usage: wsync-serve --store <dir> [--addr HOST:PORT] [--fabric-workers N] [--max-handlers N]
 
   --store <dir>        result-store directory to serve from (created if missing)
   --addr HOST:PORT     bind address (default 127.0.0.1:7077; port 0 picks one)
-  --fabric-workers N   fabric worker threads per sweep job (default 2)";
+  --fabric-workers N   fabric worker threads per sweep job (default 2)
+  --max-handlers N     concurrent connection handlers; beyond this the
+                       server answers 503 + Retry-After (default 64)";
 
 fn main() -> ExitCode {
     let mut store: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:7077".to_string();
     let mut fabric_workers = 2usize;
+    let mut max_handlers = DEFAULT_MAX_HANDLERS;
     let mut arguments = std::env::args().skip(1);
     while let Some(argument) = arguments.next() {
         match argument.as_str() {
@@ -38,6 +42,10 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => fabric_workers = n,
                 _ => return usage_error("--fabric-workers needs a positive integer"),
             },
+            "--max-handlers" => match arguments.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => max_handlers = n,
+                _ => return usage_error("--max-handlers needs a positive integer"),
+            },
             other => return usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -48,6 +56,7 @@ fn main() -> ExitCode {
         addr,
         store_dir,
         fabric_workers,
+        max_handlers,
     }) {
         Ok(server) => server,
         Err(e) => {

@@ -10,6 +10,10 @@
 //!   of request execution time (cache hits make this large by design:
 //!   it measures *serving* throughput, not raw engine speed — the bench
 //!   suite owns that number).
+//! * `accepted` / `rejected` — connections admitted to a handler thread
+//!   versus connections turned away with a `503` because the server was
+//!   already at its concurrent-handler cap. The saturation smoke asserts
+//!   a burst past the cap moves `rejected`, not the thread count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +23,8 @@ use wsync_core::json::Value;
 #[derive(Debug, Default)]
 pub struct Metrics {
     requests: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     sim_rounds: AtomicU64,
@@ -34,6 +40,28 @@ impl Metrics {
     /// Counts one handled request (any route).
     pub fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection admitted to a handler thread.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection refused with a `503` at the handler cap.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections admitted to a handler thread over the server's
+    /// lifetime. Every handler thread ever spawned is counted here —
+    /// the saturation test uses this as its "no thread growth" witness.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused with a `503` over the server's lifetime.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Folds one completed run/sweep into the counters: `hits` trials
@@ -72,6 +100,8 @@ impl Metrics {
                 "requests".to_string(),
                 Value::Int(self.requests.load(Ordering::Relaxed) as i64),
             ),
+            ("accepted".to_string(), Value::Int(self.accepted() as i64)),
+            ("rejected".to_string(), Value::Int(self.rejected() as i64)),
             ("store_hits".to_string(), Value::Int(hits as i64)),
             ("store_misses".to_string(), Value::Int(misses as i64)),
             (
@@ -93,12 +123,19 @@ mod tests {
     fn counters_accumulate_and_render() {
         let metrics = Metrics::new();
         metrics.record_request();
+        metrics.record_accepted();
+        metrics.record_accepted();
+        metrics.record_rejected();
         metrics.record_work(3, 2, 1_000, 500_000);
         metrics.record_work(5, 0, 0, 0);
         assert_eq!(metrics.store_hits(), 8);
         assert_eq!(metrics.store_misses(), 2);
+        assert_eq!(metrics.accepted(), 2);
+        assert_eq!(metrics.rejected(), 1);
         let value = metrics.to_value();
         assert_eq!(value.get("trials_served").unwrap().as_u64(), Some(10));
+        assert_eq!(value.get("accepted").unwrap().as_u64(), Some(2));
+        assert_eq!(value.get("rejected").unwrap().as_u64(), Some(1));
         let rps = value.get("rounds_per_sec").unwrap().as_f64().unwrap();
         assert!((rps - 2_000.0).abs() < 1e-9, "{rps}");
     }

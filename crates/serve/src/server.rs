@@ -19,6 +19,12 @@
 //!   per-point aggregates, probe outputs) as close-delimited JSON lines.
 //! * `GET /catalog`, `GET /healthz`, `GET /metrics` — the registry's
 //!   component names, liveness, and the service counters.
+//!
+//! Admission control: handler threads are capped by a counting
+//! semaphore ([`ServeConfig::max_handlers`] permits). The accept loop
+//! answers `503` + `Retry-After` inline when no permit is free, so
+//! saturation costs a rejected connection, never a new thread; the
+//! `accepted`/`rejected` counters in `GET /metrics` record both sides.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -43,6 +49,15 @@ use crate::metrics::Metrics;
 /// blocking the connection.
 pub const MAX_RUN_SEEDS: u64 = 10_000;
 
+/// Default cap on concurrently serving handler threads (see
+/// [`ServeConfig::max_handlers`]).
+pub const DEFAULT_MAX_HANDLERS: usize = 64;
+
+/// The `Retry-After` value (seconds) sent with every admission-control
+/// `503`: synchronous runs are short, so "come back in a second" is the
+/// honest hint.
+const RETRY_AFTER_SECS: &str = "1";
+
 /// How often a `GET /jobs/<id>` stream polls its job for fresh events.
 const JOB_POLL: Duration = Duration::from_millis(20);
 
@@ -55,6 +70,13 @@ pub struct ServeConfig {
     pub store_dir: PathBuf,
     /// Fabric worker threads per scheduled sweep job.
     pub fabric_workers: usize,
+    /// Most connections served concurrently: each admitted connection
+    /// gets a handler thread, and a connection arriving with every
+    /// permit taken is answered `503 Service Unavailable` (with a
+    /// `Retry-After` header) straight from the accept loop — no thread
+    /// is spawned for it. Clamped to at least 1; see
+    /// [`DEFAULT_MAX_HANDLERS`].
+    pub max_handlers: usize,
 }
 
 /// An error raised while starting the server.
@@ -98,6 +120,45 @@ struct State {
     jobs: JobRegistry,
     metrics: Metrics,
     fabric_workers: usize,
+    handlers: Semaphore,
+}
+
+/// A tiny non-blocking counting semaphore over the handler permits:
+/// [`try_acquire`](Semaphore::try_acquire) either takes a permit or
+/// fails immediately, so the accept loop never blocks on saturation —
+/// it answers `503` instead.
+struct Semaphore {
+    permits: std::sync::atomic::AtomicUsize,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: std::sync::atomic::AtomicUsize::new(permits),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.permits
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+}
+
+/// Returns its handler permit when dropped — including when the handler
+/// panics, so a crashed handler can never leak the server's capacity.
+struct Permit<'a>(&'a State);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.handlers.release();
+    }
 }
 
 /// A bound, not-yet-serving daemon. [`Server::bind`] then
@@ -131,6 +192,7 @@ impl Server {
                 jobs: JobRegistry::new(),
                 metrics: Metrics::new(),
                 fabric_workers: config.fabric_workers.max(1),
+                handlers: Semaphore::new(config.max_handlers.max(1)),
             }),
         })
     }
@@ -140,24 +202,68 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves forever: one thread per connection. Errors on a single
-    /// connection are logged and survived.
+    /// Serves forever: one thread per *admitted* connection, at most
+    /// [`ServeConfig::max_handlers`] at a time. A connection arriving
+    /// with no permit free is answered `503 Service Unavailable` (plus
+    /// `Retry-After`) inline and never gets a thread, so a `POST /run`
+    /// burst degrades into fast rejections instead of unbounded thread
+    /// growth. Errors on a single connection are logged and survived.
     pub fn run(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             match stream {
-                Ok(stream) => {
-                    let state = Arc::clone(&self.state);
-                    std::thread::spawn(move || {
-                        if let Err(e) = handle_connection(&state, stream) {
+                Ok(mut stream) => {
+                    if self.state.handlers.try_acquire() {
+                        self.state.metrics.record_accepted();
+                        let state = Arc::clone(&self.state);
+                        std::thread::spawn(move || {
+                            let _permit = Permit(&state);
+                            if let Err(e) = handle_connection(&state, stream) {
+                                eprintln!("wsync-serve: connection error: {e}");
+                            }
+                        });
+                    } else {
+                        self.state.metrics.record_rejected();
+                        if let Err(e) = refuse_connection(&mut stream) {
                             eprintln!("wsync-serve: connection error: {e}");
                         }
-                    });
+                    }
                 }
                 Err(e) => eprintln!("wsync-serve: accept error: {e}"),
             }
         }
         Ok(())
     }
+}
+
+/// Refuses one connection at the handler cap: writes the `503` (with
+/// `Retry-After`), half-closes, and drains the client's unread request
+/// bytes so the close sends FIN, not RST (an RST can discard the queued
+/// response before the client reads it). The drain is bounded by a read
+/// timeout and an iteration cap, so a slow client cannot pin the accept
+/// loop for long.
+fn refuse_connection(stream: &mut TcpStream) -> std::io::Result<()> {
+    let body = Value::Object(vec![(
+        "error".to_string(),
+        Value::Str("server is at its concurrent-handler cap; retry shortly".to_string()),
+    )])
+    .to_json_compact();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    http::respond_json_with(
+        stream,
+        503,
+        "Service Unavailable",
+        &[("Retry-After", RETRY_AFTER_SECS)],
+        &body,
+    )?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    for _ in 0..64 {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+    Ok(())
 }
 
 fn handle_connection(state: &Arc<State>, mut stream: TcpStream) -> std::io::Result<()> {

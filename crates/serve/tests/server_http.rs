@@ -49,15 +49,30 @@ fn temp_dir(tag: &str) -> PathBuf {
 /// Starts a server on an ephemeral port; the accept loop runs on a
 /// detached thread for the life of the test process.
 fn start_server(tag: &str) -> SocketAddr {
+    start_server_with(tag, wsync_serve::DEFAULT_MAX_HANDLERS)
+}
+
+fn start_server_with(tag: &str, max_handlers: usize) -> SocketAddr {
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         store_dir: temp_dir(tag),
         fabric_workers: 2,
+        max_handlers,
     })
     .expect("bind");
     let addr = server.local_addr().expect("local_addr");
     std::thread::spawn(move || server.run());
     addr
+}
+
+/// One full HTTP exchange; returns the raw response text (status line,
+/// headers, and body) for header-level assertions.
+fn exchange_raw(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    raw
 }
 
 /// One full HTTP exchange; returns (status line, body).
@@ -247,4 +262,97 @@ fn sweep_schedules_a_job_that_streams_json_lines_to_done() {
     let (status, body) = post(addr, "/sweep", r#"{"protocol": "trapdoor"}"#);
     assert_eq!(status, "HTTP/1.1 400 Bad Request");
     assert!(body.contains("base"), "{body}");
+}
+
+/// OS threads in this test process (Linux); `None` elsewhere.
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|n| n.trim().parse().ok())
+}
+
+#[test]
+fn flooding_past_the_handler_cap_yields_503s_not_threads() {
+    const FLOOD: usize = 16;
+    let addr = start_server_with("saturate", 2);
+
+    // Occupy both permits with connections that never finish sending
+    // their request: each one holds a handler thread inside the request
+    // parser until we hang up.
+    let stalled: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect stall");
+            stream.write_all(b"GET /healthz HT").expect("partial write");
+            stream
+        })
+        .collect();
+    // Let the accept loop hand both connections to handlers.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Flood past the cap: every request is refused with a 503 carrying
+    // Retry-After, straight from the accept loop.
+    let before = process_threads();
+    for _ in 0..FLOOD {
+        let raw = exchange_raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(
+            raw.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "saturated server must answer 503: {raw}"
+        );
+        assert!(
+            raw.contains("Retry-After:"),
+            "503 carries Retry-After: {raw}"
+        );
+    }
+    let after = process_threads();
+    if let (Some(before), Some(after)) = (before, after) {
+        // Rejected connections spawn no handler threads. Other tests in
+        // this process spawn threads of their own, so allow slack well
+        // below the flood size.
+        assert!(
+            after <= before + FLOOD / 2,
+            "thread count grew from {before} to {after} across {FLOOD} rejected connections"
+        );
+    }
+
+    // Hang up the stalled connections; their handlers finish and the
+    // permits come back.
+    drop(stalled);
+    let mut probes = 0usize;
+    loop {
+        probes += 1;
+        let raw = exchange_raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        if raw.starts_with("HTTP/1.1 200 OK") {
+            break;
+        }
+        assert!(
+            probes < 100,
+            "server never recovered after saturation: {raw}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The metrics agree: every flood connection was rejected, and the
+    // accepted count — which counts every handler thread ever spawned —
+    // covers only the stalls and the post-recovery probes.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let metrics = json::parse(&body).expect("metrics is JSON");
+    let accepted = metrics
+        .get("accepted")
+        .and_then(Value::as_u64)
+        .expect("accepted counter");
+    let rejected = metrics
+        .get("rejected")
+        .and_then(Value::as_u64)
+        .expect("rejected counter");
+    assert!(
+        rejected >= FLOOD as u64,
+        "all {FLOOD} flood connections rejected, saw {rejected}"
+    );
+    assert!(
+        accepted <= 2 + probes as u64 + 1,
+        "no handler was spawned for a flooded connection: accepted {accepted}, probes {probes}"
+    );
 }
