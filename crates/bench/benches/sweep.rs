@@ -16,7 +16,7 @@ use wsync_core::batch::BatchRunner;
 use wsync_core::sim::Sim;
 use wsync_core::spec::{ScenarioSpec, SweepSpec};
 use wsync_core::store::ResultStore;
-use wsync_core::sweep::SweepRunner;
+use wsync_core::sweep::{StopMetric, StoppingRule, SweepRunner};
 
 fn grid(seeds: u64) -> SweepSpec {
     let base = ScenarioSpec::new("trapdoor", 16, 16, 4).with_adversary("random");
@@ -101,5 +101,51 @@ fn bench_store_cache(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_sweep_orchestration, bench_store_cache);
+/// Fixed-count versus adaptive allocation of the same grid: the adaptive
+/// cell declares a loose sync-rate stopping rule that settles within the
+/// first batch on this well-behaved grid, so it runs a fraction of the
+/// fixed cell's trials. The cells assert their trial totals, so the bench
+/// doubles as a record of the measured savings.
+fn bench_sweep_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_adaptive");
+    group.sample_size(10);
+    const SEEDS: u64 = 32;
+    const MIN_SEEDS: u64 = 8;
+    let fixed = grid(SEEDS);
+    let adaptive = grid(SEEDS).with_stop(
+        StoppingRule::new(StopMetric::SyncRate, 0.3)
+            .with_min_seeds(MIN_SEEDS)
+            .with_batch(MIN_SEEDS),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("fixed_count", SEEDS),
+        &fixed,
+        |b, sweep| {
+            b.iter(|| {
+                let report = SweepRunner::new().run(sweep).unwrap();
+                assert_eq!(report.total_trials(), 4 * SEEDS);
+                report.total_trials()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("adaptive_stop", SEEDS),
+        &adaptive,
+        |b, sweep| {
+            b.iter(|| {
+                let report = SweepRunner::new().run(sweep).unwrap();
+                assert!(report.total_trials() < 4 * SEEDS);
+                report.total_trials()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_orchestration,
+    bench_store_cache,
+    bench_sweep_adaptive
+);
 criterion_main!(benches);

@@ -52,10 +52,12 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use crate::batch::{BatchStats, BatchStatsFold};
 use crate::json::{self, Value};
 use crate::sim::Sim;
 use crate::spec::{SpecError, SweepSpec};
 use crate::store::{fnv1a, shard_index, ResultStore, StoreError, SHARD_COUNT};
+use crate::sweep::{StopReason, StoppingRule};
 
 /// The fabric's clock boundary. Lease staleness is the one decision in
 /// the workspace that is *inherently* time-based: it measures whether
@@ -220,6 +222,18 @@ pub enum WorkerEvent {
         /// The abandoned shard.
         shard: usize,
     },
+    /// An adaptive sweep's grid point stopped sampling early: this worker
+    /// either derived the verdict at a batch boundary (and published the
+    /// stop marker peers honor) or observed a peer's marker. Emitted at
+    /// most once per point per worker.
+    PointStopped {
+        /// The stopped grid point (expansion index).
+        point: usize,
+        /// Seeds the point consumed before stopping.
+        seeds_used: u64,
+        /// Why the point stopped.
+        reason: StopReason,
+    },
 }
 
 /// What one worker did over its whole run.
@@ -237,6 +251,9 @@ pub struct WorkerSummary {
     pub leases_lost: u64,
     /// Idle passes slept through while peers held incomplete shards.
     pub idle_passes: u64,
+    /// Adaptive grid points this worker saw stop early (derived or
+    /// observed via a peer's marker).
+    pub points_stopped: u64,
 }
 
 /// A held shard lease. Holding it makes this process the shard's only
@@ -535,6 +552,118 @@ pub fn clean_leases(dir: impl AsRef<Path>) -> Result<usize, FabricError> {
     Ok(removed)
 }
 
+/// The canonical digest naming a sweep's cross-process coordination files
+/// (adaptive stop markers): FNV-1a over the sweep's compact canonical
+/// JSON. Every worker derives it from the same spec, so markers published
+/// by one process are found by all.
+pub fn sweep_digest(sweep: &SweepSpec) -> u64 {
+    fnv1a(sweep.to_value().to_json_compact().as_bytes())
+}
+
+/// The stop-marker file recording that `point` of the sweep identified by
+/// `digest` stopped sampling early.
+pub fn stop_marker_path(dir: &Path, digest: u64, point: usize) -> PathBuf {
+    dir.join(format!("stop-{digest:016x}-p{point:03}.marker"))
+}
+
+/// Publishes a stop verdict for `point`: `create_new`, so of any number of
+/// workers deriving the same (deterministic) verdict exactly one writes
+/// the file and the rest see `AlreadyExists` — which is fine, the bytes
+/// they would have written are identical.
+fn write_stop_marker(
+    dir: &Path,
+    digest: u64,
+    point: usize,
+    reason: StopReason,
+    seeds_used: u64,
+) -> Result<(), FabricError> {
+    let path = stop_marker_path(dir, digest, point);
+    let mut body = Value::Object(vec![
+        ("point".to_string(), Value::Int(point as i64)),
+        ("reason".to_string(), Value::Str(reason.name().to_string())),
+        ("seeds_used".to_string(), Value::Int(seeds_used as i64)),
+    ])
+    .to_json_compact();
+    body.push('\n');
+    match OpenOptions::new().write(true).create_new(true).open(&path) {
+        Ok(mut file) => file
+            .write_all(body.as_bytes())
+            .map_err(|source| FabricError::Lease { path, source }),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(()),
+        Err(source) => Err(FabricError::Lease { path, source }),
+    }
+}
+
+/// Reads `point`'s published stop verdict, if any. A torn or unparseable
+/// marker (a writer that died mid-write) reads as absent: every worker
+/// re-derives the same verdict from the store anyway, so markers are an
+/// acceleration, never the source of truth.
+fn read_stop_marker(
+    dir: &Path,
+    digest: u64,
+    point: usize,
+) -> Result<Option<(StopReason, u64)>, FabricError> {
+    let path = stop_marker_path(dir, digest, point);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(source) => return Err(FabricError::Lease { path, source }),
+    };
+    let Ok(value) = json::parse(text.trim()) else {
+        return Ok(None);
+    };
+    let reason = match value.get("reason").and_then(Value::as_str) {
+        Some("half_width") => StopReason::HalfWidth,
+        Some("dominated") => StopReason::Dominated,
+        Some("exhausted") => StopReason::Exhausted,
+        _ => return Ok(None),
+    };
+    let Some(seeds_used) = value.get("seeds_used").and_then(Value::as_u64) else {
+        return Ok(None);
+    };
+    Ok(Some((reason, seeds_used)))
+}
+
+/// Removes every stop-marker file under `dir`, returning how many were
+/// removed. For the orchestrating parent after aggregation: markers are
+/// per-run coordination state, not results, and the store directory
+/// should end holding only shard `.jsonl` files.
+pub fn clean_stop_markers(dir: impl AsRef<Path>) -> Result<usize, FabricError> {
+    let dir = dir.as_ref();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(source) => {
+            return Err(FabricError::Lease {
+                path: dir.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry.map_err(|source| FabricError::Lease {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("stop-") && name.ends_with(".marker") {
+            match fs::remove_file(entry.path()) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(source) => {
+                    return Err(FabricError::Lease {
+                        path: entry.path(),
+                        source,
+                    })
+                }
+            }
+        }
+    }
+    Ok(removed)
+}
+
 /// Runs one fabric worker to completion: claims shards of `store_dir` one
 /// at a time, executes every trial of `sweep` that maps to a claimed
 /// shard and is not already stored, and returns once **every** shard of
@@ -549,6 +678,18 @@ pub fn clean_leases(dir: impl AsRef<Path>) -> Result<usize, FabricError> {
 /// Workers scan shards starting at an offset derived from their holder
 /// identity, so concurrent workers spread over different shards instead
 /// of convoying on shard 0.
+///
+/// A sweep that declares a [`StoppingRule`] runs in *phase-locked seed
+/// batches* instead of one flat partition: each phase drains one batch
+/// window through the same lease protocol, then every worker folds the
+/// store's seed-ordered prefix and applies
+/// [`StoppingRule::decide_batch`] — the same pure decision the in-process
+/// runner uses, over the same bytes, so all processes derive identical
+/// verdicts independently. The first worker to derive a stop publishes a
+/// marker file ([`stop_marker_path`]) that late-starting peers honor
+/// without recomputation; trials past a stopped point's boundary are
+/// never scheduled, and the final sorted shard bytes are identical to a
+/// single-process adaptive run.
 pub fn run_worker<F>(
     store_dir: impl AsRef<Path>,
     sweep: &SweepSpec,
@@ -560,6 +701,22 @@ where
 {
     let dir = store_dir.as_ref();
     let store = ResultStore::open_shared(dir)?;
+    match &sweep.stop {
+        None => run_worker_fixed(dir, &store, sweep, config, &mut on_event),
+        Some(rule) => run_worker_adaptive(dir, &store, sweep, rule, config, &mut on_event),
+    }
+}
+
+fn run_worker_fixed<F>(
+    dir: &Path,
+    store: &ResultStore,
+    sweep: &SweepSpec,
+    config: &FabricConfig,
+    on_event: &mut F,
+) -> Result<WorkerSummary, FabricError>
+where
+    F: FnMut(&WorkerEvent),
+{
     let seeds = sweep.seeds()?;
     let points = sweep.expand()?;
     let sims: Vec<Sim> = points
@@ -578,14 +735,46 @@ where
         }
     }
 
-    let start = (fnv1a(config.holder.as_bytes()) % SHARD_COUNT as u64) as usize;
-    let mut done: Vec<bool> = by_shard.iter().map(Vec::is_empty).collect();
     let mut summary = WorkerSummary::default();
     // This worker's private view of peer lease stamps: a peer's lease is
     // only ever reclaimed after *this* process has watched its beat
     // counter stay frozen for a full TTL on its own monotonic clock.
     let mut watch = LeaseWatch::new();
+    drain_shards(
+        dir,
+        store,
+        &sims,
+        &digests,
+        &by_shard,
+        config,
+        &mut watch,
+        &mut summary,
+        on_event,
+    )?;
+    Ok(summary)
+}
 
+/// Drains one shard-partitioned work list to completion under the lease
+/// protocol: the single pass-claim-execute-release loop shared by the
+/// fixed path (whole sweep at once) and the adaptive path (one batch
+/// window per call). Returns once every listed trial is stored.
+#[allow(clippy::too_many_arguments)]
+fn drain_shards<F>(
+    dir: &Path,
+    store: &ResultStore,
+    sims: &[Sim],
+    digests: &[u64],
+    by_shard: &[Vec<(usize, u64)>],
+    config: &FabricConfig,
+    watch: &mut LeaseWatch,
+    summary: &mut WorkerSummary,
+    on_event: &mut F,
+) -> Result<(), FabricError>
+where
+    F: FnMut(&WorkerEvent),
+{
+    let start = (fnv1a(config.holder.as_bytes()) % SHARD_COUNT as u64) as usize;
+    let mut done: Vec<bool> = by_shard.iter().map(Vec::is_empty).collect();
     loop {
         let mut progress = false;
         for offset in 0..SHARD_COUNT {
@@ -650,7 +839,7 @@ where
                 }
                 None => {
                     if let Some(holder) =
-                        reclaim_if_stale(dir, shard, &config.holder, config.lease_ttl, &mut watch)?
+                        reclaim_if_stale(dir, shard, &config.holder, config.lease_ttl, watch)?
                     {
                         summary.leases_reclaimed += 1;
                         progress = true;
@@ -663,7 +852,7 @@ where
             }
         }
         if done.iter().all(|&d| d) {
-            return Ok(summary);
+            return Ok(());
         }
         if !progress {
             // Every remaining shard is held by a live peer: it either
@@ -673,6 +862,120 @@ where
             std::thread::sleep(config.poll_interval);
         }
     }
+}
+
+fn run_worker_adaptive<F>(
+    dir: &Path,
+    store: &ResultStore,
+    sweep: &SweepSpec,
+    rule: &StoppingRule,
+    config: &FabricConfig,
+    on_event: &mut F,
+) -> Result<WorkerSummary, FabricError>
+where
+    F: FnMut(&WorkerEvent),
+{
+    let seeds = sweep.effective_seeds()?;
+    let points = sweep.expand()?;
+    let sims: Vec<Sim> = points
+        .iter()
+        .map(|point| Sim::from_spec(&point.spec))
+        .collect::<Result<_, SpecError>>()?;
+    let digests: Vec<u64> = sims.iter().map(Sim::digest).collect();
+    let digest = sweep_digest(sweep);
+    let n = points.len();
+
+    let mut summary = WorkerSummary::default();
+    let mut watch = LeaseWatch::new();
+    // Per-point seed cap: the budget end until a stop verdict tightens it
+    // to the verdict's batch boundary.
+    let mut limit: Vec<u64> = vec![seeds.end; n];
+    let mut stopped: Vec<Option<StopReason>> = vec![None; n];
+    let mut announced: Vec<bool> = vec![false; n];
+
+    let mut next = seeds.start;
+    while next < seeds.end {
+        // Honor verdicts peers have already published: a late-starting
+        // worker never schedules trials past a stopped point's boundary.
+        for point in 0..n {
+            if stopped[point].is_none() {
+                if let Some((reason, used)) = read_stop_marker(dir, digest, point)? {
+                    stopped[point] = Some(reason);
+                    limit[point] = seeds.start + used;
+                }
+            }
+        }
+        let batch_end = seeds.end.min(next + rule.batch);
+        // The trials this phase still owes the store, shard-partitioned
+        // exactly like the fixed path partitions the whole sweep.
+        let mut by_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); SHARD_COUNT];
+        let mut phase_trials = 0u64;
+        for (point, &point_digest) in digests.iter().enumerate() {
+            for seed in next..batch_end.min(limit[point]) {
+                by_shard[shard_index(point_digest, seed)].push((point, seed));
+                phase_trials += 1;
+            }
+        }
+        if phase_trials == 0 {
+            // Every surviving point is capped below this window.
+            break;
+        }
+        drain_shards(
+            dir,
+            store,
+            &sims,
+            &digests,
+            &by_shard,
+            config,
+            &mut watch,
+            &mut summary,
+            on_event,
+        )?;
+        // The whole prefix is now stored. Fold it per point in seed order
+        // and apply the shared pure decision — every process folds the
+        // same bytes in the same order, so all derive identical verdicts.
+        let stats: Vec<BatchStats> = (0..n)
+            .map(|point| {
+                let mut fold = BatchStatsFold::new();
+                for seed in seeds.start..batch_end.min(limit[point]) {
+                    // Present by construction: drain_shards returned, and
+                    // earlier phases completed before this one started.
+                    if let Some(outcome) = store.get(digests[point], seed) {
+                        fold.push(&outcome);
+                    }
+                }
+                fold.finish()
+            })
+            .collect();
+        let before = stopped.clone();
+        rule.decide_batch(&stats, &mut stopped, batch_end - seeds.start);
+        for point in 0..n {
+            if before[point].is_none() {
+                if let Some(reason) = stopped[point] {
+                    limit[point] = batch_end;
+                    write_stop_marker(dir, digest, point, reason, batch_end - seeds.start)?;
+                }
+            }
+        }
+        for point in 0..n {
+            if let Some(reason) = stopped[point] {
+                if !announced[point] {
+                    announced[point] = true;
+                    summary.points_stopped += 1;
+                    on_event(&WorkerEvent::PointStopped {
+                        point,
+                        seeds_used: limit[point] - seeds.start,
+                        reason,
+                    });
+                }
+            }
+        }
+        next = batch_end;
+        if stopped.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -894,6 +1197,114 @@ mod tests {
         }
         let _ = fs::remove_dir_all(&dir_fabric);
         let _ = fs::remove_dir_all(&dir_runner);
+    }
+
+    fn adaptive_sweep() -> SweepSpec {
+        use crate::sweep::StopMetric;
+        small_sweep().with_stop(
+            StoppingRule::new(StopMetric::SyncRate, 0.3)
+                .with_min_seeds(4)
+                .with_batch(4)
+                .with_max_seeds(32),
+        )
+    }
+
+    #[test]
+    fn adaptive_worker_matches_in_process_adaptive_run_bit_for_bit() {
+        use crate::sweep::SweepRunner;
+        let dir_fabric = temp_dir("adaptive-fabric");
+        let dir_runner = temp_dir("adaptive-direct");
+        let sweep = adaptive_sweep();
+        let mut events = Vec::new();
+        let summary = run_worker(&dir_fabric, &sweep, &FabricConfig::new("w"), |e| {
+            events.push(e.clone());
+        })
+        .unwrap();
+        let direct = SweepRunner::new()
+            .record_only(std::sync::Arc::new(ResultStore::open(&dir_runner).unwrap()))
+            .run(&sweep)
+            .unwrap();
+        // same trials executed, and byte-identical sorted shard contents
+        assert_eq!(summary.trials_executed, direct.executed_trials());
+        for shard in 0..SHARD_COUNT {
+            let read = |dir: &Path| {
+                let mut lines: Vec<String> =
+                    fs::read_to_string(dir.join(format!("shard-{shard:02}.jsonl")))
+                        .map(|t| t.lines().map(str::to_string).collect())
+                        .unwrap_or_default();
+                lines.sort();
+                lines
+            };
+            assert_eq!(read(&dir_fabric), read(&dir_runner), "shard {shard}");
+        }
+        // the worker announced each point's stop, matching the report
+        let stops: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                WorkerEvent::PointStopped {
+                    point,
+                    seeds_used,
+                    reason,
+                } => Some((*point, *seeds_used, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(summary.points_stopped as usize, stops.len());
+        for point_stats in direct.points.iter().filter(|p| p.stopped_early) {
+            assert!(stops
+                .iter()
+                .any(|&(_, used, reason)| used == point_stats.seeds_used()
+                    && Some(reason) == point_stats.stop));
+        }
+        // markers were published for the stopped points, and clean-up
+        // leaves only shard files behind
+        let digest = sweep_digest(&sweep);
+        for (point, stats) in direct.points.iter().enumerate() {
+            assert_eq!(
+                stop_marker_path(&dir_fabric, digest, point).exists(),
+                stats.stopped_early
+            );
+        }
+        let removed = clean_stop_markers(&dir_fabric).unwrap();
+        assert_eq!(removed as u64, direct.stopped_early_points());
+        for entry in fs::read_dir(&dir_fabric).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                name.to_str().unwrap().ends_with(".jsonl"),
+                "leftover {name:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir_fabric);
+        let _ = fs::remove_dir_all(&dir_runner);
+    }
+
+    #[test]
+    fn second_adaptive_worker_honors_markers_and_executes_nothing() {
+        let dir = temp_dir("adaptive-rerun");
+        let sweep = adaptive_sweep();
+        run_worker(&dir, &sweep, &FabricConfig::new("first"), |_| {}).unwrap();
+        let mut stops = 0;
+        let summary = run_worker(&dir, &sweep, &FabricConfig::new("second"), |e| {
+            if matches!(e, WorkerEvent::PointStopped { .. }) {
+                stops += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(summary.trials_executed, 0);
+        assert_eq!(summary.points_stopped, stops);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_stop_marker_reads_as_absent() {
+        let dir = temp_dir("torn-marker");
+        fs::create_dir_all(&dir).unwrap();
+        let path = stop_marker_path(&dir, 0xabcd, 1);
+        fs::write(&path, "{\"point\": 1, \"rea").unwrap();
+        assert_eq!(read_stop_marker(&dir, 0xabcd, 1).unwrap(), None);
+        assert_eq!(read_stop_marker(&dir, 0xabcd, 2).unwrap(), None);
+        assert_eq!(clean_stop_markers(&dir).unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

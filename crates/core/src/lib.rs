@@ -104,7 +104,10 @@ pub mod prelude {
     pub use crate::sim::{ProbedOutcome, Sim};
     pub use crate::spec::{ComponentSpec, ScenarioSpec, SpecError, SweepSpec};
     pub use crate::store::ResultStore;
-    pub use crate::sweep::{SweepReport, SweepRunner};
+    pub use crate::sweep::{
+        estimate_rare_event, PointStats, StopMetric, StopReason, StoppingRule, SweepReport,
+        SweepRunner,
+    };
     pub use crate::timestamp::Timestamp;
     pub use crate::trapdoor::{TrapdoorConfig, TrapdoorProtocol, TrapdoorRole};
 }

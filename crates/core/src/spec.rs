@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::json::{self, JsonError, Value};
 use crate::runner::Scenario;
+use crate::sweep::StoppingRule;
 
 /// Error raised while building, decoding, or validating a simulation spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -506,7 +507,7 @@ impl From<String> for ComponentSpec {
     }
 }
 
-fn field_u64(value: &Value, field: &str) -> Result<u64, SpecError> {
+pub(crate) fn field_u64(value: &Value, field: &str) -> Result<u64, SpecError> {
     value.as_u64().ok_or_else(|| SpecError::Malformed {
         context: field.to_string(),
         message: format!(
@@ -516,7 +517,7 @@ fn field_u64(value: &Value, field: &str) -> Result<u64, SpecError> {
     })
 }
 
-fn field_u32(value: &Value, field: &str) -> Result<u32, SpecError> {
+pub(crate) fn field_u32(value: &Value, field: &str) -> Result<u32, SpecError> {
     field_u64(value, field)?
         .try_into()
         .map_err(|_| SpecError::Malformed {
@@ -525,7 +526,7 @@ fn field_u32(value: &Value, field: &str) -> Result<u32, SpecError> {
         })
 }
 
-fn field_usize(value: &Value, field: &str) -> Result<usize, SpecError> {
+pub(crate) fn field_usize(value: &Value, field: &str) -> Result<usize, SpecError> {
     field_u64(value, field)?
         .try_into()
         .map_err(|_| SpecError::Malformed {
@@ -534,7 +535,7 @@ fn field_usize(value: &Value, field: &str) -> Result<usize, SpecError> {
         })
 }
 
-fn field_f64(value: &Value, field: &str) -> Result<f64, SpecError> {
+pub(crate) fn field_f64(value: &Value, field: &str) -> Result<f64, SpecError> {
     value.as_f64().ok_or_else(|| SpecError::Malformed {
         context: field.to_string(),
         message: format!("expected a number, found {}", value.type_name()),
@@ -544,7 +545,11 @@ fn field_f64(value: &Value, field: &str) -> Result<f64, SpecError> {
 /// Rejects keys of `value` (when it is an object) outside `allowed` — so a
 /// typo like `"strat"` for `"start"` fails decoding instead of silently
 /// falling back to a default.
-fn reject_unknown_keys(value: &Value, context: &str, allowed: &[&str]) -> Result<(), SpecError> {
+pub(crate) fn reject_unknown_keys(
+    value: &Value,
+    context: &str,
+    allowed: &[&str],
+) -> Result<(), SpecError> {
     if let Some(members) = value.as_object() {
         for (key, _) in members {
             if !allowed.contains(&key.as_str()) {
@@ -1028,6 +1033,12 @@ pub struct SweepSpec {
     /// The grid axes; their cross product (outermost axis first) defines
     /// the sweep points. Empty means a single point: the base spec.
     pub axes: Vec<SweepAxis>,
+    /// Optional adaptive stopping rule (the `"stop"` key): with one
+    /// declared, the sweep allocates trials sequentially — each grid point
+    /// runs seed batches until its metric's confidence interval is narrow
+    /// enough, instead of a fixed count. See
+    /// [`StoppingRule`].
+    pub stop: Option<StoppingRule>,
 }
 
 impl SweepSpec {
@@ -1038,12 +1049,21 @@ impl SweepSpec {
             seed_start: seeds.start,
             seed_end: seeds.end,
             axes: Vec::new(),
+            stop: None,
         }
     }
 
     /// Adds a grid axis.
     pub fn with_axis(mut self, field: impl Into<String>, values: Vec<Value>) -> Self {
         self.axes.push(SweepAxis::new(field, values));
+        self
+    }
+
+    /// Declares an adaptive stopping rule: trials are allocated in seed
+    /// batches and each grid point stops as soon as the rule is satisfied
+    /// on its seed-ordered prefix.
+    pub fn with_stop(mut self, rule: StoppingRule) -> Self {
+        self.stop = Some(rule);
         self
     }
 
@@ -1056,6 +1076,25 @@ impl SweepSpec {
             });
         }
         Ok(self.seed_start..self.seed_end)
+    }
+
+    /// The seed range the sweep may actually consume. For a fixed-count
+    /// sweep this is [`seeds`](Self::seeds); with a stopping rule declared
+    /// it is `seed_start .. seed_start + max_seeds` — the rule's budget
+    /// replaces the declared count (and defaults to it when the rule omits
+    /// `max_seeds`). Every consumer of an adaptive sweep (in-process
+    /// runner, fabric workers, serving layer) derives its plan from this
+    /// one range, so they agree on batch boundaries by construction.
+    pub fn effective_seeds(&self) -> Result<std::ops::Range<u64>, SpecError> {
+        let declared = self.seeds()?;
+        match &self.stop {
+            None => Ok(declared),
+            Some(rule) => {
+                rule.validate()?;
+                let budget = rule.max_seeds.unwrap_or(declared.end - declared.start);
+                Ok(declared.start..declared.start + budget)
+            }
+        }
     }
 
     /// Expands the grid into its cross product of sweep points (outermost
@@ -1120,6 +1159,12 @@ impl SweepSpec {
                 ),
             ));
         }
+        // Emitted only when declared, like "probes"/"faults": the wire
+        // form (and anything digesting it) of a fixed-count sweep is
+        // byte-identical to what it was before adaptive mode existed.
+        if let Some(rule) = &self.stop {
+            members.push(("stop".to_string(), rule.to_value()));
+        }
         Value::Object(members)
     }
 
@@ -1132,9 +1177,11 @@ impl SweepSpec {
         let mut base: Option<ScenarioSpec> = None;
         let mut seeds: Option<(u64, u64)> = None;
         let mut axes = Vec::new();
+        let mut stop: Option<StoppingRule> = None;
         for (key, v) in members {
             match key.as_str() {
                 "base" => base = Some(ScenarioSpec::from_value(v)?),
+                "stop" => stop = Some(StoppingRule::from_value(v)?),
                 "seeds" => {
                     reject_unknown_keys(v, "seeds", &["start", "end"])?;
                     let start = field_u64(v.get("start").unwrap_or(&Value::Int(0)), "seeds.start")?;
@@ -1185,6 +1232,9 @@ impl SweepSpec {
             context: "sweep spec".to_string(),
             message: "missing required key \"seeds\" ({\"start\", \"end\"})".to_string(),
         })?;
+        if let Some(rule) = &stop {
+            rule.validate()?;
+        }
         Ok(SweepSpec {
             base: base.ok_or_else(|| SpecError::Malformed {
                 context: "sweep spec".to_string(),
@@ -1193,6 +1243,7 @@ impl SweepSpec {
             seed_start,
             seed_end,
             axes,
+            stop,
         })
     }
 

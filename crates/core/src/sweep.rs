@@ -26,17 +26,33 @@
 //!   stored trials are served from the cache without touching the engine —
 //!   a killed sweep restarted against the same store re-runs only what is
 //!   missing and reproduces the from-scratch aggregates bit for bit.
+//! * **Adaptive trial allocation.** A sweep that declares a
+//!   [`StoppingRule`] runs in fixed-size seed *batches* and retires each
+//!   grid point as soon as its watched metric's confidence interval is
+//!   narrow enough (or, optionally, the point is provably worse than the
+//!   best one seen). Stop decisions are evaluated only at batch boundaries
+//!   on seed-ordered prefixes, with every active point advancing in
+//!   lockstep — so the decision sequence is a pure function of trial
+//!   outcomes, bit-identical across worker counts, scheduling
+//!   perturbations, fabric processes, and fresh-vs-resumed runs (cached
+//!   trials count toward the rule exactly like executed ones).
 
 use std::ops::Range;
 use std::sync::Arc;
 
-use wsync_stats::{quantiles, table::fmt_f64, Table};
+use serde::{Deserialize, Serialize};
+
+use wsync_stats::{
+    dominated, quantiles, splitting_estimate, table::fmt_f64, wilson_ci, CiUndefined,
+    ConfidenceInterval, SplittingConfig, SplittingEstimate, Table,
+};
 
 use crate::batch::{BatchRunner, BatchStats, BatchStatsFold};
+use crate::json::Value;
 use crate::registry::ProbeOutput;
 use crate::report::SyncOutcome;
 use crate::sim::Sim;
-use crate::spec::{ScenarioSpec, SpecError, SweepSpec};
+use crate::spec::{field_f64, field_u64, reject_unknown_keys, ScenarioSpec, SpecError, SweepSpec};
 use crate::store::{ResultStore, StoreError};
 
 /// An error raised while orchestrating a sweep: either the spec side
@@ -80,7 +96,7 @@ impl From<StoreError> for SweepError {
 }
 
 /// Aggregate result of one grid point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointStats {
     /// The point's `"field=value"` label (empty for a gridless sweep).
     pub label: String,
@@ -93,10 +109,24 @@ pub struct PointStats {
     pub cached: u64,
     /// Trials executed by the engine in this run.
     pub executed: u64,
+    /// Whether the point stopped before consuming the sweep's full seed
+    /// budget (always `false` on fixed-count paths).
+    pub stopped_early: bool,
+    /// Why the point stopped sampling. `None` on fixed-count paths; on
+    /// adaptive paths every point carries a reason —
+    /// [`StopReason::Exhausted`] when the budget ran out first.
+    pub stop: Option<StopReason>,
+}
+
+impl PointStats {
+    /// Trials this point consumed in total (cached + executed).
+    pub fn seeds_used(&self) -> u64 {
+        self.cached + self.executed
+    }
 }
 
 /// The result of a whole sweep: per-point aggregates plus cache totals.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// One entry per grid point, in expansion order.
     pub points: Vec<PointStats>,
@@ -125,6 +155,443 @@ impl SweepReport {
     /// Total trials (cached + executed).
     pub fn total_trials(&self) -> u64 {
         self.cached_trials() + self.executed_trials()
+    }
+
+    /// Points that stopped before consuming the full seed budget.
+    pub fn stopped_early_points(&self) -> u64 {
+        self.points.iter().filter(|p| p.stopped_early).count() as u64
+    }
+}
+
+/// The per-point batch statistic an adaptive [`StoppingRule`] watches.
+///
+/// Mean metrics build a normal-approximation interval from the point's
+/// Welford summary ([`ConfidenceInterval::for_summary`]); rate metrics
+/// build a Wilson score interval from its success/trial counters
+/// ([`wilson_ci`]). Both are incremental: the rule never retains samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopMetric {
+    /// Mean of the worst per-node rounds-to-sync (over synced trials).
+    SyncRoundsMean,
+    /// Mean of the global completion round (over synced trials).
+    CompletionRoundsMean,
+    /// Fraction of trials in which every node synchronized.
+    SyncRate,
+    /// Fraction of trials that ended with exactly one leader.
+    SingleLeaderRate,
+    /// Fraction of clean trials (synced, one leader, no violation).
+    CleanRate,
+}
+
+impl StopMetric {
+    /// Every metric, in spec-name order (for error messages).
+    pub const ALL: [StopMetric; 5] = [
+        StopMetric::SyncRoundsMean,
+        StopMetric::CompletionRoundsMean,
+        StopMetric::SyncRate,
+        StopMetric::SingleLeaderRate,
+        StopMetric::CleanRate,
+    ];
+
+    /// The metric's spec-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopMetric::SyncRoundsMean => "sync_rounds_mean",
+            StopMetric::CompletionRoundsMean => "completion_rounds_mean",
+            StopMetric::SyncRate => "sync_rate",
+            StopMetric::SingleLeaderRate => "single_leader_rate",
+            StopMetric::CleanRate => "clean_rate",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// The objective direction dominance testing uses: `true` when larger
+    /// values win (rates), `false` when smaller values win (round counts).
+    pub fn higher_is_better(self) -> bool {
+        matches!(
+            self,
+            StopMetric::SyncRate | StopMetric::SingleLeaderRate | StopMetric::CleanRate
+        )
+    }
+
+    /// The metric's confidence interval over a point's accumulated stats.
+    /// A typed [`CiUndefined`] means the prefix is too short (or too
+    /// degenerate) for the width to exist — the stopping rule reads every
+    /// variant as "keep sampling".
+    pub fn ci(self, stats: &BatchStats, level: f64) -> Result<ConfidenceInterval, CiUndefined> {
+        match self {
+            StopMetric::SyncRoundsMean => {
+                ConfidenceInterval::for_summary(&stats.rounds_to_sync, level)
+            }
+            StopMetric::CompletionRoundsMean => {
+                ConfidenceInterval::for_summary(&stats.completion_rounds, level)
+            }
+            StopMetric::SyncRate => wilson_ci(stats.synced, stats.trials, level),
+            StopMetric::SingleLeaderRate => wilson_ci(stats.single_leader, stats.trials, level),
+            StopMetric::CleanRate => wilson_ci(stats.clean, stats.trials, level),
+        }
+    }
+}
+
+/// Why an adaptive sweep stopped sampling a grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The metric's confidence interval reached the rule's target width.
+    HalfWidth,
+    /// The point is provably worse than the incumbent best point: their
+    /// intervals separate strictly on the losing side.
+    Dominated,
+    /// The seed budget ran out before the rule was satisfied.
+    Exhausted,
+}
+
+impl StopReason {
+    /// The reason's wire name (job events, report notes).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::HalfWidth => "half_width",
+            StopReason::Dominated => "dominated",
+            StopReason::Exhausted => "exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An adaptive stopping rule: when a sweep declares one (the `"stop"` key
+/// of a [`SweepSpec`]), trials are allocated in fixed-size seed batches
+/// and each grid point retires as soon as its answer is statistically
+/// known, instead of running a fixed count.
+///
+/// # Determinism contract
+///
+/// Decisions are evaluated only at *batch boundaries* — prefix lengths
+/// `batch, 2·batch, …` of the effective seed range — over each point's
+/// seed-ordered outcome prefix, with every still-active point advancing in
+/// lockstep. The decision sequence is therefore a pure function of the
+/// sweep's outcomes: worker counts, thread scheduling, multi-process
+/// sharding, and cache hits versus live execution cannot change which
+/// points stop, when, or why. [`decide_batch`](Self::decide_batch) is that
+/// pure function; every consumer (in-process runner, fabric workers, the
+/// serving layer) calls it with identically ordered inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoppingRule {
+    /// The watched statistic.
+    pub metric: StopMetric,
+    /// Confidence level of the interval the rule tests (default `0.95`).
+    pub ci_level: f64,
+    /// Target half-width: a point stops once its interval's half-width is
+    /// `≤` this (absolute, or relative to `|estimate|` when
+    /// [`relative`](Self::relative) is set).
+    pub half_width: f64,
+    /// Interpret [`half_width`](Self::half_width) as a fraction of the
+    /// point estimate's magnitude instead of an absolute width.
+    pub relative: bool,
+    /// Smallest prefix length at which stopping is allowed (default `64`):
+    /// guards against lucky early widths on tiny samples.
+    pub min_seeds: u64,
+    /// Seed budget per point. `None` means the sweep's declared seed count
+    /// is the budget.
+    pub max_seeds: Option<u64>,
+    /// Seeds per allocation batch (default `64`). Decisions happen only at
+    /// multiples of this prefix length.
+    pub batch: u64,
+    /// Also retire points strictly *dominated* by the incumbent best point
+    /// on the watched metric (their intervals separate on the losing
+    /// side). Off by default: it changes the semantics from "every point
+    /// measured to width ε" to "the winner measured, losers identified".
+    pub dominance: bool,
+}
+
+impl StoppingRule {
+    /// A rule watching `metric` with the given absolute target half-width
+    /// and the documented defaults (`ci_level = 0.95`, `min_seeds = 64`,
+    /// `batch = 64`, no budget override, no dominance).
+    pub fn new(metric: StopMetric, half_width: f64) -> Self {
+        StoppingRule {
+            metric,
+            ci_level: 0.95,
+            half_width,
+            relative: false,
+            min_seeds: 64,
+            max_seeds: None,
+            batch: 64,
+            dominance: false,
+        }
+    }
+
+    /// Builder-style confidence level.
+    pub fn with_ci_level(mut self, level: f64) -> Self {
+        self.ci_level = level;
+        self
+    }
+
+    /// Builder-style relative-width interpretation.
+    pub fn relative(mut self) -> Self {
+        self.relative = true;
+        self
+    }
+
+    /// Builder-style minimum prefix length.
+    pub fn with_min_seeds(mut self, min_seeds: u64) -> Self {
+        self.min_seeds = min_seeds;
+        self
+    }
+
+    /// Builder-style seed budget.
+    pub fn with_max_seeds(mut self, max_seeds: u64) -> Self {
+        self.max_seeds = Some(max_seeds);
+        self
+    }
+
+    /// Builder-style batch size.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder-style dominance-based early retirement.
+    pub fn with_dominance(mut self) -> Self {
+        self.dominance = true;
+        self
+    }
+
+    /// Validates the rule's numeric ranges.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let bad = |message: String| SpecError::Malformed {
+            context: "stop".to_string(),
+            message,
+        };
+        if !(self.half_width.is_finite() && self.half_width > 0.0) {
+            return Err(bad(format!(
+                "\"half_width\" must be a positive finite number, got {}",
+                self.half_width
+            )));
+        }
+        if !(self.ci_level > 0.5 && self.ci_level < 1.0) {
+            return Err(bad(format!(
+                "\"ci_level\" must lie in (0.5, 1), got {}",
+                self.ci_level
+            )));
+        }
+        if self.min_seeds == 0 {
+            return Err(bad("\"min_seeds\" must be at least 1".to_string()));
+        }
+        if self.batch == 0 {
+            return Err(bad("\"batch\" must be at least 1".to_string()));
+        }
+        if let Some(max) = self.max_seeds {
+            if max < self.min_seeds {
+                return Err(bad(format!(
+                    "\"max_seeds\" ({max}) must be at least \"min_seeds\" ({})",
+                    self.min_seeds
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The width the interval must reach for `estimate`.
+    pub fn target_half_width(&self, estimate: f64) -> f64 {
+        if self.relative {
+            self.half_width * estimate.abs()
+        } else {
+            self.half_width
+        }
+    }
+
+    /// Whether a point's accumulated stats satisfy the width criterion. A
+    /// width-undefined interval ([`CiUndefined`]) never satisfies it.
+    pub fn satisfied(&self, stats: &BatchStats) -> bool {
+        match self.metric.ci(stats, self.ci_level) {
+            Err(_) => false,
+            Ok(ci) => ci.half_width() <= self.target_half_width(ci.estimate),
+        }
+    }
+
+    /// The shared batch-boundary decision: given every point's stats over
+    /// the seed-ordered prefix of length `prefix_len` (stopped points keep
+    /// the stats frozen at their stop boundary), marks newly stopped
+    /// points in `stopped`. Pure — same inputs, same marks — and shared by
+    /// the in-process runner and the fabric workers, so all consumers
+    /// agree on the decision sequence by construction.
+    ///
+    /// The width pass runs first (in point order), then the dominance pass
+    /// if enabled: the incumbent is the best defined interval across *all*
+    /// points (stopped ones included — a retired winner still retires
+    /// losers), and an active point is marked [`StopReason::Dominated`]
+    /// when its interval separates strictly on the losing side.
+    pub fn decide_batch(
+        &self,
+        stats: &[BatchStats],
+        stopped: &mut [Option<StopReason>],
+        prefix_len: u64,
+    ) {
+        debug_assert_eq!(stats.len(), stopped.len());
+        if prefix_len < self.min_seeds {
+            return;
+        }
+        for (point, point_stats) in stats.iter().enumerate() {
+            if stopped[point].is_none() && self.satisfied(point_stats) {
+                stopped[point] = Some(StopReason::HalfWidth);
+            }
+        }
+        if !self.dominance {
+            return;
+        }
+        let higher = self.metric.higher_is_better();
+        let cis: Vec<Option<ConfidenceInterval>> = stats
+            .iter()
+            .map(|s| self.metric.ci(s, self.ci_level).ok())
+            .collect();
+        // The incumbent: best defended bound among defined intervals —
+        // smallest upper when minimizing, largest lower when maximizing.
+        // Strict comparison keeps the earliest point on ties, so the
+        // choice is deterministic in point order.
+        let incumbent = cis.iter().flatten().copied().reduce(|best, ci| {
+            let wins = if higher {
+                ci.lower > best.lower
+            } else {
+                ci.upper < best.upper
+            };
+            if wins {
+                ci
+            } else {
+                best
+            }
+        });
+        if let Some(incumbent) = incumbent {
+            for (point, ci) in cis.iter().enumerate() {
+                if stopped[point].is_none() {
+                    if let Some(ci) = ci {
+                        if dominated(ci, &incumbent, higher) {
+                            stopped[point] = Some(StopReason::Dominated);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes to a JSON [`Value`] (the `"stop"` member of a sweep
+    /// spec). `relative`/`dominance` are emitted only when set and
+    /// `max_seeds` only when present, so round-tripping preserves the
+    /// written form.
+    pub fn to_value(&self) -> Value {
+        let mut members = vec![
+            (
+                "metric".to_string(),
+                Value::Str(self.metric.name().to_string()),
+            ),
+            ("ci_level".to_string(), self.ci_level.into()),
+            ("half_width".to_string(), self.half_width.into()),
+        ];
+        if self.relative {
+            members.push(("relative".to_string(), Value::Bool(true)));
+        }
+        members.push(("min_seeds".to_string(), self.min_seeds.into()));
+        if let Some(max) = self.max_seeds {
+            members.push(("max_seeds".to_string(), max.into()));
+        }
+        members.push(("batch".to_string(), self.batch.into()));
+        if self.dominance {
+            members.push(("dominance".to_string(), Value::Bool(true)));
+        }
+        Value::Object(members)
+    }
+
+    /// Decodes from a JSON [`Value`], rejecting unknown keys. Numeric
+    /// ranges are *not* checked here — [`SweepSpec::from_value`] (and
+    /// every execution entry point) calls [`validate`](Self::validate).
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let malformed = |context: &str, message: String| SpecError::Malformed {
+            context: context.to_string(),
+            message,
+        };
+        if value.as_object().is_none() {
+            return Err(malformed(
+                "stop",
+                format!("expected an object, found {}", value.type_name()),
+            ));
+        }
+        reject_unknown_keys(
+            value,
+            "stop",
+            &[
+                "metric",
+                "ci_level",
+                "half_width",
+                "relative",
+                "min_seeds",
+                "max_seeds",
+                "batch",
+                "dominance",
+            ],
+        )?;
+        let metric_name = value
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or_else(|| malformed("stop", "missing string key \"metric\"".to_string()))?;
+        let metric = StopMetric::parse(metric_name).ok_or_else(|| {
+            let known: Vec<&str> = StopMetric::ALL.iter().map(|m| m.name()).collect();
+            malformed(
+                "stop",
+                format!(
+                    "unknown metric \"{metric_name}\"; known metrics: {}",
+                    known.join(", ")
+                ),
+            )
+        })?;
+        let half_width = field_f64(
+            value
+                .get("half_width")
+                .ok_or_else(|| malformed("stop", "missing key \"half_width\"".to_string()))?,
+            "stop.half_width",
+        )?;
+        let opt_f64 = |key: &str, default: f64| -> Result<f64, SpecError> {
+            match value.get(key) {
+                None => Ok(default),
+                Some(v) => field_f64(v, &format!("stop.{key}")),
+            }
+        };
+        let opt_u64 = |key: &str, default: u64| -> Result<u64, SpecError> {
+            match value.get(key) {
+                None => Ok(default),
+                Some(v) => field_u64(v, &format!("stop.{key}")),
+            }
+        };
+        let flag = |key: &str| -> Result<bool, SpecError> {
+            match value.get(key) {
+                None => Ok(false),
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    malformed(
+                        &format!("stop.{key}"),
+                        format!("expected a bool, found {}", v.type_name()),
+                    )
+                }),
+            }
+        };
+        Ok(StoppingRule {
+            metric,
+            ci_level: opt_f64("ci_level", 0.95)?,
+            half_width,
+            relative: flag("relative")?,
+            min_seeds: opt_u64("min_seeds", 64)?,
+            max_seeds: match value.get("max_seeds") {
+                None => None,
+                Some(v) => Some(field_u64(v, "stop.max_seeds")?),
+            },
+            batch: opt_u64("batch", 64)?,
+            dominance: flag("dominance")?,
+        })
     }
 }
 
@@ -188,15 +655,20 @@ impl SweepRunner {
         self
     }
 
-    /// Expands `sweep` and runs every (grid point × seed) trial.
+    /// Expands `sweep` and runs every (grid point × seed) trial — or, when
+    /// the sweep declares a [`StoppingRule`], allocates trials adaptively
+    /// over [`SweepSpec::effective_seeds`] and stops each point as soon as
+    /// its rule is satisfied.
     pub fn run(&self, sweep: &SweepSpec) -> Result<SweepReport, SweepError> {
-        let seeds = sweep.seeds()?;
-        let points = sweep
+        let points: Vec<(String, ScenarioSpec)> = sweep
             .expand()?
             .into_iter()
             .map(|point| (point.label, point.spec))
             .collect();
-        self.run_points(points, seeds)
+        match &sweep.stop {
+            None => self.run_points(points, sweep.seeds()?),
+            Some(rule) => self.run_points_adaptive(points, sweep.effective_seeds()?, rule),
+        }
     }
 
     /// Runs an explicit list of labelled grid points over a seed range.
@@ -319,35 +791,18 @@ impl SweepRunner {
         // collector hands results back here in deterministic (point,
         // seed) order — each outcome is folded and dropped immediately,
         // so memory stays O(reorder window) regardless of sweep size.
-        type Trial = (SyncOutcome, Option<Vec<ProbeOutput>>, bool);
         let chunk = seed_count.max(1);
         self.runner
             .try_map_each(
                 0..total,
                 |idx| -> Result<Trial, StoreError> {
                     let (point, seed) = ((idx / chunk) as usize, seeds.start + idx % chunk);
-                    if self.reuse {
-                        if let Some(store) = &self.store {
-                            if let Some(hit) = store.get(digests[point], seed) {
-                                return Ok((hit, None, true));
-                            }
-                        }
-                    }
                     let probe_this = match probed {
                         ProbeSeeds::None => false,
                         ProbeSeeds::All => true,
                         ProbeSeeds::FirstOnly => probe_seed[point] == Some(seed),
                     };
-                    let (outcome, probes) = if probe_this && sims[point].has_probes() {
-                        let probed_outcome = sims[point].run_probed(seed);
-                        (probed_outcome.outcome, probed_outcome.probes)
-                    } else {
-                        (sims[point].run_one(seed), None)
-                    };
-                    if let Some(store) = &self.store {
-                        store.put(digests[point], seed, &outcome)?;
-                    }
-                    Ok((outcome, probes, false))
+                    self.run_trial(&sims[point], digests[point], seed, probe_this)
                 },
                 |idx, (outcome, probes, hit)| {
                     let point = (idx / chunk) as usize;
@@ -372,6 +827,8 @@ impl SweepRunner {
                 stats: fold.finish(),
                 cached,
                 executed,
+                stopped_early: false,
+                stop: None,
             })
             .collect();
         Ok(SweepReport {
@@ -380,6 +837,233 @@ impl SweepRunner {
             seed_end: seeds.end,
         })
     }
+
+    /// Runs labelled grid points with adaptive trial allocation: seeds are
+    /// consumed in lockstep batches of `rule.batch` from `seeds` (the
+    /// *effective* range — pass [`SweepSpec::effective_seeds`]), and each
+    /// point retires at the first batch boundary where `rule` is satisfied
+    /// on its seed-ordered prefix. Points still active when the budget
+    /// runs out report [`StopReason::Exhausted`].
+    pub fn run_points_adaptive(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        rule: &StoppingRule,
+    ) -> Result<SweepReport, SweepError> {
+        self.run_points_adaptive_inner(points, seeds, rule, ProbeSeeds::None, |_, _, _| {})
+    }
+
+    /// Like [`run_points_adaptive`](Self::run_points_adaptive),
+    /// additionally invoking `each` for every outcome — exactly once, in
+    /// the deterministic adaptive order: batch-major, then point index,
+    /// then seed (the fixed-count point-major order, re-chunked by batch).
+    pub fn run_points_adaptive_each<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        rule: &StoppingRule,
+        mut each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome),
+    {
+        self.run_points_adaptive_inner(
+            points,
+            seeds,
+            rule,
+            ProbeSeeds::None,
+            |point, outcome, _| each(point, outcome),
+        )
+    }
+
+    /// The adaptive counterpart of
+    /// [`run_points_probed_first_each`](Self::run_points_probed_first_each):
+    /// each point's first executed seed runs with its declared probes
+    /// attached. A point that stops before reaching its sampled seed
+    /// reports no probe output (consistent with the fixed path's cached
+    /// caveat: probes observe live executions only).
+    pub fn run_points_adaptive_probed_first_each<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        rule: &StoppingRule,
+        each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome, Option<&[ProbeOutput]>),
+    {
+        self.run_points_adaptive_inner(points, seeds, rule, ProbeSeeds::FirstOnly, each)
+    }
+
+    fn run_points_adaptive_inner<F>(
+        &self,
+        points: Vec<(String, ScenarioSpec)>,
+        seeds: Range<u64>,
+        rule: &StoppingRule,
+        probed: ProbeSeeds,
+        mut each: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        F: FnMut(usize, &SyncOutcome, Option<&[ProbeOutput]>),
+    {
+        rule.validate()?;
+        let sims: Vec<Sim> = points
+            .iter()
+            .map(|(_, spec)| Sim::from_spec(spec))
+            .collect::<Result<_, SpecError>>()?;
+        let digests: Vec<u64> = sims.iter().map(Sim::digest).collect();
+        let probe_seed: Vec<Option<u64>> = match probed {
+            ProbeSeeds::FirstOnly => digests
+                .iter()
+                .map(|&digest| match (&self.store, self.reuse) {
+                    (Some(store), true) => seeds.clone().find(|&s| !store.contains(digest, s)),
+                    _ => Some(seeds.start),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let mut folds: Vec<BatchStatsFold> = points.iter().map(|_| BatchStatsFold::new()).collect();
+        let mut cached: Vec<u64> = vec![0; points.len()];
+        let mut executed: Vec<u64> = vec![0; points.len()];
+        let mut stopped: Vec<Option<StopReason>> = vec![None; points.len()];
+
+        // Lockstep batches: every still-active point advances through the
+        // same seed window [next, batch_end), then the rule is evaluated
+        // at the boundary on each point's seed-ordered prefix. Within a
+        // batch, (active point, seed) pairs form one work-stealing queue
+        // exactly like the fixed path — the collector re-orders outcomes
+        // into (point, seed) order, so folds (and therefore decisions) are
+        // independent of worker count and scheduling.
+        let mut next = seeds.start;
+        while next < seeds.end {
+            let active: Vec<usize> = (0..points.len())
+                .filter(|&p| stopped[p].is_none())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let batch_end = seeds.end.min(next + rule.batch);
+            let span = batch_end - next;
+            let total = active.len() as u64 * span;
+            self.runner
+                .try_map_each(
+                    0..total,
+                    |idx| -> Result<Trial, StoreError> {
+                        let point = active[(idx / span) as usize];
+                        let seed = next + idx % span;
+                        let probe_this = match probed {
+                            ProbeSeeds::None => false,
+                            ProbeSeeds::All => true,
+                            ProbeSeeds::FirstOnly => probe_seed[point] == Some(seed),
+                        };
+                        self.run_trial(&sims[point], digests[point], seed, probe_this)
+                    },
+                    |idx, (outcome, probes, hit)| {
+                        let point = active[(idx / span) as usize];
+                        if hit {
+                            cached[point] += 1;
+                        } else {
+                            executed[point] += 1;
+                        }
+                        each(point, &outcome, probes.as_deref());
+                        folds[point].push(&outcome);
+                    },
+                )
+                .map_err(SweepError::Store)?;
+            let stats: Vec<BatchStats> = folds.iter().map(BatchStatsFold::finish).collect();
+            rule.decide_batch(&stats, &mut stopped, batch_end - seeds.start);
+            next = batch_end;
+        }
+
+        let budget = seeds.end - seeds.start;
+        let points = points
+            .into_iter()
+            .zip(folds)
+            .zip(cached.into_iter().zip(executed))
+            .zip(stopped)
+            .map(
+                |((((label, spec), fold), (cached, executed)), stop)| PointStats {
+                    label,
+                    spec,
+                    stats: fold.finish(),
+                    stopped_early: cached + executed < budget,
+                    stop: Some(stop.unwrap_or(StopReason::Exhausted)),
+                    cached,
+                    executed,
+                },
+            )
+            .collect();
+        Ok(SweepReport {
+            points,
+            seed_start: seeds.start,
+            seed_end: seeds.end,
+        })
+    }
+
+    /// One trial: serve from the attached store if possible (reuse mode),
+    /// otherwise execute the engine (with probes when asked) and persist.
+    /// The returned flag is `true` for a cache hit. Shared by the fixed
+    /// and adaptive paths so both produce identical outcome streams and
+    /// store contents for the trials they run.
+    fn run_trial(
+        &self,
+        sim: &Sim,
+        digest: u64,
+        seed: u64,
+        probe_this: bool,
+    ) -> Result<Trial, StoreError> {
+        if self.reuse {
+            if let Some(store) = &self.store {
+                if let Some(hit) = store.get(digest, seed) {
+                    return Ok((hit, None, true));
+                }
+            }
+        }
+        let (outcome, probes) = if probe_this && sim.has_probes() {
+            let probed_outcome = sim.run_probed(seed);
+            (probed_outcome.outcome, probed_outcome.probes)
+        } else {
+            (sim.run_one(seed), None)
+        };
+        if let Some(store) = &self.store {
+            store.put(digest, seed, &outcome)?;
+        }
+        Ok((outcome, probes, false))
+    }
+}
+
+/// The unit of work both sweep paths stream through the worker pool: an
+/// outcome, its probe outputs (live probed executions only), and whether
+/// it was served from the result store.
+type Trial = (SyncOutcome, Option<Vec<ProbeOutput>>, bool);
+
+/// Estimates the probability that a scenario's completion round reaches
+/// the last threshold of `config.levels` — a rare-event tail probability —
+/// by multilevel importance splitting over deterministic seed streams (see
+/// [`wsync_stats::splitting`]). A trial that never synchronizes counts as
+/// infinitely severe (it sits above every threshold).
+///
+/// The engine replays a whole execution from a single seed, so a child
+/// path cannot literally branch mid-trajectory: each [`SplitPath`] is
+/// replayed from its derived seed ([`SplitPath::seed`]), which degrades
+/// multilevel splitting to deterministic stratified restarts — unbiased
+/// per level factor, with reduced (not zero) variance benefit. The
+/// estimate is still a pure function of `(spec, config)`: same inputs,
+/// bit-identical result, on any machine.
+///
+/// [`SplitPath`]: wsync_stats::SplitPath
+/// [`SplitPath::seed`]: wsync_stats::SplitPath::seed
+pub fn estimate_rare_event(
+    spec: &ScenarioSpec,
+    config: &SplittingConfig,
+) -> Result<SplittingEstimate, SpecError> {
+    let sim = Sim::from_spec(spec)?;
+    Ok(splitting_estimate(config, |path| {
+        match sim.run_one(path.seed()).completion_round() {
+            Some(round) => round as f64,
+            None => f64::INFINITY,
+        }
+    }))
 }
 
 /// Renders the sync-time quantile table of a seed-ordered outcome slice:
@@ -531,6 +1215,265 @@ mod tests {
         assert_eq!(again.cached_trials(), 0);
         assert_eq!(again.executed_trials(), 10);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn rate_stats(synced: u64, trials: u64) -> BatchStats {
+        BatchStats {
+            trials,
+            synced,
+            single_leader: 0,
+            clean: 0,
+            total_violations: 0,
+            all_hold: 0,
+            rounds_to_sync: wsync_stats::Summary::from_slice(&[]),
+            completion_rounds: wsync_stats::Summary::from_slice(&[]),
+        }
+    }
+
+    #[test]
+    fn stopping_rule_round_trips_through_json() {
+        let full = StoppingRule::new(StopMetric::SyncRoundsMean, 2.0)
+            .with_ci_level(0.99)
+            .relative()
+            .with_min_seeds(32)
+            .with_max_seeds(4096)
+            .with_batch(16)
+            .with_dominance();
+        let minimal = StoppingRule::new(StopMetric::CleanRate, 0.05);
+        for rule in [full, minimal] {
+            let decoded = StoppingRule::from_value(&rule.to_value()).unwrap();
+            assert_eq!(decoded, rule);
+        }
+        // the ISSUE-style spec syntax decodes with defaults filled in
+        let sweep = SweepSpec::from_json(
+            r#"{"base": {"protocol": "trapdoor", "num_nodes": 6, "num_frequencies": 8,
+                         "disruption_bound": 1, "adversary": "random"},
+                "seeds": {"start": 0, "end": 256},
+                "stop": {"metric": "sync_rounds_mean", "ci_level": 0.95, "half_width": 2.0,
+                         "min_seeds": 64, "max_seeds": 65536, "batch": 64}}"#,
+        )
+        .unwrap();
+        let rule = sweep.stop.as_ref().unwrap();
+        assert_eq!(rule.metric, StopMetric::SyncRoundsMean);
+        assert!(!rule.relative && !rule.dominance);
+        assert_eq!(sweep.effective_seeds().unwrap(), 0..65536);
+        // and the sweep's own JSON round-trips byte for byte
+        let json = sweep.to_json();
+        assert_eq!(SweepSpec::from_json(&json).unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn stopping_rule_rejects_bad_specs() {
+        for (json, needle) in [
+            (
+                r#"{"metric": "typo_metric", "half_width": 1.0}"#,
+                "unknown metric",
+            ),
+            (r#"{"metric": "sync_rate"}"#, "half_width"),
+            (
+                r#"{"metric": "sync_rate", "half_width": 0.1, "batc": 4}"#,
+                "unknown key",
+            ),
+            (r#"[1, 2]"#, "expected an object"),
+        ] {
+            let err = StoppingRule::from_value(&crate::json::parse(json).unwrap())
+                .expect_err(json)
+                .to_string();
+            assert!(err.contains(needle), "{json}: {err}");
+        }
+        // range validation (applied by SweepSpec decoding and every entry point)
+        for rule in [
+            StoppingRule::new(StopMetric::SyncRate, 0.0),
+            StoppingRule::new(StopMetric::SyncRate, f64::NAN),
+            StoppingRule::new(StopMetric::SyncRate, 0.1).with_ci_level(0.4),
+            StoppingRule::new(StopMetric::SyncRate, 0.1).with_min_seeds(0),
+            StoppingRule::new(StopMetric::SyncRate, 0.1).with_batch(0),
+            StoppingRule::new(StopMetric::SyncRate, 0.1)
+                .with_min_seeds(8)
+                .with_max_seeds(4),
+        ] {
+            assert!(rule.validate().is_err(), "{rule:?} should not validate");
+        }
+    }
+
+    #[test]
+    fn width_undefined_means_keep_sampling() {
+        let rule = StoppingRule::new(StopMetric::SyncRate, 0.5);
+        assert!(!rule.satisfied(&rate_stats(0, 0)));
+        // one synced trial: rounds_to_sync has a single sample — the mean
+        // rule must keep sampling, not read the degenerate width as done
+        let sweep = sweep();
+        let sim = Sim::from_sweep(&sweep).unwrap().remove(0).1;
+        let stats = BatchStats::aggregate(&[sim.run_one(0)]);
+        assert!(!StoppingRule::new(StopMetric::SyncRoundsMean, 1e6).satisfied(&stats));
+    }
+
+    #[test]
+    fn decide_batch_gates_on_min_seeds_and_marks_dominated_points() {
+        let rule = StoppingRule::new(StopMetric::SyncRate, 1e-9)
+            .with_min_seeds(50)
+            .with_dominance();
+        let stats = vec![rate_stats(95, 100), rate_stats(5, 100)];
+        let mut stopped = vec![None, None];
+        // below min_seeds: no verdicts at all
+        rule.decide_batch(&stats, &mut stopped, 49);
+        assert_eq!(stopped, vec![None, None]);
+        // at min_seeds: the far-worse point is dominated, the incumbent runs on
+        rule.decide_batch(&stats, &mut stopped, 100);
+        assert_eq!(stopped, vec![None, Some(StopReason::Dominated)]);
+    }
+
+    #[test]
+    fn adaptive_sweep_stops_early_and_matches_fixed_prefix() {
+        let base = sweep();
+        // sync_rate converges fast on this grid (every trial syncs): a
+        // loose width stops both points at the first eligible boundary.
+        let rule = StoppingRule::new(StopMetric::SyncRate, 0.3)
+            .with_min_seeds(6)
+            .with_batch(2)
+            .with_max_seeds(40);
+        let adaptive = SweepRunner::with_runner(BatchRunner::with_workers(4))
+            .run(&base.clone().with_stop(rule))
+            .unwrap();
+        assert_eq!(adaptive.seeds(), 0..40);
+        for point in &adaptive.points {
+            // stopped at the first boundary past min_seeds, not at 2 or 4
+            assert_eq!(point.seeds_used(), 6);
+            assert!(point.stopped_early);
+            assert_eq!(point.stop, Some(StopReason::HalfWidth));
+            assert!(point.stats.trials == 6);
+        }
+        // the adaptive prefix aggregates are bit-identical to a fixed
+        // sweep over the same seeds
+        let fixed = SweepRunner::new()
+            .run(&SweepSpec {
+                seed_end: 6,
+                ..sweep()
+            })
+            .unwrap();
+        for (a, f) in adaptive.points.iter().zip(&fixed.points) {
+            assert_eq!(a.stats, f.stats);
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_exhausts_budget_when_rule_never_satisfied() {
+        let rule = StoppingRule::new(StopMetric::SyncRoundsMean, 1e-12)
+            .with_min_seeds(2)
+            .with_batch(3);
+        let report = SweepRunner::new().run(&sweep().with_stop(rule)).unwrap();
+        for point in &report.points {
+            assert_eq!(point.seeds_used(), 5);
+            assert!(!point.stopped_early);
+            assert_eq!(point.stop, Some(StopReason::Exhausted));
+        }
+        assert_eq!(report.stopped_early_points(), 0);
+    }
+
+    #[test]
+    fn adaptive_decisions_are_identical_across_worker_counts() {
+        let spec = sweep().with_stop(
+            StoppingRule::new(StopMetric::SyncRoundsMean, 0.5)
+                .with_min_seeds(2)
+                .with_batch(2)
+                .with_max_seeds(64),
+        );
+        let reference = SweepRunner::with_runner(BatchRunner::serial())
+            .run(&spec)
+            .unwrap();
+        for workers in [1, 2, 8] {
+            let report = SweepRunner::with_runner(BatchRunner::with_workers(workers))
+                .run(&spec)
+                .unwrap();
+            for (a, b) in reference.points.iter().zip(&report.points) {
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.stop, b.stop);
+                assert_eq!(a.executed, b.executed);
+                assert_eq!(a.stopped_early, b.stopped_early);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_resume_reproduces_fresh_decisions_from_cache() {
+        let dir = temp_dir("adaptive-resume");
+        let spec = sweep().with_stop(
+            StoppingRule::new(StopMetric::SyncRate, 0.3)
+                .with_min_seeds(4)
+                .with_batch(4)
+                .with_max_seeds(32),
+        );
+        let fresh = SweepRunner::new().run(&spec).unwrap();
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let recorded = SweepRunner::new()
+            .store(Arc::clone(&store))
+            .run(&spec)
+            .unwrap();
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let resumed = SweepRunner::new().store(store).run(&spec).unwrap();
+        assert_eq!(resumed.executed_trials(), 0);
+        assert_eq!(resumed.cached_trials(), fresh.total_trials());
+        for ((a, b), c) in fresh
+            .points
+            .iter()
+            .zip(&recorded.points)
+            .zip(&resumed.points)
+        {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.stats, c.stats);
+            assert_eq!(a.stop, c.stop);
+            assert_eq!(a.stopped_early, c.stopped_early);
+            assert_eq!(a.seeds_used(), c.seeds_used());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptive_each_sees_outcomes_in_batch_major_order() {
+        let points: Vec<(String, ScenarioSpec)> = sweep()
+            .expand()
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.label, p.spec))
+            .collect();
+        let rule = StoppingRule::new(StopMetric::SyncRoundsMean, 1e-12)
+            .with_min_seeds(2)
+            .with_batch(2);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        SweepRunner::with_runner(BatchRunner::with_workers(4))
+            .run_points_adaptive_each(points, 0..4, &rule, |point, outcome| {
+                seen.push((point, outcome.seed));
+            })
+            .unwrap();
+        // batch [0, 2) point-major, then batch [2, 4) point-major
+        let expected = vec![
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+        ];
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn rare_event_estimate_is_deterministic_and_bounded() {
+        let spec = ScenarioSpec::new("trapdoor", 6, 8, 1).with_adversary("random");
+        let config = SplittingConfig {
+            levels: vec![10.0, 20.0],
+            base_trials: 64,
+            splits: 4,
+            max_population: 128,
+            seed_start: 0,
+        };
+        let a = estimate_rare_event(&spec, &config).unwrap();
+        let b = estimate_rare_event(&spec, &config).unwrap();
+        assert_eq!(a, b);
+        assert!(a.probability >= 0.0 && a.probability <= 1.0);
+        assert!(a.total_runs >= 64);
     }
 
     #[test]

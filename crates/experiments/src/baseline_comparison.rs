@@ -10,7 +10,7 @@
 
 use wsync_core::batch::BatchStats;
 use wsync_core::spec::ScenarioSpec;
-use wsync_core::sweep::SweepRunner;
+use wsync_core::sweep::StopMetric;
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
@@ -71,9 +71,7 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
             points.push((format!("t={t}/{protocol}"), spec));
         }
     }
-    let sweep = SweepRunner::new()
-        .run_points(points, 0..seeds)
-        .expect("valid experiment specs");
+    let sweep = crate::run_effort_grid(points, 0..seeds, effort, StopMetric::CompletionRoundsMean);
     for ((t, protocol), point) in labels.into_iter().zip(&sweep.points) {
         let row = BaselineRow::from_stats(&point.stats);
         table.push_row(vec![
@@ -85,6 +83,9 @@ pub fn x2_baselines(effort: Effort) -> ExperimentReport {
         ]);
     }
     report.push_table(table);
+    if let Some(note) = crate::adaptive_note(&sweep, &(0..seeds)) {
+        report.note(note);
+    }
     report.note("the Trapdoor Protocol should keep a near-100% clean rate at every t, while the single-frequency baseline degenerates (many self-elected leaders) once t ≥ 1 and the deterministic hopper loses clean runs to repeated collisions");
     report
 }

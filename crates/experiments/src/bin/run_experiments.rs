@@ -173,6 +173,16 @@ fn run_fabric_worker(
         WorkerEvent::LeaseLost { shard } => {
             eprintln!("fabric worker {holder}: lost lease on shard {shard:02}, abandoning it");
         }
+        WorkerEvent::PointStopped {
+            point,
+            seeds_used,
+            reason,
+        } => {
+            eprintln!(
+                "fabric worker {holder}: point {point} stopped after {seeds_used} seed(s) \
+                 ({reason})"
+            );
+        }
         WorkerEvent::ShardBusy { .. } => {}
     });
     match result {
@@ -243,6 +253,13 @@ fn run_fabric_parent(
     let cleaned = fabric::clean_leases(out_dir).map_err(|e| e.to_string())?;
     if cleaned > 0 {
         eprintln!("result store {out_dir}: removed {cleaned} leftover lease file(s)");
+    }
+    // Adaptive sweeps also leave stop markers behind. They are pure
+    // acceleration — every worker re-derives the same verdicts from the
+    // store bytes — so removing them never changes a later resume.
+    let markers = fabric::clean_stop_markers(out_dir).map_err(|e| e.to_string())?;
+    if markers > 0 {
+        eprintln!("result store {out_dir}: removed {markers} stop marker(s)");
     }
     Ok(())
 }

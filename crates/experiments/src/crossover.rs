@@ -7,7 +7,7 @@
 //! factor) when `t′` approaches `t`.
 
 use wsync_core::spec::{ComponentSpec, ScenarioSpec};
-use wsync_core::sweep::SweepRunner;
+use wsync_core::sweep::StopMetric;
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::Table;
 
@@ -55,9 +55,7 @@ pub fn x1_crossover(effort: Effort) -> ExperimentReport {
         points.push((format!("gs t'={t_actual}"), base));
         points.push((format!("td t'={t_actual}"), td_spec));
     }
-    let sweep = SweepRunner::new()
-        .run_points(points, 0..seeds)
-        .expect("valid specs");
+    let sweep = crate::run_effort_grid(points, 0..seeds, effort, StopMetric::CompletionRoundsMean);
     let mut gs_wins = 0usize;
     for (i, &t_actual) in t_actuals.iter().enumerate() {
         let gs = sweep.points[2 * i].stats.completion_rounds.mean;
@@ -79,6 +77,9 @@ pub fn x1_crossover(effort: Effort) -> ExperimentReport {
         ]);
     }
     report.push_table(table);
+    if let Some(note) = crate::adaptive_note(&sweep, &(0..seeds)) {
+        report.note(note);
+    }
     report.note(format!(
         "Good Samaritan wins at {gs_wins}/{} disruption levels; the paper predicts it wins for small t' and the Trapdoor Protocol wins (by up to a logN factor) near t' ≈ t",
         t_actuals.len()

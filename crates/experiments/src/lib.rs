@@ -43,6 +43,47 @@ pub use spec_run::{
     run_spec, run_spec_file, run_spec_file_stored, run_spec_stored, SpecFile, StoreMode,
 };
 
+/// Runs an experiment grid at the given effort level: fixed-count at
+/// `Smoke` (whose tiny seed totals are pinned by unit tests), adaptive at
+/// `Quick`/`Full` via [`Effort::stopping_rule`] — each point stops as soon
+/// as the `metric`'s confidence interval is narrower than 10% of its
+/// estimate, with the fixed seed count as the ceiling. Decisions land at
+/// batch boundaries, so the produced tables are bit-identical across
+/// worker counts and schedule perturbations.
+pub fn run_effort_grid(
+    points: Vec<(String, wsync_core::spec::ScenarioSpec)>,
+    seeds: std::ops::Range<u64>,
+    effort: Effort,
+    metric: wsync_core::sweep::StopMetric,
+) -> wsync_core::sweep::SweepReport {
+    use wsync_core::sweep::SweepRunner;
+    match effort.stopping_rule(metric) {
+        None => SweepRunner::new().run_points(points, seeds),
+        Some(rule) => SweepRunner::new().run_points_adaptive(points, seeds, &rule),
+    }
+    .expect("valid experiment specs")
+}
+
+/// A one-line summary of an adaptive grid's trial savings, for report
+/// notes, or `None` when the run was fixed-count (nothing stopped early).
+pub fn adaptive_note(
+    sweep: &wsync_core::sweep::SweepReport,
+    seeds: &std::ops::Range<u64>,
+) -> Option<String> {
+    let stopped = sweep.stopped_early_points();
+    if stopped == 0 {
+        return None;
+    }
+    let budget = (seeds.end - seeds.start) * sweep.points.len() as u64;
+    Some(format!(
+        "adaptive stopping: {}/{} budgeted trial(s) used; {}/{} point(s) stopped early",
+        sweep.total_trials(),
+        budget,
+        stopped,
+        sweep.points.len()
+    ))
+}
+
 /// Runs every experiment at the given effort level and returns the reports
 /// in EXPERIMENTS.md order.
 pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {

@@ -19,7 +19,7 @@
 
 use wsync_core::json::Value;
 use wsync_core::spec::{ComponentSpec, ScenarioSpec, SweepSpec};
-use wsync_core::sweep::SweepRunner;
+use wsync_core::sweep::{StopMetric, SweepRunner};
 use wsync_stats::Table;
 
 use crate::output::{fmt, Effort, ExperimentReport};
@@ -44,10 +44,16 @@ pub fn nf1_drop_rate(effort: Effort) -> ExperimentReport {
         .with_adversary("random")
         .with_fault("drop")
         .with_max_rounds(200_000);
-    let sweep = SweepSpec::new(base, 0..seeds).with_axis(
+    let mut sweep = SweepSpec::new(base, 0..seeds).with_axis(
         "fault.drop.drop_rate",
         rates.iter().map(|&r| r.into()).collect(),
     );
+    // Quick/Full runs stop each drop-rate point once its completion-round
+    // CI is tight; the stop rule travels inside the SweepSpec, so the
+    // spec-file and fabric paths make the identical decisions.
+    if let Some(rule) = effort.stopping_rule(StopMetric::CompletionRoundsMean) {
+        sweep = sweep.with_stop(rule);
+    }
     let result = SweepRunner::new().run(&sweep).expect("valid fault sweep");
     let mut table = Table::new(
         format!("Trapdoor sync time vs drop rate (n={n_nodes}, F={f}, t={t}, random jammer)"),
@@ -71,6 +77,9 @@ pub fn nf1_drop_rate(effort: Effort) -> ExperimentReport {
         ]);
     }
     report.push_table(table);
+    if let Some(note) = crate::adaptive_note(&result, &(0..seeds)) {
+        report.note(note);
+    }
     let worst = result.points.last().expect("at least one sweep point");
     report.note(format!(
         "at drop_rate={} the protocol still synchronized {}/{} trials, {}x slower than lossless — loss thins solo deliveries uniformly, so the knockout structure survives and only the constant degrades",

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+use wsync_core::sweep::StoppingRule;
 use wsync_stats::Table;
 
 /// How much work an experiment run should do.
@@ -42,6 +43,37 @@ impl Effort {
                 .collect(),
             _ => points.to_vec(),
         }
+    }
+
+    /// The adaptive stopping rule for this effort level, or `None` when
+    /// the fixed-count path should run.
+    ///
+    /// `Smoke` stays fixed: its seed counts are tiny (2) and pinned by
+    /// unit tests, so there is nothing to save. `Quick` and `Full` spend
+    /// the same [`Effort::seeds`] count only where the `metric`'s 95% CI
+    /// is still wider than 10% of the estimate; points that settle in the
+    /// first batch stop at `seeds() / 2`. Decisions land at batch
+    /// boundaries, so results stay bit-identical across worker counts.
+    pub fn stopping_rule(self, metric: wsync_core::sweep::StopMetric) -> Option<StoppingRule> {
+        match self {
+            Effort::Smoke => None,
+            Effort::Quick | Effort::Full => {
+                let min = (self.seeds() / 2).max(2);
+                Some(
+                    StoppingRule::new(metric, 0.1)
+                        .relative()
+                        .with_min_seeds(min)
+                        .with_batch(min)
+                        .with_max_seeds(self.seeds()),
+                )
+            }
+        }
+    }
+
+    /// The seed budget matching [`Effort::stopping_rule`]: the fixed
+    /// count, which the rule treats as its ceiling.
+    pub fn seed_budget(self) -> std::ops::Range<u64> {
+        0..self.seeds()
     }
 
     /// Parses an effort level from a command-line argument.

@@ -120,7 +120,9 @@ pub fn run_spec_stored(
     store: &StoreMode,
 ) -> Result<(ExperimentReport, SweepReport), SweepError> {
     let sweep = file.into_sweep(default_seeds);
-    let seeds = sweep.seeds()?;
+    // For a fixed-count sweep this is the declared range; with a `"stop"`
+    // rule it is the adaptive seed *budget* (see SweepSpec::effective_seeds).
+    let seeds = sweep.effective_seeds()?;
     let points: Vec<(String, ScenarioSpec)> = sweep
         .expand()
         .map_err(SweepError::Spec)?
@@ -130,17 +132,27 @@ pub fn run_spec_stored(
     // One probe-output sample per point: each point's first seed runs
     // probed, the remaining trials skip the probe overhead entirely.
     let mut probe_samples: Vec<Option<Vec<ProbeOutput>>> = vec![None; points.len()];
-    let result = store.runner().run_points_probed_first_each(
-        points,
-        seeds.clone(),
-        |point, _outcome, probes| {
-            if probe_samples[point].is_none() {
-                if let Some(outputs) = probes {
-                    probe_samples[point] = Some(outputs.to_vec());
-                }
+    let runner = store.runner();
+    let mut sample = |point: usize, probes: Option<&[ProbeOutput]>| {
+        if probe_samples[point].is_none() {
+            if let Some(outputs) = probes {
+                probe_samples[point] = Some(outputs.to_vec());
             }
-        },
-    )?;
+        }
+    };
+    let result = match &sweep.stop {
+        None => {
+            runner.run_points_probed_first_each(points, seeds.clone(), |point, _, probes| {
+                sample(point, probes)
+            })?
+        }
+        Some(rule) => runner.run_points_adaptive_probed_first_each(
+            points,
+            seeds.clone(),
+            rule,
+            |point, _, probes| sample(point, probes),
+        )?,
+    };
     let mut report = ExperimentReport::new("SPEC", &format!("declarative scenario run: {source}"));
     let mut table = Table::new(
         format!(
@@ -216,6 +228,19 @@ pub fn run_spec_stored(
         result.points.len(),
         seeds.end - seeds.start
     ));
+    // The adaptive note uses only resume-invariant numbers (seeds used =
+    // cached + executed, stop counts), so fresh and resumed runs print
+    // bit-identical reports here too.
+    if sweep.stop.is_some() {
+        let budget = (seeds.end - seeds.start) * result.points.len() as u64;
+        report.note(format!(
+            "adaptive stopping: {}/{} budgeted trial(s) used; {}/{} point(s) stopped early",
+            result.total_trials(),
+            budget,
+            result.stopped_early_points(),
+            result.points.len()
+        ));
+    }
     Ok((report, result))
 }
 
@@ -319,6 +344,66 @@ mod tests {
         .unwrap();
         assert_eq!(totals.executed_trials(), 0);
         assert_eq!(totals.cached_trials(), 6);
+        assert_eq!(resumed.to_markdown(), fresh.to_markdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const ADAPTIVE_SWEEP_JSON: &str = r#"{
+        "base": {
+            "protocol": "trapdoor",
+            "adversary": "random",
+            "num_nodes": 8,
+            "num_frequencies": 8,
+            "disruption_bound": 2
+        },
+        "seeds": {"start": 0, "end": 32},
+        "grid": [{"field": "disruption_bound", "values": [1, 2]}],
+        "stop": {"metric": "sync_rate", "half_width": 0.3, "min_seeds": 4, "batch": 4}
+    }"#;
+
+    #[test]
+    fn adaptive_spec_stops_early_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "wsync-specrun-adaptive-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = run_spec(
+            SpecFile::parse(ADAPTIVE_SWEEP_JSON).unwrap(),
+            "inline",
+            0..1,
+        )
+        .unwrap();
+        // the adaptive note reports trial savings against the budget
+        assert!(
+            fresh.notes.iter().any(|n| n.contains("adaptive stopping")),
+            "{:?}",
+            fresh.notes
+        );
+
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (recorded, totals) = run_spec_stored(
+            SpecFile::parse(ADAPTIVE_SWEEP_JSON).unwrap(),
+            "inline",
+            0..1,
+            &StoreMode::Record(store),
+        )
+        .unwrap();
+        assert!(totals.executed_trials() < 64, "no early stop happened");
+        assert_eq!(recorded.to_markdown(), fresh.to_markdown());
+
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let (resumed, totals) = run_spec_stored(
+            SpecFile::parse(ADAPTIVE_SWEEP_JSON).unwrap(),
+            "inline",
+            0..1,
+            &StoreMode::Resume(store),
+        )
+        .unwrap();
+        // cached trials count toward the rule: zero re-execution, and the
+        // rendered report (tables and notes alike) is byte-identical
+        assert_eq!(totals.executed_trials(), 0);
         assert_eq!(resumed.to_markdown(), fresh.to_markdown());
         let _ = std::fs::remove_dir_all(&dir);
     }

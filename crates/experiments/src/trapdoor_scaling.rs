@@ -10,7 +10,7 @@
 
 use wsync_analysis::formulas::Bounds;
 use wsync_core::spec::ScenarioSpec;
-use wsync_core::sweep::SweepRunner;
+use wsync_core::sweep::{StopMetric, SweepRunner};
 use wsync_radio::activation::ActivationSchedule;
 use wsync_stats::{fit_through_origin, Summary, Table};
 
@@ -51,18 +51,19 @@ fn scaling_report(
     );
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
-    // One SweepRunner pass over the whole grid: the worker pool steals
-    // (point × seed) trials globally, so a slow sweep point cannot leave
-    // cores idle while a cheap one drains.
-    let sweep = SweepRunner::new()
-        .run_points(
-            points
-                .iter()
-                .map(|(label, spec, _)| (label.clone(), spec.clone()))
-                .collect(),
-            0..seeds,
-        )
-        .expect("valid experiment specs");
+    // One pass over the whole grid: the worker pool steals (point × seed)
+    // trials globally, so a slow sweep point cannot leave cores idle while
+    // a cheap one drains. At Quick/Full the pass is adaptive — each point
+    // stops once its mean-rounds CI is tight (see `run_effort_grid`).
+    let sweep = crate::run_effort_grid(
+        points
+            .iter()
+            .map(|(label, spec, _)| (label.clone(), spec.clone()))
+            .collect(),
+        0..seeds,
+        effort,
+        StopMetric::SyncRoundsMean,
+    );
     for ((label, _, bounds), point) in points.iter().zip(&sweep.points) {
         let summary = point.stats.rounds_to_sync;
         let clean = point.stats.clean_rate();
@@ -80,6 +81,9 @@ fn scaling_report(
         ]);
     }
     report.push_table(table);
+    if let Some(note) = crate::adaptive_note(&sweep, &(0..seeds)) {
+        report.note(note);
+    }
     if predicted.iter().all(|&p| p > 0.0) && predicted.len() >= 2 {
         let fit = fit_through_origin(&predicted, &measured);
         report.note(format!(

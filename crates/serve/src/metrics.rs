@@ -29,6 +29,8 @@ pub struct Metrics {
     store_misses: AtomicU64,
     sim_rounds: AtomicU64,
     exec_micros: AtomicU64,
+    points_stopped: AtomicU64,
+    trials_saved: AtomicU64,
 }
 
 impl Metrics {
@@ -74,6 +76,25 @@ impl Metrics {
         self.exec_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
+    /// Folds one adaptive sweep's stopping outcome into the counters:
+    /// `stopped` grid points halted before their seed budget, together
+    /// saving `saved` trials against a fixed-count run of the budget.
+    pub fn record_stops(&self, stopped: u64, saved: u64) {
+        self.points_stopped.fetch_add(stopped, Ordering::Relaxed);
+        self.trials_saved.fetch_add(saved, Ordering::Relaxed);
+    }
+
+    /// Grid points stopped early by a sweep's stopping rule over the
+    /// server's lifetime.
+    pub fn points_stopped(&self) -> u64 {
+        self.points_stopped.load(Ordering::Relaxed)
+    }
+
+    /// Trials adaptive stopping avoided over the server's lifetime.
+    pub fn trials_saved(&self) -> u64 {
+        self.trials_saved.load(Ordering::Relaxed)
+    }
+
     /// Trials served from the store over the server's lifetime.
     pub fn store_hits(&self) -> u64 {
         self.store_hits.load(Ordering::Relaxed)
@@ -111,6 +132,14 @@ impl Metrics {
             ("sim_rounds".to_string(), Value::Int(rounds as i64)),
             ("exec_micros".to_string(), Value::Int(micros as i64)),
             ("rounds_per_sec".to_string(), Value::Float(rounds_per_sec)),
+            (
+                "points_stopped".to_string(),
+                Value::Int(self.points_stopped() as i64),
+            ),
+            (
+                "trials_saved".to_string(),
+                Value::Int(self.trials_saved() as i64),
+            ),
         ])
     }
 }
@@ -128,12 +157,17 @@ mod tests {
         metrics.record_rejected();
         metrics.record_work(3, 2, 1_000, 500_000);
         metrics.record_work(5, 0, 0, 0);
+        metrics.record_stops(2, 48);
         assert_eq!(metrics.store_hits(), 8);
         assert_eq!(metrics.store_misses(), 2);
+        assert_eq!(metrics.points_stopped(), 2);
+        assert_eq!(metrics.trials_saved(), 48);
         assert_eq!(metrics.accepted(), 2);
         assert_eq!(metrics.rejected(), 1);
         let value = metrics.to_value();
         assert_eq!(value.get("trials_served").unwrap().as_u64(), Some(10));
+        assert_eq!(value.get("points_stopped").unwrap().as_u64(), Some(2));
+        assert_eq!(value.get("trials_saved").unwrap().as_u64(), Some(48));
         assert_eq!(value.get("accepted").unwrap().as_u64(), Some(2));
         assert_eq!(value.get("rejected").unwrap().as_u64(), Some(1));
         let rps = value.get("rounds_per_sec").unwrap().as_f64().unwrap();

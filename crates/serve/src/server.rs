@@ -34,7 +34,8 @@ use std::time::Duration;
 use wsync_core::batch::BatchStats;
 use wsync_core::fabric::{self, FabricConfig, WorkerEvent};
 use wsync_core::json::{self, Value};
-use wsync_core::registry;
+use wsync_core::registry::{self, ProbeOutput};
+use wsync_core::report::SyncOutcome;
 use wsync_core::spec::{ScenarioSpec, SweepSpec};
 use wsync_core::store::{spec_digest, ResultStore, StoreError};
 use wsync_core::sweep::{SweepError, SweepRunner};
@@ -492,8 +493,12 @@ fn handle_sweep(
         Err(message) => return http::respond_error(stream, 400, "Bad Request", &message),
     };
     // Validate expansion *before* scheduling, so a bad grid is a 400 here
-    // and never a half-run job.
-    let (points, seeds) = match sweep.expand().and_then(|p| Ok((p, sweep.seeds()?))) {
+    // and never a half-run job. With a `"stop"` rule the advertised seed
+    // range is the adaptive *budget*, not a promise of execution.
+    let (points, seeds) = match sweep
+        .expand()
+        .and_then(|p| Ok((p, sweep.effective_seeds()?)))
+    {
         Ok(parts) => parts,
         Err(e) => return http::respond_error(stream, 400, "Bad Request", &e.to_string()),
     };
@@ -506,6 +511,7 @@ fn handle_sweep(
             ("points".to_string(), Value::Int(points.len() as i64)),
             ("seed_start".to_string(), Value::Int(seeds.start as i64)),
             ("seed_end".to_string(), Value::Int(seeds.end as i64)),
+            ("adaptive".to_string(), Value::Bool(sweep.stop.is_some())),
             (
                 "workers".to_string(),
                 Value::Int(state.fabric_workers as i64),
@@ -577,6 +583,16 @@ fn worker_event_fields(holder: &str, event: &WorkerEvent) -> Option<Vec<(String,
             ("event".to_string(), Value::Str("lease_lost".to_string())),
             ("shard".to_string(), Value::Int(*shard as i64)),
         ],
+        WorkerEvent::PointStopped {
+            point,
+            seeds_used,
+            reason,
+        } => vec![
+            ("event".to_string(), Value::Str("point_stopped".to_string())),
+            ("point".to_string(), Value::Int(*point as i64)),
+            ("seeds_used".to_string(), Value::Int(*seeds_used as i64)),
+            ("reason".to_string(), Value::Str(reason.name().to_string())),
+        ],
         WorkerEvent::ShardBusy { .. } => return None,
     };
     fields.push(("worker".to_string(), Value::Str(holder.to_string())));
@@ -629,7 +645,7 @@ fn aggregate_sweep(
         .into_iter()
         .map(|p| (p.label, p.spec))
         .collect();
-    let seeds = sweep.seeds().map_err(|e| e.to_string())?;
+    let seeds = sweep.effective_seeds().map_err(|e| e.to_string())?;
     let labels: Vec<String> = points
         .iter()
         .map(|(label, _)| {
@@ -642,33 +658,59 @@ fn aggregate_sweep(
         .collect();
     let mut rounds = 0u64;
     let mut probe_samples: Vec<Option<Vec<(String, Value)>>> = vec![None; points.len()];
-    let report = SweepRunner::new()
-        .store(Arc::new(store))
-        .run_points_probed_first_each(points, seeds, |point, outcome, probes| {
-            rounds += outcome.result.metrics.rounds;
-            if probe_samples[point].is_none() {
-                if let Some(outputs) = probes {
-                    probe_samples[point] = Some(
-                        outputs
-                            .iter()
-                            .map(|o| (o.name.clone(), o.value.clone()))
-                            .collect(),
-                    );
-                }
+    let runner = SweepRunner::new().store(Arc::new(store));
+    let mut sample = |point: usize, outcome: &SyncOutcome, probes: Option<&[ProbeOutput]>| {
+        rounds += outcome.result.metrics.rounds;
+        if probe_samples[point].is_none() {
+            if let Some(outputs) = probes {
+                probe_samples[point] = Some(
+                    outputs
+                        .iter()
+                        .map(|o| (o.name.clone(), o.value.clone()))
+                        .collect(),
+                );
             }
-        })
-        .map_err(|e| e.to_string())?;
+        }
+    };
+    // Same dispatch as the workers: with a `"stop"` rule this pass folds
+    // the stored trials through the rule's batch schedule, reproducing the
+    // workers' stop decisions from the store bytes alone.
+    let report = match &sweep.stop {
+        None => {
+            runner.run_points_probed_first_each(points, seeds.clone(), |p, o, pr| sample(p, o, pr))
+        }
+        Some(rule) => {
+            runner.run_points_adaptive_probed_first_each(points, seeds.clone(), rule, |p, o, pr| {
+                sample(p, o, pr)
+            })
+        }
+    }
+    .map_err(|e| e.to_string())?;
     for (point, label) in report.points.iter().zip(&labels) {
-        push_event(
-            job,
-            vec![
-                ("event".to_string(), Value::Str("point".to_string())),
-                ("label".to_string(), Value::Str(label.clone())),
-                ("cached".to_string(), Value::Int(point.cached as i64)),
-                ("executed".to_string(), Value::Int(point.executed as i64)),
-                ("stats".to_string(), stats_value(&point.stats)),
-            ],
-        );
+        let mut fields = vec![
+            ("event".to_string(), Value::Str("point".to_string())),
+            ("label".to_string(), Value::Str(label.clone())),
+            ("cached".to_string(), Value::Int(point.cached as i64)),
+            ("executed".to_string(), Value::Int(point.executed as i64)),
+        ];
+        if sweep.stop.is_some() {
+            fields.push((
+                "seeds_used".to_string(),
+                Value::Int(point.seeds_used() as i64),
+            ));
+            fields.push((
+                "stopped_early".to_string(),
+                Value::Bool(point.stopped_early),
+            ));
+            if let Some(reason) = &point.stop {
+                fields.push((
+                    "stop_reason".to_string(),
+                    Value::Str(reason.name().to_string()),
+                ));
+            }
+        }
+        fields.push(("stats".to_string(), stats_value(&point.stats)));
+        push_event(job, fields);
     }
     for (sample, label) in probe_samples.into_iter().zip(&labels) {
         let Some(outputs) = sample else { continue };
@@ -690,20 +732,34 @@ fn aggregate_sweep(
         rounds,
         watch.elapsed_micros(),
     );
-    push_event(
-        job,
-        vec![
-            ("event".to_string(), Value::Str("done".to_string())),
-            (
-                "cached".to_string(),
-                Value::Int(report.cached_trials() as i64),
-            ),
-            (
-                "executed".to_string(),
-                Value::Int(report.executed_trials() as i64),
-            ),
-        ],
-    );
+    let mut fields = vec![
+        ("event".to_string(), Value::Str("done".to_string())),
+        (
+            "cached".to_string(),
+            Value::Int(report.cached_trials() as i64),
+        ),
+        (
+            "executed".to_string(),
+            Value::Int(report.executed_trials() as i64),
+        ),
+    ];
+    if sweep.stop.is_some() {
+        let budget = (seeds.end - seeds.start) * report.points.len() as u64;
+        let saved = budget.saturating_sub(report.total_trials());
+        state
+            .metrics
+            .record_stops(report.stopped_early_points(), saved);
+        fields.push((
+            "stopped_early".to_string(),
+            Value::Int(report.stopped_early_points() as i64),
+        ));
+        fields.push(("trial_budget".to_string(), Value::Int(budget as i64)));
+        fields.push(("trials_saved".to_string(), Value::Int(saved as i64)));
+        // Stop markers are fabric-local acceleration; with the job done
+        // they are dead weight in the store directory.
+        let _ = fabric::clean_stop_markers(&state.store_dir);
+    }
+    push_event(job, fields);
     Ok(())
 }
 

@@ -40,8 +40,12 @@ const SWEEP_BODY: &str = r#"{
   "grid": [{"field": "num_frequencies", "values": [4, 8]}]
 }"#;
 
+fn temp_dir_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wsync-serve-http-{tag}-{}", std::process::id()))
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("wsync-serve-http-{tag}-{}", std::process::id()));
+    let dir = temp_dir_path(tag);
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -262,6 +266,112 @@ fn sweep_schedules_a_job_that_streams_json_lines_to_done() {
     let (status, body) = post(addr, "/sweep", r#"{"protocol": "trapdoor"}"#);
     assert_eq!(status, "HTTP/1.1 400 Bad Request");
     assert!(body.contains("base"), "{body}");
+}
+
+/// The adaptive variant of [`SWEEP_BODY`]: a 32-seed budget per point,
+/// with a stopping rule loose enough that the sync-rate CI settles within
+/// the first 4-seed batch (trapdoor at this size synchronizes reliably).
+const ADAPTIVE_SWEEP_BODY: &str = r#"{
+  "base": {
+    "protocol": "trapdoor",
+    "adversary": "random",
+    "num_nodes": 6,
+    "num_frequencies": 4,
+    "disruption_bound": 1,
+    "max_rounds": 20000
+  },
+  "seeds": {"start": 0, "end": 32},
+  "grid": [{"field": "num_frequencies", "values": [4, 8]}],
+  "stop": {"metric": "sync_rate", "half_width": 0.3, "min_seeds": 4, "batch": 4}
+}"#;
+
+#[test]
+fn adaptive_sweep_job_reports_stops_and_savings() {
+    let addr = start_server("sweep-adaptive");
+
+    let (status, body) = post(addr, "/sweep", ADAPTIVE_SWEEP_BODY);
+    assert_eq!(status, "HTTP/1.1 202 Accepted", "{body}");
+    let accepted = json::parse(&body).expect("sweep response is JSON");
+    let job = accepted
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("job id")
+        .to_string();
+
+    let (status, body) = get(addr, &format!("/jobs/{job}"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let lines: Vec<Value> = body
+        .lines()
+        .map(|line| json::parse(line).unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}")))
+        .collect();
+    let event = |v: &Value| v.get("event").and_then(Value::as_str).map(String::from);
+
+    // The schedule line advertises the budget and flags the job adaptive.
+    let scheduled = &lines[0];
+    assert_eq!(event(scheduled).as_deref(), Some("scheduled"));
+    assert_eq!(
+        scheduled.get("adaptive").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(scheduled.get("seed_end").and_then(Value::as_u64), Some(32));
+
+    // Every point event carries its stopping outcome.
+    let points: Vec<&Value> = lines
+        .iter()
+        .filter(|v| event(v).as_deref() == Some("point"))
+        .collect();
+    assert_eq!(points.len(), 2, "{body}");
+    for point in &points {
+        let used = point
+            .get("seeds_used")
+            .and_then(Value::as_u64)
+            .expect("seeds_used");
+        assert!(used < 32, "point ran its whole budget: {point:?}");
+        assert_eq!(
+            point.get("stopped_early").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            point.get("stop_reason").and_then(Value::as_str),
+            Some("half_width")
+        );
+        let stats = point.get("stats").expect("point stats");
+        assert_eq!(stats.get("trials").and_then(Value::as_u64), Some(used));
+    }
+
+    // The done event totals the savings against the declared budget.
+    let done = lines.last().expect("done line");
+    assert_eq!(event(done).as_deref(), Some("done"));
+    assert_eq!(done.get("stopped_early").and_then(Value::as_u64), Some(2));
+    assert_eq!(done.get("trial_budget").and_then(Value::as_u64), Some(64));
+    let saved = done
+        .get("trials_saved")
+        .and_then(Value::as_u64)
+        .expect("trials_saved");
+    assert!(
+        saved >= 32,
+        "expected at least half the budget saved: {done:?}"
+    );
+
+    // Savings surface in /metrics, and stop markers are cleaned up.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let metrics = json::parse(&metrics).expect("metrics JSON");
+    assert_eq!(
+        metrics.get("points_stopped").and_then(Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        metrics.get("trials_saved").and_then(Value::as_u64),
+        Some(saved)
+    );
+    let leftovers: Vec<String> = std::fs::read_dir(temp_dir_path("sweep-adaptive"))
+        .expect("store dir")
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("stop-"))
+        .collect();
+    assert!(leftovers.is_empty(), "stop markers survived: {leftovers:?}");
 }
 
 /// OS threads in this test process (Linux); `None` elsewhere.

@@ -9,6 +9,44 @@ use serde::{Deserialize, Serialize};
 
 use crate::descriptive::Summary;
 
+/// The typed reason an interval's width is undefined: the caller has not
+/// seen enough (finite) data for a dispersion estimate to exist.
+///
+/// Sequential stopping rules must treat every variant as "keep sampling" —
+/// the silent alternative (a zero-width interval around a one-sample mean)
+/// would stop a sweep on the very first batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CiUndefined {
+    /// Fewer than two samples: the sample standard deviation (and with it
+    /// the interval width) does not exist yet.
+    TooFewSamples {
+        /// How many samples were seen.
+        count: u64,
+    },
+    /// At least one sample was NaN or infinite, so no finite width exists.
+    NonFinite,
+    /// A proportion over zero trials: the estimate itself is undefined.
+    NoTrials,
+}
+
+impl std::fmt::Display for CiUndefined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CiUndefined::TooFewSamples { count } => {
+                write!(f, "confidence interval undefined: only {count} sample(s)")
+            }
+            CiUndefined::NonFinite => {
+                write!(f, "confidence interval undefined: non-finite sample")
+            }
+            CiUndefined::NoTrials => {
+                write!(f, "confidence interval undefined: zero trials")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CiUndefined {}
+
 /// A two-sided confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ConfidenceInterval {
@@ -33,20 +71,43 @@ impl ConfidenceInterval {
         value >= self.lower && value <= self.upper
     }
 
-    /// Normal-approximation confidence interval for the mean of `samples`.
+    /// Normal-approximation confidence interval for the mean of `samples`,
+    /// `mean ± z · s/√n`.
     ///
-    /// Uses `mean ± z · s/√n`. For an empty sample the interval is
-    /// `[0, 0]`; for a singleton it degenerates to the point.
-    pub fn for_mean(samples: &[f64], level: f64) -> Self {
-        let s = Summary::from_slice(samples);
+    /// Empty and singleton samples, and samples containing a non-finite
+    /// value, have no defined interval width; they return the typed
+    /// [`CiUndefined`] state instead of silently degenerating to a
+    /// zero-width interval (which a sequential stopping rule would read as
+    /// "converged").
+    pub fn for_mean(samples: &[f64], level: f64) -> Result<Self, CiUndefined> {
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(CiUndefined::NonFinite);
+        }
+        Self::for_summary(&Summary::from_slice(samples), level)
+    }
+
+    /// The same normal-approximation interval built from an already-folded
+    /// [`Summary`] — the incremental form sequential stopping rules use:
+    /// the accumulating fold (e.g. a Welford
+    /// [`OnlineStats`](crate::OnlineStats)) is summarized at each batch
+    /// boundary without retaining samples.
+    pub fn for_summary(s: &Summary, level: f64) -> Result<Self, CiUndefined> {
+        if s.count < 2 {
+            return Err(CiUndefined::TooFewSamples {
+                count: s.count as u64,
+            });
+        }
+        if !s.mean.is_finite() || !s.std_dev.is_finite() {
+            return Err(CiUndefined::NonFinite);
+        }
         let z = z_value(level);
         let hw = z * s.std_error();
-        ConfidenceInterval {
+        Ok(ConfidenceInterval {
             estimate: s.mean,
             lower: s.mean - hw,
             upper: s.mean + hw,
             level,
-        }
+        })
     }
 }
 
@@ -175,17 +236,38 @@ mod tests {
 
     #[test]
     fn mean_ci_contains_true_mean_for_constant_sample() {
-        let ci = ConfidenceInterval::for_mean(&[5.0; 30], 0.95);
+        let ci = ConfidenceInterval::for_mean(&[5.0; 30], 0.95).unwrap();
         assert_eq!(ci.estimate, 5.0);
         assert!(ci.contains(5.0));
         assert!(ci.half_width() < 1e-12);
     }
 
     #[test]
-    fn mean_ci_empty_sample() {
-        let ci = ConfidenceInterval::for_mean(&[], 0.95);
-        assert_eq!(ci.estimate, 0.0);
-        assert_eq!(ci.half_width(), 0.0);
+    fn mean_ci_width_undefined_below_two_samples() {
+        assert_eq!(
+            ConfidenceInterval::for_mean(&[], 0.95),
+            Err(CiUndefined::TooFewSamples { count: 0 })
+        );
+        assert_eq!(
+            ConfidenceInterval::for_mean(&[7.25], 0.95),
+            Err(CiUndefined::TooFewSamples { count: 1 })
+        );
+    }
+
+    #[test]
+    fn mean_ci_width_undefined_on_non_finite_samples() {
+        assert_eq!(
+            ConfidenceInterval::for_mean(&[1.0, f64::NAN, 3.0], 0.95),
+            Err(CiUndefined::NonFinite)
+        );
+        assert_eq!(
+            ConfidenceInterval::for_mean(&[1.0, f64::INFINITY], 0.95),
+            Err(CiUndefined::NonFinite)
+        );
+        assert_eq!(
+            ConfidenceInterval::for_mean(&[f64::NEG_INFINITY, 2.0], 0.95),
+            Err(CiUndefined::NonFinite)
+        );
     }
 
     #[test]
@@ -237,7 +319,7 @@ mod tests {
 
         #[test]
         fn mean_ci_contains_sample_mean(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
-            let ci = ConfidenceInterval::for_mean(&xs, 0.95);
+            let ci = ConfidenceInterval::for_mean(&xs, 0.95).unwrap();
             prop_assert!(ci.contains(ci.estimate));
             prop_assert!(ci.lower <= ci.upper);
         }

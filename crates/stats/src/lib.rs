@@ -30,11 +30,17 @@ pub mod descriptive;
 pub mod histogram;
 pub mod quantile;
 pub mod regression;
+pub mod sequential;
+pub mod splitting;
 pub mod table;
 
-pub use confidence::{proportion_ci, ConfidenceInterval};
+pub use confidence::{proportion_ci, CiUndefined, ConfidenceInterval};
 pub use descriptive::{OnlineStats, Summary};
 pub use histogram::{Histogram, HistogramBin};
 pub use quantile::{median, quantile, quantiles};
 pub use regression::{fit_through_origin, linear_fit, LinearFit, OriginFit};
+pub use sequential::{dominated, wilson_ci};
+pub use splitting::{
+    splitting_estimate, LevelReport, SplitPath, SplittingConfig, SplittingEstimate,
+};
 pub use table::{Align, Table};
